@@ -1,0 +1,45 @@
+"""Figure 1(a): compute vs memory footprint of DL operators across batch size.
+
+Reproduces the scatter of Fig. 1(a): for each operator (FC, SLS, and the
+full recommendation models) we report FLOPs and bytes moved while sweeping
+the batch size 1-256.  SLS has a large, linearly-growing memory footprint
+with negligible compute; FC has the opposite profile.
+"""
+
+from repro.dlrm.config import RM1_LARGE, RM2_LARGE
+from repro.perf.operator_latency import OperatorLatencyModel
+
+from workloads import format_table
+
+BATCH_SIZES = (1, 8, 64, 256)
+
+
+def compute_footprints():
+    """Return rows of (model, operator, batch, GFLOPs, MB moved)."""
+    model = OperatorLatencyModel()
+    rows = []
+    for config in (RM1_LARGE, RM2_LARGE):
+        for batch in BATCH_SIZES:
+            inputs = model.operator_roofline_inputs(config, batch)
+            for operator in ("FC", "SLS"):
+                flops, moved = inputs[operator]
+                rows.append((config.name, operator, batch,
+                             round(flops / 1e9, 4),
+                             round(moved / 1e6, 3)))
+    return rows
+
+
+def bench_fig01_operator_footprint(benchmark):
+    rows = benchmark.pedantic(compute_footprints, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Fig. 1(a) -- operator compute and memory footprint",
+        ["model", "operator", "batch", "GFLOPs", "MB moved"], rows))
+    # Qualitative checks of the paper's point: SLS moves orders of magnitude
+    # more bytes per FLOP than FC, and its footprint grows with batch size.
+    sls_rows = [r for r in rows if r[1] == "SLS"]
+    fc_rows = [r for r in rows if r[1] == "FC"]
+    assert all(r[4] > 0 for r in sls_rows)
+    sls_intensity = sls_rows[-1][3] * 1e3 / sls_rows[-1][4]   # FLOP/KB
+    fc_intensity = fc_rows[-1][3] * 1e3 / fc_rows[-1][4]
+    assert fc_intensity > 10 * sls_intensity

@@ -1,0 +1,56 @@
+"""Figure 4: inference latency and per-operator breakdown.
+
+Regenerates the Fig. 4 stacks: for RM1-small/large and RM2-small/large at
+batch sizes 8-256, the total latency of one inference batch and the fraction
+of time spent in the SLS-family operators, FC operators, and everything
+else.  The paper's headline observations: SLS dominates (37-74% at batch 8),
+its share grows with batch size, and RM2-large is several times slower than
+RM1-large.
+"""
+
+from repro.dlrm.config import RM1_LARGE, RM1_SMALL, RM2_LARGE, RM2_SMALL
+from repro.perf.operator_latency import OperatorLatencyModel
+
+from workloads import format_table
+
+MODELS = (RM1_SMALL, RM1_LARGE, RM2_SMALL, RM2_LARGE)
+BATCH_SIZES = (8, 64, 128, 256)
+
+#: SLS share of execution time reported by the paper at batch 8 / 256.
+PAPER_SLS_FRACTION_BATCH8 = {
+    "RM1-small": 0.372, "RM1-large": 0.506,
+    "RM2-small": 0.735, "RM2-large": 0.689,
+}
+
+
+def compute_breakdowns():
+    model = OperatorLatencyModel()
+    rows = []
+    for config in MODELS:
+        for batch in BATCH_SIZES:
+            breakdown = model.breakdown(config, batch)
+            rows.append((config.name, batch,
+                         round(breakdown.total_us / 1e3, 3),
+                         round(breakdown.sls_fraction, 3),
+                         round(breakdown.fc_fraction, 3),
+                         round(1 - breakdown.sls_fraction
+                               - breakdown.fc_fraction, 3)))
+    return rows
+
+
+def bench_fig04_operator_breakdown(benchmark):
+    rows = benchmark.pedantic(compute_breakdowns, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Fig. 4 -- operator latency breakdown",
+        ["model", "batch", "latency (ms)", "SLS frac", "FC frac", "other"],
+        rows))
+    by_key = {(r[0], r[1]): r for r in rows}
+    # SLS share grows with batch size for every model.
+    for config in MODELS:
+        assert by_key[(config.name, 256)][3] > by_key[(config.name, 8)][3]
+    # RM2 models are dominated by SLS already at batch 8.
+    assert by_key[("RM2-small", 8)][3] > 0.5
+    assert by_key[("RM2-large", 8)][3] > 0.5
+    # RM2-large is several times slower than RM1-large (paper: 3.6x).
+    assert by_key[("RM2-large", 64)][2] > 2.5 * by_key[("RM1-large", 64)][2]

@@ -1,0 +1,71 @@
+"""Figure 1(b) / Figure 5: roofline analysis and the RecNMP roofline lift.
+
+Places the SLS and FC operators and the full RM1-large / RM2-large models on
+the Skylake roofline while sweeping batch size, and reports the effect of
+lifting the memory roof by the 8x internal bandwidth RecNMP exposes.  The
+paper's observations: SLS operational intensity is flat and deep in the
+memory-bound region, FC moves toward the compute-bound region with batch
+size, the full models are bandwidth-bound within ~35% of the roof, and the
+8x lift raises the attainable SLS performance by 8x.
+"""
+
+from repro.dlrm.config import RM1_LARGE, RM2_LARGE
+from repro.perf.operator_latency import OperatorLatencyModel
+from repro.perf.roofline import RooflineModel
+
+from workloads import format_table
+
+BATCH_SIZES = (1, 8, 64, 256)
+RECNMP_BANDWIDTH_LIFT = 8.0
+
+
+def compute_roofline_points():
+    roofline = RooflineModel()
+    latency = OperatorLatencyModel()
+    rows = []
+    for config in (RM1_LARGE, RM2_LARGE):
+        for batch in BATCH_SIZES:
+            inputs = latency.operator_roofline_inputs(config, batch)
+            breakdown = latency.breakdown(config, batch)
+            times = {
+                "SLS": breakdown.sls_us * 1e-6,
+                "FC": breakdown.fc_us * 1e-6,
+                "model": breakdown.total_us * 1e-6,
+            }
+            for operator, (flops, moved) in inputs.items():
+                point = roofline.operator_point(
+                    "%s %s" % (config.name, operator), flops, moved,
+                    times[operator], batch_size=batch)
+                rows.append((config.name, operator, batch,
+                             round(point.operational_intensity, 3),
+                             round(point.performance_flops / 1e9, 2),
+                             round(roofline.efficiency(point), 3),
+                             roofline.is_memory_bound(
+                                 point.operational_intensity),
+                             round(roofline.speedup_from_lift(
+                                 point.operational_intensity,
+                                 RECNMP_BANDWIDTH_LIFT), 2)))
+    return rows
+
+
+def bench_fig05_roofline(benchmark):
+    rows = benchmark.pedantic(compute_roofline_points, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Fig. 5 -- roofline points (and Fig. 1(b) lift)",
+        ["model", "op", "batch", "OI (FLOP/B)", "GFLOP/s", "roof frac",
+         "mem-bound", "8x-lift speedup"], rows))
+    sls_rows = [r for r in rows if r[1] == "SLS"]
+    model_rows = [r for r in rows if r[1] == "model"]
+    fc_rows = [r for r in rows if r[1] == "FC"]
+    # SLS and the full models are memory bound at every batch size.
+    assert all(r[6] for r in sls_rows)
+    assert all(r[6] for r in model_rows)
+    # FC operational intensity grows with batch (moves right on the roofline).
+    fc_by_model = {}
+    for r in fc_rows:
+        fc_by_model.setdefault(r[0], []).append(r[3])
+    for intensities in fc_by_model.values():
+        assert intensities[-1] > intensities[0]
+    # The 8x bandwidth lift translates to ~8x higher bound for SLS.
+    assert all(abs(r[7] - 8.0) < 1e-6 for r in sls_rows)

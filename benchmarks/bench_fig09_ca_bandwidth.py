@@ -1,0 +1,49 @@
+"""Figure 9 / Section III-B: C/A bandwidth limitation and NMP-Inst expansion.
+
+Regenerates the command/address bandwidth analysis: on the conventional DDR4
+interface a 64 B embedding read with no spatial locality needs 3 commands per
+4-cycle burst window (75% C/A utilisation, one activatable rank), while the
+compressed NMP-Inst stream sustains 8 concurrent ranks -- the 8x expansion
+the paper claims, growing further with vector size.
+"""
+
+from repro.core.ca_bandwidth import CABandwidthModel
+from repro.core.instruction import NMPInstruction
+
+from workloads import format_table
+
+VECTOR_SIZES = (64, 128, 256)
+
+
+def compute_ca_analysis():
+    model = CABandwidthModel()
+    rows = []
+    for vector_bytes in VECTOR_SIZES:
+        summary = model.summary(vector_bytes)
+        rows.append((vector_bytes,
+                     round(summary["conventional_commands_per_vector"], 2),
+                     round(summary["conventional_ca_utilization"], 3),
+                     summary["conventional_max_parallel_ranks"],
+                     summary["nmp_max_parallel_ranks"],
+                     round(summary["expansion_factor"], 1)))
+    return rows
+
+
+def bench_fig09_ca_bandwidth(benchmark):
+    rows = benchmark.pedantic(compute_ca_analysis, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Fig. 9 -- C/A bandwidth: conventional DDR vs compressed NMP-Inst",
+        ["vector (B)", "DDR cmds/vector", "C/A util", "DDR ranks",
+         "NMP ranks", "expansion"], rows))
+    print("NMP-Inst width: %d bits (84-pin interface)"
+          % NMPInstruction.bit_width())
+    by_size = {r[0]: r for r in rows}
+    # Worst case (64 B): 3 commands, 75% utilisation, 8x expansion.
+    assert by_size[64][1] == 3
+    assert abs(by_size[64][2] - 0.75) < 1e-6
+    assert by_size[64][4] == 8
+    assert by_size[64][5] >= 8.0
+    # Expansion does not shrink for larger vectors.
+    assert by_size[256][5] >= by_size[64][5]
+    assert NMPInstruction.bit_width() == 79

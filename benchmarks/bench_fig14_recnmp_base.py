@@ -1,0 +1,84 @@
+"""Figure 14: RecNMP-base latency scaling and rank load imbalance.
+
+(a) Normalised SLS latency of RecNMP-base (no RankCache) against the DRAM
+    baseline for the 1x2, 1x4, 2x2 and 4x2 memory configurations, sweeping
+    the number of poolings per NMP packet, plus the page-colouring layout.
+(b) The distribution of work on the slowest rank (load imbalance).
+
+Paper claims reproduced in shape: latency scales with the number of active
+ranks, more poolings per packet help, page colouring approaches the ideal
+speedup, and smaller packets distribute work more unevenly.
+"""
+
+from workloads import format_table, random_requests, run_recnmp
+
+CONFIGS = ((1, 2), (1, 4), (2, 2), (4, 2))
+POOLINGS_PER_PACKET = (2, 8)
+
+
+def compute_fig14():
+    requests = random_requests(num_tables=4, seed=0)
+    rows = []
+    imbalance_rows = []
+    baseline_cycles = None
+    for num_dimms, ranks_per_dimm in CONFIGS:
+        for poolings in POOLINGS_PER_PACKET:
+            result = run_recnmp(requests, num_dimms=num_dimms,
+                                ranks_per_dimm=ranks_per_dimm,
+                                use_rank_cache=False,
+                                enable_profiling=False,
+                                poolings_per_packet=poolings,
+                                compare_baseline=baseline_cycles is None)
+            if baseline_cycles is None:
+                baseline_cycles = result.baseline_cycles
+            normalized = result.total_cycles / baseline_cycles
+            rows.append(("%dx%d" % (num_dimms, ranks_per_dimm), poolings,
+                         "address", round(normalized, 3),
+                         round(1.0 / normalized, 2)))
+            imbalance_rows.append(("%dx%d" % (num_dimms, ranks_per_dimm),
+                                   poolings, round(result.load_imbalance, 3),
+                                   round(1.0 / (num_dimms * ranks_per_dimm),
+                                         3)))
+        colored = run_recnmp(requests, num_dimms=num_dimms,
+                             ranks_per_dimm=ranks_per_dimm,
+                             use_rank_cache=False, enable_profiling=False,
+                             poolings_per_packet=8,
+                             rank_assignment="page-coloring",
+                             compare_baseline=False)
+        normalized = colored.total_cycles / baseline_cycles
+        rows.append(("%dx%d" % (num_dimms, ranks_per_dimm), 8,
+                     "page-coloring", round(normalized, 3),
+                     round(1.0 / normalized, 2)))
+    return rows, imbalance_rows, baseline_cycles
+
+
+def bench_fig14_recnmp_base(benchmark):
+    rows, imbalance_rows, baseline_cycles = benchmark.pedantic(
+        compute_fig14, rounds=1, iterations=1)
+    print()
+    print("DRAM baseline: %d cycles" % baseline_cycles)
+    print(format_table(
+        "Fig. 14(a) -- RecNMP-base latency normalised to the DRAM baseline",
+        ["config", "poolings/packet", "layout", "normalised latency",
+         "speedup"], rows))
+    print()
+    print(format_table(
+        "Fig. 14(b) -- fraction of lookups served by the slowest rank",
+        ["config", "poolings/packet", "slowest-rank share",
+         "balanced share"], imbalance_rows))
+    speedups = {(r[0], r[1], r[2]): r[4] for r in rows}
+    # Latency scales with the number of active ranks (8 poolings, address).
+    assert speedups[("4x2", 8, "address")] > speedups[("2x2", 8, "address")] \
+        > speedups[("1x2", 8, "address")]
+    # More poolings per packet help every configuration.
+    for config in ("1x2", "2x2", "4x2"):
+        assert speedups[(config, 8, "address")] >= \
+            speedups[(config, 2, "address")]
+    # Page colouring approaches (or beats) the address-hash layout.
+    assert speedups[("4x2", 8, "page-coloring")] >= \
+        0.95 * speedups[("4x2", 8, "address")]
+    # The 8-rank base design lands in the paper's 3.37-7.35x band.
+    assert 2.5 < speedups[("4x2", 8, "page-coloring")] < 8.5
+    # Load imbalance: the slowest rank always serves at least its fair share.
+    for config, poolings, share, fair in imbalance_rows:
+        assert share >= fair - 1e-6

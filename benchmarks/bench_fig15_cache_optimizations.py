@@ -1,0 +1,81 @@
+"""Figure 15: RankCache and the HW/SW co-optimisation ladder.
+
+(a) Normalised latency of the 8-rank system when adding, in order: the
+    RankCache, table-aware packet scheduling, and hot-entry profiling
+    (RecNMP-base -> RecNMP-cache -> +schedule -> +profile), on the
+    production traces.
+(b) RankCache capacity sweep (8 KB - 1 MB): latency and hit rate, showing
+    the 128 KB sweet spot the paper reports.
+"""
+
+from workloads import format_table, production_requests, run_recnmp
+
+CACHE_SIZES_KB = (8, 32, 128, 512, 1024)
+
+
+def compute_fig15():
+    requests = production_requests(num_tables=8, batch=8, pooling=40, seed=0)
+    ladder = []
+    baseline_cycles = None
+    steps = (
+        ("RecNMP-base", dict(use_rank_cache=False, enable_profiling=False,
+                             scheduling_policy="fcfs")),
+        ("RecNMP-cache", dict(use_rank_cache=True, enable_profiling=False,
+                              scheduling_policy="fcfs")),
+        ("+ schedule", dict(use_rank_cache=True, enable_profiling=False,
+                            scheduling_policy="table-aware")),
+        ("+ profile (RecNMP-opt)", dict(use_rank_cache=True,
+                                        enable_profiling=True,
+                                        scheduling_policy="table-aware")),
+    )
+    for name, overrides in steps:
+        result = run_recnmp(requests, num_dimms=4, ranks_per_dimm=2,
+                            compare_baseline=baseline_cycles is None,
+                            **overrides)
+        if baseline_cycles is None:
+            baseline_cycles = result.baseline_cycles
+        ladder.append((name, result.total_cycles,
+                       round(result.total_cycles / baseline_cycles, 3),
+                       round(baseline_cycles / result.total_cycles, 2),
+                       round(result.cache_hit_rate, 3)))
+    sweep = []
+    for cache_kb in CACHE_SIZES_KB:
+        result = run_recnmp(requests, num_dimms=4, ranks_per_dimm=2,
+                            use_rank_cache=True, enable_profiling=True,
+                            rank_cache_kb=cache_kb, compare_baseline=False)
+        sweep.append((cache_kb,
+                      round(result.total_cycles / baseline_cycles, 3),
+                      round(result.cache_hit_rate, 3)))
+    return ladder, sweep, baseline_cycles
+
+
+def bench_fig15_cache_optimizations(benchmark):
+    ladder, sweep, baseline_cycles = benchmark.pedantic(compute_fig15,
+                                                        rounds=1,
+                                                        iterations=1)
+    print()
+    print("DRAM baseline: %d cycles" % baseline_cycles)
+    print(format_table(
+        "Fig. 15(a) -- optimisation ladder (8-rank, production traces)",
+        ["configuration", "cycles", "normalised latency", "speedup",
+         "hit rate"], ladder))
+    print()
+    print(format_table(
+        "Fig. 15(b) -- RankCache capacity sweep (RecNMP-opt)",
+        ["cache (KB)", "normalised latency", "hit rate"], sweep))
+    by_name = {row[0]: row for row in ladder}
+    # Each optimisation step must not regress latency...
+    assert by_name["RecNMP-cache"][1] <= by_name["RecNMP-base"][1] * 1.02
+    assert by_name["+ schedule"][1] <= by_name["RecNMP-cache"][1] * 1.02
+    assert by_name["+ profile (RecNMP-opt)"][1] <= \
+        by_name["+ schedule"][1] * 1.02
+    # ...and the fully optimised design clearly beats the cache-less base.
+    assert by_name["+ profile (RecNMP-opt)"][3] > by_name["RecNMP-base"][3]
+    # Hit rate grows with cache capacity and saturates (compulsory limit).
+    hit_rates = [row[2] for row in sweep]
+    assert hit_rates == sorted(hit_rates)
+    assert hit_rates[-1] - hit_rates[-2] < 0.1
+    # Latency at the 128 KB sweet spot is close to the best of the sweep.
+    best = min(row[1] for row in sweep)
+    sweet_spot = [row[1] for row in sweep if row[0] == 128][0]
+    assert sweet_spot <= best * 1.1

@@ -1,0 +1,73 @@
+"""Figure 17: co-located FC latency degradation and the RecNMP relief.
+
+Regenerates the TopFC cache-contention study: the latency degradation of the
+TopFC layers of RM2-small and RM2-large as the number of co-located models
+grows (1-8) for two pooling factors, on the CPU baseline and with SLS
+offloaded to RecNMP.  Paper claims: degradation grows with co-location,
+FC size and pooling; RecNMP recovers up to ~30% for the large (LLC-resident)
+TopFC and ~4% for FCs that fit in L2.
+"""
+
+from repro.dlrm.config import RM1_SMALL, RM2_LARGE, RM2_SMALL
+from repro.perf.colocation import ColocationModel
+
+from workloads import format_table
+
+COLOCATION_DEGREES = (1, 2, 4, 8)
+POOLING_FACTORS = (80, 160)
+
+
+def _top_fc_bytes(config):
+    """Weight bytes of the TopFC stack only."""
+    total = 0
+    prev = config.top_mlp_input_width()
+    for width in config.top_mlp:
+        total += prev * width * 4
+        prev = width
+    return total
+
+
+def compute_fig17():
+    model = ColocationModel()
+    rows = []
+    for config in (RM2_SMALL, RM2_LARGE):
+        fc_bytes = _top_fc_bytes(config)
+        for pooling in POOLING_FACTORS:
+            for degree in COLOCATION_DEGREES:
+                baseline = model.baseline_slowdown(fc_bytes, degree, pooling)
+                relieved = model.recnmp_slowdown(fc_bytes, degree, pooling)
+                rows.append(("%s TopFC" % config.name,
+                             round(fc_bytes / 1e6, 2), pooling, degree,
+                             round(baseline, 3), round(relieved, 3),
+                             round(100 * (1 - relieved / baseline), 1)))
+    small_fc = model.evaluate("RM1-small BottomFC-class (fits in L2)",
+                              512 * 1024, COLOCATION_DEGREES)
+    for result in small_fc:
+        rows.append((result.fc_name, 0.5, 80, result.colocation_degree,
+                     round(result.baseline_slowdown, 3),
+                     round(result.recnmp_slowdown, 3),
+                     round(100 * result.recnmp_improvement, 1)))
+    return rows
+
+
+def bench_fig17_fc_colocation(benchmark):
+    rows = benchmark.pedantic(compute_fig17, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Fig. 17 -- co-located FC slowdown (baseline vs RecNMP)",
+        ["FC", "weights (MB)", "pooling", "co-location", "baseline slowdown",
+         "RecNMP slowdown", "improvement %"], rows))
+    rm2_large = [r for r in rows if r[0] == "RM2-large TopFC"]
+    rm2_small = [r for r in rows if r[0] == "RM2-small TopFC"]
+    l2_resident = [r for r in rows if "fits in L2" in r[0]]
+    # Degradation grows with co-location degree and pooling.
+    assert rm2_large[3][4] > rm2_large[0][4]
+    assert rm2_large[7][4] >= rm2_large[3][4]
+    # The larger TopFC suffers (and therefore recovers) more.
+    assert max(r[6] for r in rm2_large) > max(r[6] for r in rm2_small)
+    # RecNMP recovers a Fig. 17-like share for the LLC-resident TopFC...
+    assert 10.0 < max(r[6] for r in rm2_large) < 35.0
+    # ...and only a few percent for L2-resident layers.
+    assert max(r[6] for r in l2_resident) < 6.0
+    # RM1_SMALL is unused directly but kept for readers comparing configs.
+    assert RM1_SMALL.top_mlp[-1] == 1

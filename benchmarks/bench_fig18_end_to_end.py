@@ -1,0 +1,106 @@
+"""Figure 18: end-to-end model speedup and the co-location trade-off.
+
+(a) End-to-end inference speedup of the four models with 2-, 4- and 8-rank
+    RecNMP systems (SLS speedups taken from the rank-scaling study).
+(b) Speedup versus batch size for the 8-rank system.
+(c) Latency-throughput trade-off under model co-location, host vs
+    RecNMP-opt, random vs production traces.
+"""
+
+from repro.dlrm.config import RM1_LARGE, RM1_SMALL, RM2_LARGE, RM2_SMALL
+from repro.perf.end_to_end import EndToEndModel, latency_throughput_curve
+from repro.perf.operator_latency import OperatorLatencyModel
+
+from workloads import format_table, production_requests, run_recnmp
+
+MODELS = (RM1_SMALL, RM1_LARGE, RM2_SMALL, RM2_LARGE)
+BATCH_SIZES = (8, 64, 128, 256)
+RANK_CONFIGS = {"2-rank": (1, 2), "4-rank": (2, 2), "8-rank": (4, 2)}
+
+
+def _sls_speedups():
+    """Memory-latency speedup of each rank configuration (simulated)."""
+    requests = production_requests(num_tables=8, batch=8, pooling=40, seed=0)
+    speedups = {}
+    for label, (num_dimms, ranks_per_dimm) in RANK_CONFIGS.items():
+        result = run_recnmp(requests, num_dimms=num_dimms,
+                            ranks_per_dimm=ranks_per_dimm)
+        speedups[label] = result.speedup_vs_baseline
+    return speedups
+
+
+def compute_fig18():
+    sls_speedups = _sls_speedups()
+    model = EndToEndModel()
+    config_rows = []
+    for dlrm in MODELS:
+        for label, sls_speedup in sls_speedups.items():
+            result = model.speedup(dlrm, 256, sls_speedup)
+            config_rows.append((dlrm.name, label, round(sls_speedup, 2),
+                                round(result.sls_fraction, 3),
+                                round(result.end_to_end_speedup, 2)))
+    batch_rows = []
+    for dlrm in MODELS:
+        for batch in BATCH_SIZES:
+            result = model.speedup(dlrm, batch, sls_speedups["8-rank"])
+            batch_rows.append((dlrm.name, batch,
+                               round(result.end_to_end_speedup, 2)))
+    latency_model = OperatorLatencyModel()
+    tradeoff_rows = []
+    for name, use_recnmp in (("host", False), ("RecNMP-opt", True)):
+        for trace, bonus in (("random", 1.0), ("production", 1.15)):
+            points = latency_throughput_curve(
+                latency_model, RM2_SMALL, 64, [1, 2, 4, 8],
+                sls_speedup=sls_speedups["8-rank"], locality_bonus=bonus,
+                use_recnmp=use_recnmp)
+            for point in points:
+                tradeoff_rows.append((name, trace, point["colocation"],
+                                      round(point["latency_us"] / 1e3, 3),
+                                      round(point[
+                                          "throughput_inferences_per_s"], 0)))
+    return sls_speedups, config_rows, batch_rows, tradeoff_rows
+
+
+def bench_fig18_end_to_end(benchmark):
+    sls_speedups, config_rows, batch_rows, tradeoff_rows = benchmark.pedantic(
+        compute_fig18, rounds=1, iterations=1)
+    print()
+    print("Simulated SLS memory-latency speedups: %s"
+          % {k: round(v, 2) for k, v in sls_speedups.items()})
+    print(format_table(
+        "Fig. 18(a) -- end-to-end speedup by rank configuration (batch 256)",
+        ["model", "config", "SLS speedup", "SLS fraction", "end-to-end"],
+        config_rows))
+    print()
+    print(format_table("Fig. 18(b) -- end-to-end speedup vs batch (8-rank)",
+                       ["model", "batch", "speedup"], batch_rows))
+    print()
+    print(format_table(
+        "Fig. 18(c) -- latency/throughput under co-location (RM2-small)",
+        ["system", "trace", "co-located models", "latency (ms)",
+         "inferences/s"], tradeoff_rows))
+    # Speedup grows with rank count for every model.
+    by_model = {}
+    for name, label, _, _, speedup in config_rows:
+        by_model.setdefault(name, {})[label] = speedup
+    for speedups in by_model.values():
+        assert speedups["8-rank"] > speedups["4-rank"] > speedups["2-rank"]
+    # The 8-rank end-to-end speedups land in the paper's 2.4-4.2x regime.
+    assert 1.8 < min(s["8-rank"] for s in by_model.values())
+    assert max(s["8-rank"] for s in by_model.values()) < 7.0
+    # Speedup grows with batch size.
+    by_batch = {}
+    for name, batch, speedup in batch_rows:
+        by_batch.setdefault(name, []).append(speedup)
+    for series in by_batch.values():
+        assert series[-1] > series[0]
+    # Co-location trades latency for throughput on both systems, and RecNMP
+    # dominates the host curve.
+    host = [r for r in tradeoff_rows
+            if r[0] == "host" and r[1] == "production"]
+    nmp = [r for r in tradeoff_rows
+           if r[0] == "RecNMP-opt" and r[1] == "production"]
+    assert host[-1][4] > host[0][4] and host[-1][3] > host[0][3]
+    for host_point, nmp_point in zip(host, nmp):
+        assert nmp_point[3] < host_point[3]
+        assert nmp_point[4] > host_point[4]

@@ -1,0 +1,48 @@
+"""Headline numbers of the paper (abstract / Section V).
+
+* up to 9.8x memory latency speedup for the offloaded SLS operators,
+* up to 4.2x end-to-end throughput improvement,
+* 45.8% memory energy savings.
+
+This bench runs the full pipeline -- production-like traces, hot-entry
+profiling, table-aware scheduling, the 8-rank RecNMP-opt channel, the DRAM
+baseline, the energy model, and the end-to-end composition -- and reports
+our measured equivalents next to the paper's numbers.  Absolute parity is
+not expected (our substrate is a scaled-down simulator); the assertions
+check that each number is a large improvement of the same character.
+"""
+
+from repro.dlrm.config import RM2_LARGE
+from repro.perf.end_to_end import EndToEndModel
+
+from workloads import format_table, production_requests, run_recnmp
+
+
+def compute_headline():
+    requests = production_requests(num_tables=8, batch=8, pooling=40, seed=0)
+    sls = run_recnmp(requests, num_dimms=4, ranks_per_dimm=2,
+                     use_rank_cache=True, enable_profiling=True,
+                     scheduling_policy="table-aware")
+    end_to_end = EndToEndModel().speedup(RM2_LARGE, 256,
+                                         sls.speedup_vs_baseline)
+    rows = [
+        ("SLS memory latency speedup", round(sls.speedup_vs_baseline, 2),
+         "9.8x"),
+        ("End-to-end model speedup (RM2-large)",
+         round(end_to_end.end_to_end_speedup, 2), "4.2x"),
+        ("Memory energy savings",
+         "%.1f%%" % (100 * sls.energy_savings_fraction), "45.8%"),
+        ("RankCache hit rate", round(sls.cache_hit_rate, 3), "--"),
+    ]
+    return rows, sls, end_to_end
+
+
+def bench_headline_numbers(benchmark):
+    rows, sls, end_to_end = benchmark.pedantic(compute_headline, rounds=1,
+                                               iterations=1)
+    print()
+    print(format_table("Headline numbers (measured vs paper)",
+                       ["metric", "measured", "paper"], rows))
+    assert sls.speedup_vs_baseline > 3.0
+    assert end_to_end.end_to_end_speedup > 2.0
+    assert 0.25 < sls.energy_savings_fraction < 0.80

@@ -1,0 +1,54 @@
+"""Table I: system parameters and configurations.
+
+Regenerates the content of Table I from the simulator's configuration
+objects so that any drift between the code defaults and the paper's
+parameters is caught.
+"""
+
+from repro.core.energy import NMPEnergyParameters
+from repro.dram.system import DramSystemConfig
+from repro.dram.timing import DDR4_2400
+from repro.perf.system import SKYLAKE_SYSTEM
+
+from workloads import format_table
+
+
+def compute_table1():
+    dram = DramSystemConfig()
+    energy = NMPEnergyParameters()
+    rows = [
+        ("Processor cores", SKYLAKE_SYSTEM.num_cores, "18"),
+        ("Core frequency (GHz)", SKYLAKE_SYSTEM.frequency_ghz, "1.6"),
+        ("LLC (MB)", SKYLAKE_SYSTEM.llc_mb, "24.75"),
+        ("Memory channels", dram.num_channels, "4"),
+        ("Ranks per DIMM", dram.ranks_per_dimm, "2"),
+        ("Read queue entries", dram.queue_depth, "32"),
+        ("Peak bandwidth (GB/s)", round(dram.peak_bandwidth_gbps, 1), "76.8"),
+        ("tRC", DDR4_2400.tRC, "55"),
+        ("tRCD", DDR4_2400.tRCD, "16"),
+        ("tCL", DDR4_2400.tCL, "16"),
+        ("tRP", DDR4_2400.tRP, "16"),
+        ("tBL", DDR4_2400.tBL, "4"),
+        ("tCCD_S", DDR4_2400.tCCD_S, "4"),
+        ("tCCD_L", DDR4_2400.tCCD_L, "6"),
+        ("tRRD_S", DDR4_2400.tRRD_S, "4"),
+        ("tRRD_L", DDR4_2400.tRRD_L, "6"),
+        ("tFAW", DDR4_2400.tFAW, "26"),
+        ("DDR activate energy (nJ)", energy.dram.activate_nj, "2.1"),
+        ("DDR RD/WR energy (pJ/b)", energy.dram.read_write_pj_per_bit, "14"),
+        ("Off-chip IO energy (pJ/b)", energy.dram.offchip_io_pj_per_bit,
+         "22"),
+        ("RankCache access (pJ)", energy.rankcache_access_pj, "50"),
+        ("FP32 adder energy (pJ/op)", energy.fp32_add_pj, "7.89"),
+        ("FP32 multiplier energy (pJ/op)", energy.fp32_mult_pj, "25.2"),
+    ]
+    return rows
+
+
+def bench_table1_system_parameters(benchmark):
+    rows = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    print()
+    print(format_table("Table I -- system parameters",
+                       ["parameter", "implemented", "paper"], rows))
+    for name, implemented, paper in rows:
+        assert float(implemented) == float(paper), name

@@ -1,0 +1,43 @@
+"""Table II: RecNMP processing-unit area and power overhead.
+
+Regenerates Table II from the area/power model: RecNMP-base (no RankCache),
+RecNMP-opt (with the 128 KB-per-rank RankCache) and the published Chameleon
+numbers, plus the relative overheads quoted in the text (a few percent of
+Chameleon, and a negligible fraction of a DIMM's power budget).
+"""
+
+from repro.core.area_power import AreaPowerModel
+
+from workloads import format_table
+
+PAPER_VALUES = {
+    "RecNMP-base": (0.34, 151.3),
+    "RecNMP-opt": (0.54, 184.2),
+    "Chameleon": (8.34, 3195.2),
+}
+
+
+def compute_table2():
+    table = AreaPowerModel.comparison_table()
+    rows = []
+    for name, payload in table.items():
+        paper_area, paper_power = PAPER_VALUES[name]
+        rows.append((name, payload["area_mm2"], paper_area,
+                     payload["power_mw"], paper_power))
+    return rows
+
+
+def bench_table2_area_power(benchmark):
+    rows = benchmark.pedantic(compute_table2, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Table II -- RecNMP PU design overhead (40 nm, 250 MHz)",
+        ["configuration", "area (mm^2)", "paper area", "power (mW)",
+         "paper power"], rows))
+    by_name = {r[0]: r for r in rows}
+    for name in ("RecNMP-base", "RecNMP-opt"):
+        area, paper_area = by_name[name][1], by_name[name][2]
+        power, paper_power = by_name[name][3], by_name[name][4]
+        assert abs(area - paper_area) < 0.02
+        assert abs(power - paper_power) < 1.0
+    assert by_name["Chameleon"][1] > 10 * by_name["RecNMP-opt"][1]

@@ -1,0 +1,83 @@
+"""Shared workload builders for the benchmark harness.
+
+Every ``bench_fig*.py`` / ``bench_table*.py`` file regenerates one table or
+figure of the paper.  The workloads here are scaled-down versions of the
+paper's (smaller tables, shorter traces) so a full benchmark run finishes in
+minutes on a laptop, while preserving the access statistics that drive the
+results (lookup locality, vector sizes, pooling factors, rank counts).
+"""
+
+import numpy as np
+
+from repro.core.simulator import RecNMPConfig, RecNMPSimulator
+from repro.dlrm.operators import SLSRequest
+from repro.traces.production import make_production_table_traces
+from repro.traces.synthetic import batched_requests_from_trace, random_trace
+
+# Scaled-down workload constants (documented in EXPERIMENTS.md).
+NUM_ROWS = 20_000
+VECTOR_BYTES = 128
+BATCH_SIZE = 8
+POOLING = 40
+
+
+def address_of(table_id, row):
+    """Contiguous row-major placement of the scaled-down embedding tables."""
+    return table_id * NUM_ROWS * VECTOR_BYTES + row * VECTOR_BYTES
+
+
+def random_requests(num_tables=4, batch=BATCH_SIZE, pooling=POOLING, seed=0):
+    """One SLS request per table with uniformly random indices."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for table in range(num_tables):
+        indices = rng.integers(0, NUM_ROWS, size=batch * pooling)
+        requests.append(SLSRequest(table_id=table, indices=indices,
+                                   lengths=np.full(batch, pooling)))
+    return requests
+
+
+def production_requests(num_tables=4, batch=BATCH_SIZE, pooling=POOLING,
+                        seed=0):
+    """One SLS request per table drawn from the synthetic production traces."""
+    traces = make_production_table_traces(
+        num_lookups_per_table=batch * pooling, num_rows=NUM_ROWS,
+        num_tables=num_tables, seed=seed)
+    requests = []
+    for trace in traces:
+        requests.extend(
+            batched_requests_from_trace(trace, batch, pooling)[:1])
+    return requests
+
+
+def run_recnmp(requests, num_dimms=4, ranks_per_dimm=2, use_rank_cache=True,
+               scheduling_policy="table-aware", enable_profiling=True,
+               poolings_per_packet=8, rank_assignment="address",
+               rank_cache_kb=128, compare_baseline=True):
+    """Run one RecNMP configuration over a request list."""
+    config = RecNMPConfig(
+        num_dimms=num_dimms,
+        ranks_per_dimm=ranks_per_dimm,
+        use_rank_cache=use_rank_cache,
+        rank_cache_kb=rank_cache_kb,
+        scheduling_policy=scheduling_policy,
+        enable_hot_entry_profiling=enable_profiling,
+        poolings_per_packet=poolings_per_packet,
+        vector_size_bytes=VECTOR_BYTES,
+        rank_assignment=rank_assignment,
+    )
+    simulator = RecNMPSimulator(config, address_of=address_of)
+    return simulator.run_requests(requests, compare_baseline=compare_baseline)
+
+
+def format_table(title, headers, rows):
+    """Render a small ASCII table for the benchmark logs."""
+    widths = [max(len(str(header)),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i, header in enumerate(headers)]
+    lines = [title,
+             " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+             "-+-".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

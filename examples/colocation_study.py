@@ -1,0 +1,110 @@
+"""Model co-location study (the production-environment analysis).
+
+Recommendation inference servers co-locate several models to raise
+throughput.  This example uses the analytical performance models to study
+what that does to a single server:
+
+* how the operator mix shifts with batch size (the Fig. 4 breakdown),
+* how memory bandwidth saturates as SLS threads accumulate (Fig. 6),
+* how co-location degrades the co-located TopFC operators through cache
+  contention and how much of that RecNMP recovers (Fig. 17),
+* the latency-throughput trade-off with and without RecNMP (Fig. 18(c)).
+
+Run with:  python examples/colocation_study.py
+"""
+
+from repro.dlrm import MODEL_CONFIGS, RM2_LARGE, RM2_SMALL
+from repro.perf import (
+    BandwidthSaturationModel,
+    ColocationModel,
+    EndToEndModel,
+    OperatorLatencyModel,
+    latency_throughput_curve,
+)
+
+
+def operator_mix():
+    print("Operator mix per model (share of execution time in SLS)")
+    latency = OperatorLatencyModel()
+    print("  %-10s" % "model", end="")
+    for batch in (8, 64, 256):
+        print("%12s" % ("batch %d" % batch), end="")
+    print()
+    for name, config in MODEL_CONFIGS.items():
+        print("  %-10s" % name, end="")
+        for batch in (8, 64, 256):
+            breakdown = latency.breakdown(config, batch)
+            print("%11.0f%%" % (100 * breakdown.sls_fraction), end="")
+        print()
+    print()
+
+
+def bandwidth_saturation():
+    print("Memory bandwidth saturation (batch 256)")
+    model = BandwidthSaturationModel()
+    for threads in (1, 4, 8, 16, 30, 40):
+        print("  %2d SLS threads: %5.1f GB/s (%4.1f%% of peak), "
+              "latency %5.0f ns"
+              % (threads, model.achieved_bandwidth_gbps(threads, 256),
+                 100 * model.utilization(threads, 256),
+                 model.access_latency_ns(threads, 256)))
+    saturation = model.saturation_point(256)
+    print("  67.4%%-of-peak saturation point: %s threads" % saturation)
+    print()
+
+
+def fc_contention():
+    print("Co-located TopFC degradation and RecNMP relief")
+    colocation = ColocationModel()
+    for config in (RM2_SMALL, RM2_LARGE):
+        fc_bytes = config.fc_weight_bytes()
+        print("  %s (FC weights %.1f MB)" % (config.name, fc_bytes / 1e6))
+        for degree in (2, 4, 8):
+            baseline = colocation.baseline_slowdown(fc_bytes, degree)
+            recnmp = colocation.recnmp_slowdown(fc_bytes, degree)
+            print("    %d co-located models: baseline %.2fx slower, "
+                  "with RecNMP %.2fx (%.0f%% recovered)"
+                  % (degree, baseline, recnmp,
+                     100 * (1 - (recnmp - 1) / max(baseline - 1, 1e-9))))
+    print()
+
+
+def latency_throughput():
+    print("Latency-throughput trade-off for RM2-small (batch 64)")
+    latency = OperatorLatencyModel()
+    for label, use_recnmp, sls_speedup in (("host", False, 1.0),
+                                           ("RecNMP-opt", True, 8.0)):
+        points = latency_throughput_curve(latency, RM2_SMALL, 64,
+                                          [1, 2, 4, 8],
+                                          sls_speedup=sls_speedup,
+                                          locality_bonus=1.15,
+                                          use_recnmp=use_recnmp)
+        print("  %s" % label)
+        for point in points:
+            print("    %d model(s): latency %6.2f ms, %8.0f inferences/s"
+                  % (point["colocation"], point["latency_us"] / 1e3,
+                     point["throughput_inferences_per_s"]))
+    print()
+
+
+def end_to_end_summary():
+    print("End-to-end speedup with an 8-rank RecNMP (9.8x SLS speedup)")
+    model = EndToEndModel()
+    for name, config in MODEL_CONFIGS.items():
+        result = model.speedup(config, 256, sls_speedup=9.8,
+                               colocation_degree=4)
+        print("  %-10s %.2fx (SLS share %.0f%%, co-located FC relief %.2fx)"
+              % (name, result.end_to_end_speedup, 100 * result.sls_fraction,
+                 result.non_sls_speedup))
+
+
+def main():
+    operator_mix()
+    bandwidth_saturation()
+    fc_contention()
+    latency_throughput()
+    end_to_end_summary()
+
+
+if __name__ == "__main__":
+    main()

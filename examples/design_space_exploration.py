@@ -1,0 +1,112 @@
+"""RecNMP design-space exploration.
+
+Sweeps the main hardware and software knobs of the RecNMP design on a
+production-like SLS workload and prints the resulting memory-latency
+speedups, RankCache hit rates and the area/power cost of each hardware
+point -- the kind of study an architect would run before committing to a
+configuration:
+
+* memory channel population (DIMMs x ranks),
+* RankCache capacity (including no cache at all),
+* packet size (poolings per NMP packet),
+* scheduling policy and hot-entry profiling,
+* data layout (page colouring vs address hashing).
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.core import AreaPowerModel, RecNMPConfig, RecNMPSimulator
+from repro.dlrm.operators import SLSRequest
+from repro.traces import make_production_table_traces
+
+NUM_ROWS = 20_000
+VECTOR_BYTES = 128
+NUM_TABLES = 8
+BATCH, POOLING = 8, 40
+
+
+def address_of(table_id, row):
+    return table_id * NUM_ROWS * VECTOR_BYTES + row * VECTOR_BYTES
+
+
+def build_requests(seed=0):
+    traces = make_production_table_traces(
+        num_lookups_per_table=BATCH * POOLING, num_rows=NUM_ROWS,
+        num_tables=NUM_TABLES, seed=seed)
+    requests = []
+    for trace in traces:
+        requests.append(SLSRequest(
+            table_id=trace.table_id,
+            indices=trace.indices[:BATCH * POOLING],
+            lengths=np.full(BATCH, POOLING)))
+    return requests
+
+
+def run(requests, **overrides):
+    defaults = dict(num_dimms=4, ranks_per_dimm=2, vector_size_bytes=VECTOR_BYTES)
+    defaults.update(overrides)
+    config = RecNMPConfig(**defaults)
+    simulator = RecNMPSimulator(config, address_of=address_of)
+    return config, simulator.run_requests(requests)
+
+
+def sweep_channel_population(requests):
+    print("Channel population (RecNMP-opt, 128 KB RankCache)")
+    print("  %-8s %-10s %-10s %-12s %-12s" %
+          ("config", "speedup", "hit rate", "area (mm2)", "power (mW)"))
+    for num_dimms, ranks_per_dimm in ((1, 1), (1, 2), (2, 2), (1, 4), (4, 2)):
+        config, result = run(requests, num_dimms=num_dimms,
+                             ranks_per_dimm=ranks_per_dimm)
+        overhead = AreaPowerModel.recnmp_opt(
+            num_ranks=ranks_per_dimm).estimate()
+        print("  %-8s %-10.2f %-10.2f %-12.2f %-12.1f"
+              % ("%dx%d" % (num_dimms, ranks_per_dimm),
+                 result.speedup_vs_baseline, result.cache_hit_rate,
+                 overhead.area_mm2 * num_dimms,
+                 overhead.power_mw * num_dimms))
+    print()
+
+
+def sweep_rankcache(requests):
+    print("RankCache capacity (8-rank channel)")
+    no_cache_config, no_cache = run(requests, use_rank_cache=False)
+    print("  %-10s speedup %.2f" % ("no cache", no_cache.speedup_vs_baseline))
+    for cache_kb in (8, 32, 128, 512, 1024):
+        _, result = run(requests, rank_cache_kb=cache_kb)
+        print("  %-10s speedup %.2f   hit rate %.2f"
+              % ("%d KB" % cache_kb, result.speedup_vs_baseline,
+                 result.cache_hit_rate))
+    print()
+
+
+def sweep_software_knobs(requests):
+    print("Software co-optimisations (8-rank, 128 KB RankCache)")
+    variants = (
+        ("fcfs, no profiling", dict(scheduling_policy="fcfs",
+                                    enable_hot_entry_profiling=False)),
+        ("table-aware, no profiling", dict(scheduling_policy="table-aware",
+                                           enable_hot_entry_profiling=False)),
+        ("table-aware + profiling", dict(scheduling_policy="table-aware",
+                                         enable_hot_entry_profiling=True)),
+        ("page colouring layout", dict(rank_assignment="page-coloring")),
+        ("small packets (2 poolings)", dict(poolings_per_packet=2)),
+    )
+    for name, overrides in variants:
+        _, result = run(requests, **overrides)
+        print("  %-28s speedup %.2f   hit rate %.2f   slowest-rank share %.2f"
+              % (name, result.speedup_vs_baseline, result.cache_hit_rate,
+                 result.load_imbalance))
+    print()
+
+
+def main():
+    requests = build_requests()
+    sweep_channel_population(requests)
+    sweep_rankcache(requests)
+    sweep_software_knobs(requests)
+
+
+if __name__ == "__main__":
+    main()

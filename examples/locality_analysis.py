@@ -1,0 +1,105 @@
+"""Embedding-trace locality analysis (the Section II-F characterisation).
+
+Generates the synthetic production table traces (T1-T8), combines them the
+way co-located models interleave on one host (Comb-8 / Comb-16 / Comb-32),
+and measures:
+
+* temporal locality -- LRU hit rate sweeping cache capacity 8-64 MB,
+* spatial locality  -- hit rate sweeping the cacheline size 64-512 B,
+* the effect of the RecNMP co-optimisations (table-aware scheduling and
+  hot-entry profiling) on a 1 MB RankCache.
+
+Run with:  python examples/locality_analysis.py
+"""
+
+from repro.cache import RankCache, SetAssociativeCache
+from repro.core import HotEntryProfiler
+from repro.traces import (
+    make_combined_trace,
+    make_production_table_traces,
+    random_trace,
+)
+
+NUM_ROWS = 1_000_000
+LOOKUPS_PER_TABLE = 5_000
+VECTOR_BYTES = 64
+
+
+def address_of(table_id, row):
+    return table_id * NUM_ROWS * VECTOR_BYTES + row * VECTOR_BYTES
+
+
+def temporal_locality(workloads):
+    print("Temporal locality: LRU hit rate vs cache capacity (64 B lines)")
+    print("%-10s" % "trace", end="")
+    capacities = (8, 16, 32, 64)
+    for capacity in capacities:
+        print("%10s" % ("%d MB" % capacity), end="")
+    print()
+    for name, accesses in workloads.items():
+        print("%-10s" % name, end="")
+        for capacity in capacities:
+            cache = SetAssociativeCache(capacity * 1024 * 1024,
+                                        associativity=4)
+            cache.access_many(accesses)
+            print("%10.1f%%" % (100 * cache.hit_rate), end="")
+        print()
+    print()
+
+
+def spatial_locality(accesses):
+    print("Spatial locality: hit rate vs cacheline size (16 MB, Comb-8)")
+    for line_size in (64, 128, 256, 512):
+        cache = SetAssociativeCache(16 * 1024 * 1024,
+                                    line_size_bytes=line_size,
+                                    associativity=4)
+        cache.access_many(accesses)
+        print("  %4d B lines: %5.1f%%" % (line_size, 100 * cache.hit_rate))
+    print()
+
+
+def rankcache_optimizations(traces):
+    print("1 MB RankCache hit rate with the RecNMP co-optimisations")
+    # Baseline: tables interleaved, everything allocated in the cache.
+    interleaved = [(trace.table_id, int(row))
+                   for position in range(LOOKUPS_PER_TABLE)
+                   for trace in traces
+                   for row in [trace.indices[position]]]
+    table_aware = [(trace.table_id, int(row))
+                   for trace in traces for row in trace.indices]
+    profiler = HotEntryProfiler(threshold=2)
+    profiles = {trace.table_id: profiler.profile(trace.indices,
+                                                 trace.table_id)
+                for trace in traces}
+    scenarios = {
+        "interleaved": (interleaved, None),
+        "table-aware schedule": (table_aware, None),
+        "schedule + hot-entry profile": (table_aware, profiles),
+    }
+    for name, (order, hints) in scenarios.items():
+        cache = RankCache(capacity_bytes=1024 * 1024,
+                          vector_size_bytes=VECTOR_BYTES)
+        for table_id, row in order:
+            hint = True if hints is None else hints[table_id].is_hot(row)
+            cache.lookup(address_of(table_id, row), locality_hint=hint)
+        print("  %-30s %5.1f%%" % (name, 100 * cache.hit_rate))
+    print()
+
+
+def main():
+    traces = make_production_table_traces(
+        num_lookups_per_table=LOOKUPS_PER_TABLE, num_rows=NUM_ROWS, seed=0)
+    workloads = {"random": (random_trace(NUM_ROWS, 8 * LOOKUPS_PER_TABLE,
+                                         seed=1).indices
+                            * VECTOR_BYTES).tolist()}
+    for name, multiplier in (("Comb-8", 1), ("Comb-16", 2), ("Comb-32", 4)):
+        combined = make_combined_trace(traces, multiplier=multiplier)
+        workloads[name] = [address_of(table, row)
+                           for table, row in combined.interleaved()]
+    temporal_locality(workloads)
+    spatial_locality(workloads["Comb-8"])
+    rankcache_optimizations(traces)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: run a DLRM inference and offload its SLS operators to RecNMP.
+
+This example walks through the core workflow of the library:
+
+1. build a (scaled-down) DLRM model and run a functional inference batch,
+2. turn its embedding lookups into SLS requests,
+3. simulate the lookups on the baseline DDR4 system and on an 8-rank
+   RecNMP-opt channel,
+4. report the memory-latency speedup, RankCache hit rate, energy savings and
+   the resulting end-to-end model speedup.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import RecNMPConfig, RecNMPSimulator
+from repro.dlrm import DLRMModel, RM1_SMALL
+from repro.dlrm.config import scaled_config
+from repro.perf import EndToEndModel
+
+
+def main():
+    # ----------------------------------------------------------------- #
+    # 1. A runnable DLRM instance (tables shrunk to 4096 rows so the      #
+    #    functional model fits in memory; the architecture is RM1-small). #
+    # ----------------------------------------------------------------- #
+    config = scaled_config(RM1_SMALL, num_embedding_tables=4)
+    model = DLRMModel(config, rows_override=4096, seed=0)
+    batch_size, pooling = 8, 40
+    dense, sls_requests = model.random_inputs(batch_size,
+                                              pooling_factor=pooling)
+    output = model.forward(dense, sls_requests)
+    print("DLRM forward pass: batch of %d, mean CTR prediction %.3f"
+          % (batch_size, float(np.mean(output.predictions))))
+
+    # ----------------------------------------------------------------- #
+    # 2-3. Offload the same SLS requests to RecNMP and compare with the   #
+    #      DDR4 baseline (both cycle-level simulations).                  #
+    # ----------------------------------------------------------------- #
+    vector_bytes = config.embedding_vector_bytes
+
+    def address_of(table_id, row):
+        return model.embeddings[table_id].row_address(row)
+
+    recnmp_config = RecNMPConfig(
+        num_dimms=4, ranks_per_dimm=2,          # 8 concurrently active ranks
+        use_rank_cache=True, rank_cache_kb=128,
+        scheduling_policy="table-aware", enable_hot_entry_profiling=True,
+        vector_size_bytes=vector_bytes,
+    )
+    simulator = RecNMPSimulator(recnmp_config, address_of=address_of)
+    result = simulator.run_requests(sls_requests)
+
+    print()
+    print("RecNMP configuration: %s" % recnmp_config.label())
+    print("  embedding lookups simulated : %d" % result.num_instructions)
+    print("  DDR4 baseline               : %d cycles" % result.baseline_cycles)
+    print("  RecNMP                      : %d cycles" % result.total_cycles)
+    print("  SLS memory-latency speedup  : %.2fx" % result.speedup_vs_baseline)
+    print("  RankCache hit rate          : %.1f%%"
+          % (100 * result.cache_hit_rate))
+    print("  memory energy savings       : %.1f%%"
+          % (100 * result.energy_savings_fraction))
+
+    # ----------------------------------------------------------------- #
+    # 4. Compose the SLS speedup into an end-to-end model speedup.        #
+    # ----------------------------------------------------------------- #
+    end_to_end = EndToEndModel().speedup(RM1_SMALL, 256,
+                                         result.speedup_vs_baseline)
+    print()
+    print("End-to-end RM1-small speedup at batch 256: %.2fx "
+          "(SLS share of baseline time: %.0f%%)"
+          % (end_to_end.end_to_end_speedup, 100 * end_to_end.sls_fraction))
+
+
+if __name__ == "__main__":
+    main()

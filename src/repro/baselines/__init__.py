@@ -1,0 +1,21 @@
+"""Baseline systems RecNMP is compared against (Fig. 16).
+
+* :class:`HostBaseline` -- the CPU reading every embedding vector over the
+  conventional DDR4 channel (the normalisation point of every figure).
+* :class:`TensorDIMM` -- DIMM-level NMP that interleaves consecutive 64 B
+  blocks of a vector across DIMMs; scales with DIMM count only and has no
+  memory-side cache.
+* :class:`Chameleon` -- CGRA accelerators in the LRDIMM data buffers; also
+  DIMM-level, with additional C/A and DQ multiplexing overheads.
+"""
+
+from repro.baselines.host import HostBaseline, HostBaselineResult
+from repro.baselines.tensordimm import TensorDIMM
+from repro.baselines.chameleon import Chameleon
+
+__all__ = [
+    "HostBaseline",
+    "HostBaselineResult",
+    "TensorDIMM",
+    "Chameleon",
+]

@@ -1,0 +1,80 @@
+"""Host CPU baseline: SLS executed by the cores over the DDR4 channel.
+
+Every embedding vector crosses the pin-limited memory interface, the cores
+perform the pooling additions, and the achievable throughput is bounded by
+the channel bandwidth (Section II).  The baseline can be evaluated two ways:
+
+* trace-driven, through the cycle-level :class:`~repro.dram.system.DramSystem`
+  (used when comparing against the RecNMP cycle simulator), or
+* analytically, from the bandwidth-saturation model (used by the end-to-end
+  and co-location studies where full traces would be prohibitively long).
+"""
+
+from dataclasses import dataclass
+
+from repro.dram.system import DramSystem, DramSystemConfig
+from repro.perf.bandwidth import BandwidthSaturationModel
+
+
+@dataclass
+class HostBaselineResult:
+    """Result of running an SLS workload on the host baseline."""
+
+    cycles: int
+    latency_ns: float
+    bytes_moved: int
+    achieved_bandwidth_gbps: float
+    energy_nj: float
+    row_hit_rate: float
+
+    def as_dict(self):
+        return {
+            "cycles": self.cycles,
+            "latency_ns": self.latency_ns,
+            "bytes_moved": self.bytes_moved,
+            "achieved_bandwidth_gbps": self.achieved_bandwidth_gbps,
+            "energy_nj": self.energy_nj,
+            "row_hit_rate": self.row_hit_rate,
+        }
+
+
+class HostBaseline:
+    """CPU + conventional DDR4 execution of SLS workloads."""
+
+    def __init__(self, dram_config=None, bandwidth_model=None):
+        self.dram_config = dram_config or DramSystemConfig(num_channels=1)
+        self.bandwidth_model = bandwidth_model or BandwidthSaturationModel()
+
+    # ------------------------------------------------------------------ #
+    def run_trace(self, physical_addresses, vector_bytes=64,
+                  outstanding=32):
+        """Cycle-level execution of a physical-address lookup trace."""
+        system = DramSystem(self.dram_config)
+        result = system.run_trace(physical_addresses,
+                                  request_bytes=vector_bytes,
+                                  outstanding_per_channel=outstanding)
+        return HostBaselineResult(
+            cycles=result.cycles,
+            latency_ns=result.cycles * self.dram_config.timing.cycle_time_ns,
+            bytes_moved=result.requests * 64,   # requests are 64 B bursts
+            achieved_bandwidth_gbps=result.achieved_bandwidth_gbps,
+            energy_nj=result.energy_nj,
+            row_hit_rate=result.row_hit_rate,
+        )
+
+    # ------------------------------------------------------------------ #
+    def analytical_sls_time_us(self, num_lookups, vector_bytes=64,
+                               num_threads=30, batch_size=256):
+        """Analytical SLS execution time from the saturation model."""
+        if num_lookups < 0:
+            raise ValueError("num_lookups must be non-negative")
+        bandwidth = self.bandwidth_model.achieved_bandwidth_gbps(
+            num_threads, batch_size)
+        if bandwidth <= 0:
+            raise ValueError("achieved bandwidth must be positive")
+        return num_lookups * vector_bytes / (bandwidth * 1e9) * 1e6
+
+    @staticmethod
+    def memory_latency_speedup():
+        """The baseline's speedup over itself (the normalisation point)."""
+        return 1.0

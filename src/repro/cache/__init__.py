@@ -1,0 +1,23 @@
+"""Cache simulators.
+
+Three caches are provided:
+
+* :class:`SetAssociativeCache` -- the LRU, N-way set-associative model used
+  for the CPU-side locality characterisation of Section II-F (Fig. 7).
+* :class:`FullyAssociativeCache` -- used in the paper to isolate conflict
+  misses when sweeping cacheline size.
+* :class:`RankCache` -- the memory-side cache inside each rank-NMP module,
+  with the LocalityBit bypass behaviour of Section III-D.
+"""
+
+from repro.cache.set_associative import SetAssociativeCache, CacheStats
+from repro.cache.fully_associative import FullyAssociativeCache
+from repro.cache.rank_cache import RankCache, RankCacheStats
+
+__all__ = [
+    "SetAssociativeCache",
+    "FullyAssociativeCache",
+    "CacheStats",
+    "RankCache",
+    "RankCacheStats",
+]

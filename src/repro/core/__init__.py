@@ -1,0 +1,86 @@
+"""RecNMP core: the paper's primary contribution.
+
+This package contains the near-memory processing architecture itself:
+
+* the compressed NMP instruction format and NMP packets,
+* the packet generator (SLS operator -> NMP-Insts),
+* the HW/SW co-optimisations (table-aware packet scheduling, hot-entry
+  profiling),
+* the rank-NMP and DIMM-NMP hardware modules and the RecNMP processing unit,
+* the cycle-level RecNMP simulator and the NMP-extended memory controller,
+* the C/A-bandwidth expansion analysis,
+* the energy and area/power models.
+"""
+
+from repro.core.instruction import (
+    NMPOpcode,
+    NMPInstruction,
+    NMPPacket,
+    DDR_CMD_ACT,
+    DDR_CMD_RD,
+    DDR_CMD_PRE,
+)
+from repro.core.packet_generator import PacketGenerator, PacketGeneratorConfig
+from repro.core.scheduler import (
+    PacketScheduler,
+    fcfs_interleaved_order,
+    table_aware_order,
+)
+from repro.core.hot_entry import HotEntryProfiler, ProfileResult
+from repro.core.rank_nmp import RankNMP, RankNMPConfig, RankNMPStats
+from repro.core.dimm_nmp import DimmNMP
+from repro.core.processing_unit import RecNMPProcessingUnit
+from repro.core.simulator import (
+    RecNMPSimulator,
+    RecNMPConfig,
+    RecNMPResult,
+)
+from repro.core.memory_controller import NMPMemoryController
+from repro.core.multi_channel import MultiChannelRecNMP, MultiChannelResult
+from repro.core.host_interface import (
+    MemoryRegion,
+    NMPMemoryAllocator,
+    NMPKernel,
+    RecNMPRuntime,
+    SLSExecution,
+)
+from repro.core.ca_bandwidth import CABandwidthModel
+from repro.core.energy import RecNMPEnergyModel, NMPEnergyParameters
+from repro.core.area_power import AreaPowerModel, OverheadReport
+
+__all__ = [
+    "NMPOpcode",
+    "NMPInstruction",
+    "NMPPacket",
+    "DDR_CMD_ACT",
+    "DDR_CMD_RD",
+    "DDR_CMD_PRE",
+    "PacketGenerator",
+    "PacketGeneratorConfig",
+    "PacketScheduler",
+    "fcfs_interleaved_order",
+    "table_aware_order",
+    "HotEntryProfiler",
+    "ProfileResult",
+    "RankNMP",
+    "RankNMPConfig",
+    "RankNMPStats",
+    "DimmNMP",
+    "RecNMPProcessingUnit",
+    "RecNMPSimulator",
+    "RecNMPConfig",
+    "RecNMPResult",
+    "NMPMemoryController",
+    "MultiChannelRecNMP",
+    "MultiChannelResult",
+    "MemoryRegion",
+    "NMPMemoryAllocator",
+    "NMPKernel",
+    "RecNMPRuntime",
+    "SLSExecution",
+    "CABandwidthModel",
+    "RecNMPEnergyModel",
+    "NMPEnergyParameters",
+    "AreaPowerModel",
+    "OverheadReport",
+]

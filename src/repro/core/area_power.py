@@ -1,0 +1,133 @@
+"""Area and power overhead model (Table II).
+
+The paper reports, for a 40 nm implementation at 250 MHz:
+
+* RecNMP-base (no RankCache): 0.34 mm^2, 151.3 mW per PU,
+* RecNMP-opt  (with RankCache): 0.54 mm^2, 184.2 mW per PU,
+* Chameleon (8 CGRA cores per DIMM): 8.34 mm^2, 3138.6-3251.8 mW.
+
+The model decomposes the PU into its blocks (arithmetic datapath, control,
+instruction buffers, RankCache SRAM) so configurations other than the
+published ones (e.g. different cache sizes or rank counts) can be estimated,
+while the defaults reproduce Table II exactly.
+"""
+
+from dataclasses import dataclass
+
+
+# Published reference numbers (Table II).
+CHAMELEON_AREA_MM2 = 8.34
+CHAMELEON_POWER_MW = (3138.6, 3251.8)
+TYPICAL_DIMM_POWER_W = 13.0
+TYPICAL_BUFFER_CHIP_AREA_MM2 = 100.0
+
+
+@dataclass
+class OverheadReport:
+    """Area/power estimate of one RecNMP processing unit."""
+
+    area_mm2: float
+    power_mw: float
+    breakdown: dict
+
+    def area_fraction_of_buffer_chip(self,
+                                     buffer_area=TYPICAL_BUFFER_CHIP_AREA_MM2):
+        """Fraction of a typical DIMM buffer chip the PU occupies."""
+        return self.area_mm2 / buffer_area
+
+    def power_fraction_of_dimm(self, dimm_power_w=TYPICAL_DIMM_POWER_W):
+        """Fraction of a typical DIMM's power budget the PU consumes."""
+        return (self.power_mw / 1_000.0) / dimm_power_w
+
+    def as_dict(self):
+        return {
+            "area_mm2": self.area_mm2,
+            "power_mw": self.power_mw,
+            "breakdown": dict(self.breakdown),
+            "area_fraction_of_buffer_chip":
+                self.area_fraction_of_buffer_chip(),
+            "power_fraction_of_dimm": self.power_fraction_of_dimm(),
+        }
+
+
+class AreaPowerModel:
+    """Estimate PU area and power from its configuration.
+
+    The block-level constants are calibrated so the default 2-rank PU with a
+    128 KB RankCache per rank reproduces the Table II totals.
+    """
+
+    # Per-rank datapath + control logic (40 nm, 250 MHz).
+    _LOGIC_AREA_PER_RANK_MM2 = 0.14
+    _LOGIC_POWER_PER_RANK_MW = 65.0
+    # DIMM-NMP shared front-end (protocol engine, adder tree, buffers).
+    _DIMM_AREA_MM2 = 0.06
+    _DIMM_POWER_MW = 21.3
+    # RankCache SRAM per KB (Cacti-style scaling).
+    _SRAM_AREA_PER_KB_MM2 = 0.20 / 256.0
+    _SRAM_POWER_PER_KB_MW = 32.9 / 256.0
+
+    def __init__(self, num_ranks=2, rankcache_kb=128, with_cache=True):
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        if rankcache_kb < 0:
+            raise ValueError("rankcache_kb must be non-negative")
+        self.num_ranks = int(num_ranks)
+        self.rankcache_kb = float(rankcache_kb) if with_cache else 0.0
+        self.with_cache = bool(with_cache)
+
+    def estimate(self):
+        """Return an :class:`OverheadReport` for the configured PU."""
+        logic_area = self._LOGIC_AREA_PER_RANK_MM2 * self.num_ranks
+        logic_power = self._LOGIC_POWER_PER_RANK_MW * self.num_ranks
+        sram_area = (self._SRAM_AREA_PER_KB_MM2 * self.rankcache_kb
+                     * self.num_ranks)
+        sram_power = (self._SRAM_POWER_PER_KB_MW * self.rankcache_kb
+                      * self.num_ranks)
+        area = self._DIMM_AREA_MM2 + logic_area + sram_area
+        power = self._DIMM_POWER_MW + logic_power + sram_power
+        return OverheadReport(
+            area_mm2=round(area, 3),
+            power_mw=round(power, 1),
+            breakdown={
+                "dimm_nmp_area_mm2": self._DIMM_AREA_MM2,
+                "rank_logic_area_mm2": logic_area,
+                "rankcache_area_mm2": sram_area,
+                "dimm_nmp_power_mw": self._DIMM_POWER_MW,
+                "rank_logic_power_mw": logic_power,
+                "rankcache_power_mw": sram_power,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def recnmp_base(cls, num_ranks=2):
+        """The RecNMP-base configuration of Table II (no RankCache)."""
+        return cls(num_ranks=num_ranks, rankcache_kb=0, with_cache=False)
+
+    @classmethod
+    def recnmp_opt(cls, num_ranks=2, rankcache_kb=128):
+        """The RecNMP-opt configuration of Table II (with RankCache)."""
+        return cls(num_ranks=num_ranks, rankcache_kb=rankcache_kb,
+                   with_cache=True)
+
+    @staticmethod
+    def chameleon_reference():
+        """Published Chameleon (8 CGRA accelerators) overhead for comparison."""
+        return OverheadReport(
+            area_mm2=CHAMELEON_AREA_MM2,
+            power_mw=sum(CHAMELEON_POWER_MW) / 2.0,
+            breakdown={"source": "Table II, Chameleon column"},
+        )
+
+    @staticmethod
+    def comparison_table():
+        """Reproduce Table II as a dictionary of configurations."""
+        base = AreaPowerModel.recnmp_base().estimate()
+        opt = AreaPowerModel.recnmp_opt().estimate()
+        chameleon = AreaPowerModel.chameleon_reference()
+        return {
+            "RecNMP-base": base.as_dict(),
+            "RecNMP-opt": opt.as_dict(),
+            "Chameleon": chameleon.as_dict(),
+        }

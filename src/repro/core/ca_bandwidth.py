@@ -1,0 +1,138 @@
+"""Command/address (C/A) bandwidth analysis (Section III-B, Fig. 9).
+
+Sparse embedding lookups have low spatial locality, so nearly every 64 B
+vector read costs a full PRE+ACT+RD command sequence.  On a conventional
+DDR4 interface that consumes most of the C/A bandwidth and caps how many
+ranks can be activated concurrently.  RecNMP's compressed NMP-Inst packs the
+whole per-vector command sequence into one instruction transferred at double
+data rate, which expands the effective C/A bandwidth by up to 8x for 64 B
+vectors (more for larger vectors).
+
+This module provides a small analytical model of both interfaces so the
+expansion factor and the maximum number of concurrently-activatable ranks
+can be computed and tested.
+"""
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DDR4_2400
+
+
+@dataclass
+class CABandwidthModel:
+    """Analytical model of the C/A interface usage.
+
+    Attributes
+    ----------
+    timing:
+        DDR4 timing (only the burst length matters here).
+    commands_per_vector_conventional:
+        DDR commands needed per vector on the conventional interface when
+        spatial locality is low (PRE + ACT + one RD per 64 B burst).
+    nmp_insts_per_cycle:
+        Compressed NMP-Insts transferable per DRAM cycle (double data rate
+        over the 84-pin C/A+DQ interface -> 2 per cycle).
+    """
+
+    timing: object = None
+    nmp_insts_per_cycle: float = 2.0
+
+    def __post_init__(self):
+        if self.timing is None:
+            self.timing = DDR4_2400
+        if self.nmp_insts_per_cycle <= 0:
+            raise ValueError("nmp_insts_per_cycle must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Conventional DDR interface                                          #
+    # ------------------------------------------------------------------ #
+    def conventional_commands_per_vector(self, vector_bytes=64,
+                                         row_hit_fraction=0.0):
+        """Average DDR commands per vector on the conventional interface.
+
+        A row miss costs PRE + ACT + (vector_bytes/64) RDs; a row hit only
+        the RDs.  ``row_hit_fraction`` is the fraction of vectors that hit in
+        the row buffer (0-3 consecutive hits in production -> small).
+        """
+        if vector_bytes <= 0 or vector_bytes % 64:
+            raise ValueError("vector_bytes must be a positive multiple of 64")
+        if not 0.0 <= row_hit_fraction <= 1.0:
+            raise ValueError("row_hit_fraction must be in [0, 1]")
+        reads = vector_bytes // 64
+        miss_commands = 2 + reads
+        hit_commands = reads
+        return (row_hit_fraction * hit_commands
+                + (1.0 - row_hit_fraction) * miss_commands)
+
+    def conventional_ca_utilization(self, vector_bytes=64,
+                                    row_hit_fraction=0.0):
+        """Fraction of C/A cycles consumed per data-burst window.
+
+        In the ideal bank-interleaved case one 64 B transfer occupies the
+        data bus for tBL cycles; the command overhead is the commands per
+        vector divided by the data cycles available (one command slot per
+        cycle).  The paper's worst case (64 B vectors, no locality) consumes
+        75 % of the C/A bandwidth and cannot feed more than one rank.
+        """
+        commands = self.conventional_commands_per_vector(vector_bytes,
+                                                         row_hit_fraction)
+        data_cycles = (vector_bytes // 64) * self.timing.tBL
+        return commands / data_cycles
+
+    def conventional_max_parallel_ranks(self, vector_bytes=64,
+                                        row_hit_fraction=0.0):
+        """Ranks that the conventional C/A bus can keep busy concurrently."""
+        utilization = self.conventional_ca_utilization(vector_bytes,
+                                                       row_hit_fraction)
+        return max(1, int(1.0 / utilization))
+
+    # ------------------------------------------------------------------ #
+    # Compressed NMP-Inst interface                                        #
+    # ------------------------------------------------------------------ #
+    def nmp_insts_per_burst_window(self, vector_bytes=64):
+        """NMP-Insts deliverable during one vector's data-burst window."""
+        data_cycles = (vector_bytes // 64) * self.timing.tBL
+        return self.nmp_insts_per_cycle * data_cycles
+
+    def nmp_max_parallel_ranks(self, vector_bytes=64):
+        """Ranks the compressed instruction stream can keep busy.
+
+        One NMP-Inst feeds one vector on one rank; during the tBL-cycle
+        window of a single vector the interface delivers
+        ``nmp_insts_per_burst_window`` instructions, i.e. that many ranks can
+        be performing lookups concurrently (8 for 64 B vectors).
+        """
+        return int(self.nmp_insts_per_burst_window(vector_bytes))
+
+    def expansion_factor(self, vector_bytes=64, row_hit_fraction=0.0):
+        """C/A bandwidth expansion of NMP-Inst vs conventional commands.
+
+        Defined as the ratio of concurrently-sustainable ranks between the
+        compressed interface and the conventional one: 8x for 64 B vectors
+        with no locality (8 ranks vs 1), higher for larger vectors because a
+        single NMP-Inst then covers several data bursts.
+        """
+        conventional = self.conventional_max_parallel_ranks(
+            vector_bytes, row_hit_fraction)
+        compressed = self.nmp_max_parallel_ranks(vector_bytes)
+        return compressed / conventional
+
+    def summary(self, vector_bytes=64, row_hit_fraction=0.0):
+        """Dictionary summary used by tests and the Table/figure benches."""
+        return {
+            "vector_bytes": vector_bytes,
+            "conventional_commands_per_vector":
+                self.conventional_commands_per_vector(vector_bytes,
+                                                      row_hit_fraction),
+            "conventional_ca_utilization":
+                self.conventional_ca_utilization(vector_bytes,
+                                                 row_hit_fraction),
+            "conventional_max_parallel_ranks":
+                self.conventional_max_parallel_ranks(vector_bytes,
+                                                     row_hit_fraction),
+            "nmp_max_parallel_ranks":
+                self.nmp_max_parallel_ranks(vector_bytes),
+            "expansion_factor": self.expansion_factor(vector_bytes,
+                                                      row_hit_fraction),
+            "instruction_bits": 79,
+        }

@@ -1,0 +1,133 @@
+"""DIMM-NMP module (Fig. 8(b)).
+
+The DIMM-NMP module sits in the DIMM buffer chip: it receives NMP-Insts over
+the DIMM interface, demultiplexes them to the rank-NMP modules by Rank-ID,
+buffers the per-rank partial sums, and reduces them with an element-wise
+adder tree before returning the final DIMM.Sum to the host.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.rank_nmp import RankNMP, RankNMPConfig
+
+
+@dataclass
+class DimmNMPStats:
+    """Counters of one DIMM-NMP module."""
+
+    packets: int = 0
+    instructions_dispatched: int = 0
+    psum_reductions: int = 0
+    sum_transfers: int = 0
+    idle_dispatch_cycles: int = 0
+
+
+class DimmNMP:
+    """One DIMM-NMP module plus its rank-NMP children.
+
+    Parameters
+    ----------
+    num_ranks:
+        Ranks on the DIMM (each gets a rank-NMP module).
+    rank_config:
+        The shared :class:`RankNMPConfig`.
+    dispatch_rate_insts_per_cycle:
+        NMP-Insts the DIMM interface can deliver per DRAM cycle.  The
+        compressed format sustains two instructions per cycle (double data
+        rate on the C/A+DQ pins, Fig. 9(b)).
+    adder_tree_latency_cycles:
+        Latency of the final element-wise adder tree reduction.
+    sum_transfer_cycles:
+        Cycles to return one pooled result over the DIMM interface.
+    """
+
+    def __init__(self, num_ranks=2, rank_config=None,
+                 dispatch_rate_insts_per_cycle=2.0,
+                 adder_tree_latency_cycles=3, sum_transfer_cycles=1,
+                 dimm_index=0):
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        if dispatch_rate_insts_per_cycle <= 0:
+            raise ValueError("dispatch rate must be positive")
+        self.dimm_index = dimm_index
+        self.rank_config = rank_config or RankNMPConfig()
+        self.num_ranks = int(num_ranks)
+        self.rank_nmps = [RankNMP(self.rank_config, rank_index=r)
+                          for r in range(self.num_ranks)]
+        self.dispatch_rate = float(dispatch_rate_insts_per_cycle)
+        self.adder_tree_latency_cycles = int(adder_tree_latency_cycles)
+        self.sum_transfer_cycles = int(sum_transfer_cycles)
+        self.stats = DimmNMPStats()
+
+    # ------------------------------------------------------------------ #
+    def rank_of_instruction(self, instruction):
+        """Rank-ID selection from the Daddr (round-robin over 64 B blocks).
+
+        The packet generator's address layout interleaves consecutive
+        vectors across ranks unless page colouring pins them, so the rank is
+        simply a field of the block address modulo the rank count.
+        """
+        return int(instruction.daddr) % self.num_ranks
+
+    def execute_packet(self, packet, start_cycle=0, rank_of=None):
+        """Execute one NMP packet; returns (completion_cycle, per_rank_last).
+
+        ``rank_of`` optionally overrides rank selection (e.g. the simulator
+        passes a mapping-aware callable).  The packet completes when the
+        slowest rank finishes and the adder tree + sum transfer drain.
+        """
+        self.stats.packets += 1
+        rank_instructions = [[] for _ in range(self.num_ranks)]
+        rank_arrivals = [[] for _ in range(self.num_ranks)]
+        for position, instruction in enumerate(packet.instructions):
+            rank = (rank_of(instruction) if rank_of is not None
+                    else self.rank_of_instruction(instruction))
+            if not 0 <= rank < self.num_ranks:
+                raise ValueError("instruction mapped to invalid rank %d"
+                                 % rank)
+            arrival = start_cycle + int(position / self.dispatch_rate)
+            rank_instructions[rank].append(instruction)
+            rank_arrivals[rank].append(arrival)
+            self.stats.instructions_dispatched += 1
+        per_rank_last = []
+        for rank_index, rank_nmp in enumerate(self.rank_nmps):
+            if not rank_instructions[rank_index]:
+                per_rank_last.append(start_cycle)
+                continue
+            last = rank_nmp.execute_instructions(
+                rank_instructions[rank_index],
+                arrival_cycles=rank_arrivals[rank_index])
+            per_rank_last.append(last)
+        slowest = max(per_rank_last) if per_rank_last else start_cycle
+        self.stats.psum_reductions += packet.num_poolings
+        self.stats.sum_transfers += packet.num_poolings
+        completion = (slowest + self.adder_tree_latency_cycles
+                      + self.sum_transfer_cycles * packet.num_poolings)
+        return completion, per_rank_last
+
+    # ------------------------------------------------------------------ #
+    def rank_load_distribution(self, packet, rank_of=None):
+        """Instruction counts per rank for one packet (load-balance metric)."""
+        counts = [0] * self.num_ranks
+        for instruction in packet.instructions:
+            rank = (rank_of(instruction) if rank_of is not None
+                    else self.rank_of_instruction(instruction))
+            counts[rank] += 1
+        return counts
+
+    def aggregate_stats(self):
+        """Combine DIMM- and rank-level statistics into one dictionary."""
+        ranks = [rank.stats.as_dict() for rank in self.rank_nmps]
+        return {
+            "packets": self.stats.packets,
+            "instructions_dispatched": self.stats.instructions_dispatched,
+            "psum_reductions": self.stats.psum_reductions,
+            "sum_transfers": self.stats.sum_transfers,
+            "ranks": ranks,
+        }
+
+    def reset(self):
+        """Reset all rank-NMP modules and DIMM statistics."""
+        for rank_nmp in self.rank_nmps:
+            rank_nmp.reset()
+        self.stats = DimmNMPStats()

@@ -1,0 +1,132 @@
+"""Hot-entry profiling (Section III-D).
+
+Before issuing the SLS requests of a batch, the host profiles the index
+vector and marks the rows that repeat at least ``threshold`` times within
+the batch.  Instructions touching those rows carry a set LocalityBit and are
+allocated in the RankCache; all other lookups bypass it, which prevents
+cold vectors from evicting hot ones.  The paper sweeps the threshold and
+picks the value with the highest cache hit rate; profiling costs < 2 % of
+end-to-end execution time.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ProfileResult:
+    """Output of profiling one batch of embedding lookups."""
+
+    table_id: int
+    threshold: int
+    hot_rows: set = field(default_factory=set)
+    access_counts: dict = field(default_factory=dict)
+
+    @property
+    def num_hot_rows(self):
+        return len(self.hot_rows)
+
+    @property
+    def hot_access_fraction(self):
+        """Fraction of accesses that land on hot rows."""
+        total = sum(self.access_counts.values())
+        if not total:
+            return 0.0
+        hot = sum(count for row, count in self.access_counts.items()
+                  if row in self.hot_rows)
+        return hot / total
+
+    def is_hot(self, row_index):
+        """True if the row was marked hot by the profiler."""
+        return int(row_index) in self.hot_rows
+
+
+class HotEntryProfiler:
+    """Mark embedding rows that repeat within a batch of lookups.
+
+    Parameters
+    ----------
+    threshold:
+        A row is hot if it appears at least ``threshold`` times in the
+        profiled batch (the paper's ``> t times`` criterion; we use >=).
+    """
+
+    def __init__(self, threshold=2):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+
+    def profile(self, indices, table_id=0):
+        """Profile one batch of row indices; returns a :class:`ProfileResult`."""
+        indices = np.asarray(indices, dtype=np.int64)
+        counts = Counter(int(i) for i in indices)
+        hot_rows = {row for row, count in counts.items()
+                    if count >= self.threshold}
+        return ProfileResult(table_id=table_id, threshold=self.threshold,
+                             hot_rows=hot_rows, access_counts=dict(counts))
+
+    def profile_requests(self, requests):
+        """Profile a list of :class:`~repro.dlrm.operators.SLSRequest`.
+
+        Indices of requests targeting the same table are profiled together
+        (they execute within the same batch window).  Returns a dictionary
+        mapping table id to :class:`ProfileResult`.
+        """
+        per_table = {}
+        for request in requests:
+            per_table.setdefault(request.table_id, []).append(request.indices)
+        results = {}
+        for table_id, index_lists in per_table.items():
+            combined = np.concatenate(index_lists) if index_lists else \
+                np.empty(0, dtype=np.int64)
+            results[table_id] = self.profile(combined, table_id=table_id)
+        return results
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def sweep_threshold(cls, indices, cache, address_of, thresholds=(1, 2, 3,
+                                                                     4, 6, 8)):
+        """Pick the threshold that maximises RankCache hit rate.
+
+        Replays the index stream through a fresh copy of ``cache`` for every
+        candidate threshold.  ``address_of`` maps a row index to the DRAM
+        address used as the cache key.  Returns ``(best_threshold,
+        {threshold: hit_rate})``.
+        """
+        import copy
+
+        indices = np.asarray(indices, dtype=np.int64)
+        results = {}
+        for threshold in thresholds:
+            profiler = cls(threshold=threshold)
+            profile = profiler.profile(indices)
+            trial_cache = copy.deepcopy(cache)
+            trial_cache.reset_stats()
+            trial_cache.flush()
+            for row in indices:
+                trial_cache.lookup(address_of(int(row)),
+                                   locality_hint=profile.is_hot(row))
+            results[threshold] = trial_cache.hit_rate
+        best = max(results, key=results.get)
+        return best, results
+
+    def profiling_overhead_fraction(self, batch_lookups,
+                                    lookups_per_second=1e9,
+                                    batch_time_seconds=None):
+        """Estimate profiling cost as a fraction of end-to-end time.
+
+        Counting index occurrences is one vectorised pass over the index
+        array (about a nanosecond per index); for realistic end-to-end batch
+        times the cost stays below the 2 % budget quoted in the paper.
+        ``batch_time_seconds`` defaults to a conservative end-to-end model
+        time of 256 B per lookup at 4 GB/s (memory-bound SLS plus the FC and
+        framework time around it).
+        """
+        if batch_lookups < 0:
+            raise ValueError("batch_lookups must be non-negative")
+        profile_time = batch_lookups / lookups_per_second
+        if batch_time_seconds is None:
+            batch_time_seconds = max(batch_lookups * 256 / 4e9, 1e-9)
+        return profile_time / (profile_time + batch_time_seconds)

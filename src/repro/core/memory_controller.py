@@ -1,0 +1,154 @@
+"""Host-side memory controller with the NMP extension (Fig. 10(d)).
+
+The NMP extension adds, next to the regular FR-FCFS read/write queues, an
+NMP packet queue with its own scheduling and arbitration: packets from
+parallel cores are queued, scheduled (optionally table-aware), decoded into
+NMP-Insts, translated from physical to DRAM addresses, and streamed to the
+RecNMP processing units over the channel.  The FR-FCFS reordering applies
+*within* a packet only, never across packets, so partial-sum accumulation
+counters stay consistent.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.instruction import NMPInstruction
+from repro.core.scheduler import PacketScheduler
+
+
+@dataclass
+class NMPControllerStats:
+    """Counters of the NMP-extended memory controller."""
+
+    packets_received: int = 0
+    packets_issued: int = 0
+    instructions_issued: int = 0
+    counter_configurations: int = 0
+    per_rank_instructions: dict = field(default_factory=dict)
+
+
+class NMPMemoryController:
+    """Queue, schedule and dispatch NMP packets to a RecNMP channel.
+
+    Parameters
+    ----------
+    num_ranks:
+        Channel-wide rank count of the attached RecNMP channel.
+    scheduling_policy:
+        ``"fcfs"`` or ``"table-aware"`` (Section III-D).
+    rank_of_address:
+        Callable mapping a physical byte address to a channel-wide rank
+        index; defaults to 64 B-block interleaving across ranks.
+    reorder_window:
+        FR-FCFS reordering window *within* a packet: instructions to the
+        same DRAM row within the window are grouped to increase row-buffer
+        hits (the host-side controller does the heavy lifting of request
+        reordering per the paper).
+    """
+
+    def __init__(self, num_ranks=8, scheduling_policy="table-aware",
+                 rank_of_address=None, reorder_window=16):
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        if reorder_window < 1:
+            raise ValueError("reorder_window must be >= 1")
+        self.num_ranks = int(num_ranks)
+        self.scheduler = PacketScheduler(policy=scheduling_policy)
+        if rank_of_address is None:
+            rank_of_address = lambda address: \
+                (address // 64) % self.num_ranks  # noqa: E731
+        self.rank_of_address = rank_of_address
+        self.reorder_window = int(reorder_window)
+        self.stats = NMPControllerStats()
+
+    # ------------------------------------------------------------------ #
+    def submit(self, packets):
+        """Submit the packet stream of one core / SLS thread."""
+        packets = list(packets)
+        self.scheduler.add_source(packets)
+        self.stats.packets_received += len(packets)
+
+    def rank_of_instruction(self, instruction):
+        """Channel-wide rank index an NMP-Inst is routed to."""
+        return self.rank_of_address(instruction.daddr * 64)
+
+    def _reorder_within_packet(self, packet):
+        """FR-FCFS-style reordering of instructions inside one packet.
+
+        Within a sliding window, instructions that target an already-open
+        row (same row as the previous instruction to that rank) are hoisted
+        to issue consecutively.  Ordering across PsumTags is irrelevant for
+        correctness because each accumulates into its own register.
+        """
+        instructions = list(packet.instructions)
+        if len(instructions) <= 2:
+            return instructions
+        reordered = []
+        window = instructions[:]
+        last_row_per_rank = {}
+        while window:
+            horizon = window[:self.reorder_window]
+            chosen_index = 0
+            for index, inst in enumerate(horizon):
+                rank = self.rank_of_instruction(inst)
+                row = inst.daddr // 128      # 128 x 64 B columns per row
+                if last_row_per_rank.get(rank) == row:
+                    chosen_index = index
+                    break
+            chosen = window.pop(chosen_index)
+            rank = self.rank_of_instruction(chosen)
+            last_row_per_rank[rank] = chosen.daddr // 128
+            reordered.append(chosen)
+        return reordered
+
+    # ------------------------------------------------------------------ #
+    def dispatch(self, channel, reorder=True):
+        """Schedule all submitted packets and execute them on ``channel``.
+
+        Returns ``(total_cycles, per_packet_completions)`` where completions
+        are measured relative to each packet's own start (latency), and the
+        packets are issued back to back (the channel pipeline overlaps the
+        rank work of consecutive packets through the rank-NMP state).
+        """
+        order = self.scheduler.schedule()
+        per_packet = []
+        current_cycle = 0
+        for packet in order:
+            instructions = (self._reorder_within_packet(packet) if reorder
+                            else list(packet.instructions))
+            issue_packet = _ReorderedPacketView(packet, instructions)
+            self.stats.counter_configurations += 1
+            completion = channel.execute_packet(
+                issue_packet, start_cycle=current_cycle,
+                rank_of_instruction=self.rank_of_instruction)
+            per_packet.append(completion - current_cycle)
+            for instruction in instructions:
+                rank = self.rank_of_instruction(instruction)
+                self.stats.per_rank_instructions[rank] = \
+                    self.stats.per_rank_instructions.get(rank, 0) + 1
+            self.stats.instructions_issued += len(instructions)
+            self.stats.packets_issued += 1
+            current_cycle = completion
+        return current_cycle, per_packet
+
+    def reset(self):
+        """Clear queued packets and statistics."""
+        self.scheduler.clear()
+        self.stats = NMPControllerStats()
+
+
+class _ReorderedPacketView:
+    """A lightweight packet proxy exposing reordered instructions."""
+
+    def __init__(self, packet, instructions):
+        self._packet = packet
+        self.instructions = instructions
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __getattr__(self, name):
+        return getattr(self._packet, name)
+
+    @property
+    def num_poolings(self):
+        return len({inst.psum_tag for inst in self.instructions})

@@ -1,0 +1,138 @@
+"""Multi-channel RecNMP coordination.
+
+A production server has several memory channels (four in Table I), each of
+which can be populated with RecNMP-equipped DIMMs.  The paper notes that
+partial sums "could be accumulated across multiple RecNMP PUs with software
+coordination" and that multiple DDR4 channels "can also be utilized with
+software coordination".  This module provides that coordination layer:
+
+* embedding tables are distributed over the channels (round-robin by table,
+  which keeps each SLS operator's lookups on a single channel and lets the
+  channels run independently), and
+* a batch of SLS requests is dispatched to the per-channel simulators, which
+  execute concurrently in time -- the batch finishes when the slowest
+  channel finishes -- while latency, energy and cache statistics aggregate
+  across channels.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.simulator import RecNMPConfig, RecNMPSimulator
+
+
+@dataclass
+class MultiChannelResult:
+    """Aggregate result of one multi-channel dispatch."""
+
+    total_cycles: int
+    per_channel_cycles: list
+    per_channel_instructions: list
+    baseline_cycles: int = 0
+    speedup_vs_baseline: float = 0.0
+    energy_nj: float = 0.0
+    baseline_energy_nj: float = 0.0
+    cache_hit_rate: float = 0.0
+    channel_results: list = field(default_factory=list)
+
+    @property
+    def num_channels(self):
+        return len(self.per_channel_cycles)
+
+    @property
+    def channel_utilization(self):
+        """Fraction of lookups on the busiest channel (1/num_channels ideal)."""
+        total = sum(self.per_channel_instructions)
+        if not total:
+            return 0.0
+        return max(self.per_channel_instructions) / total
+
+
+class MultiChannelRecNMP:
+    """Software coordinator for RecNMP PUs across several memory channels.
+
+    Parameters
+    ----------
+    num_channels:
+        Memory channels populated with RecNMP DIMMs (Table I: 4).
+    channel_config:
+        The per-channel :class:`RecNMPConfig` (all channels identical).
+    address_of:
+        Callable ``(table_id, row) -> physical byte address`` shared by all
+        channels (the channel selection is by table, not by address bits,
+        so one SLS operator never straddles channels).
+    """
+
+    def __init__(self, num_channels=4, channel_config=None, address_of=None):
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        self.num_channels = int(num_channels)
+        self.channel_config = channel_config or RecNMPConfig()
+        self.simulators = [
+            RecNMPSimulator(self.channel_config, address_of=address_of)
+            for _ in range(self.num_channels)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def channel_of_table(self, table_id):
+        """Channel a table (and therefore its SLS operators) is placed on."""
+        if table_id < 0:
+            raise ValueError("table_id must be non-negative")
+        return int(table_id) % self.num_channels
+
+    def partition_requests(self, requests):
+        """Split a request list into per-channel lists by table placement."""
+        partitions = [[] for _ in range(self.num_channels)]
+        for request in requests:
+            partitions[self.channel_of_table(request.table_id)].append(request)
+        return partitions
+
+    # ------------------------------------------------------------------ #
+    def run_requests(self, requests, compare_baseline=True):
+        """Dispatch a batch of SLS requests across all channels."""
+        partitions = self.partition_requests(requests)
+        channel_results = []
+        per_channel_cycles = []
+        per_channel_instructions = []
+        for simulator, channel_requests in zip(self.simulators, partitions):
+            if not channel_requests:
+                per_channel_cycles.append(0)
+                per_channel_instructions.append(0)
+                channel_results.append(None)
+                continue
+            result = simulator.run_requests(channel_requests,
+                                            compare_baseline=compare_baseline)
+            channel_results.append(result)
+            per_channel_cycles.append(result.total_cycles)
+            per_channel_instructions.append(result.num_instructions)
+        executed = [r for r in channel_results if r is not None]
+        if not executed:
+            raise ValueError("no requests were dispatched")
+        total_cycles = max(per_channel_cycles)
+        aggregate = MultiChannelResult(
+            total_cycles=total_cycles,
+            per_channel_cycles=per_channel_cycles,
+            per_channel_instructions=per_channel_instructions,
+            channel_results=channel_results,
+        )
+        aggregate.energy_nj = sum(r.energy_nj for r in executed)
+        lookups = sum(r.num_instructions for r in executed)
+        if lookups:
+            aggregate.cache_hit_rate = sum(
+                r.cache_hit_rate * r.num_instructions for r in executed
+            ) / lookups
+        if compare_baseline:
+            # The host baseline also spreads the tables over its channels, so
+            # the baseline batch time is the slowest channel's baseline time.
+            aggregate.baseline_cycles = max(r.baseline_cycles
+                                            for r in executed)
+            aggregate.baseline_energy_nj = sum(r.baseline_energy_nj
+                                               for r in executed)
+            if aggregate.total_cycles:
+                aggregate.speedup_vs_baseline = (aggregate.baseline_cycles
+                                                 / aggregate.total_cycles)
+        return aggregate
+
+    def reset(self):
+        """Reset every channel's simulator state."""
+        for simulator in self.simulators:
+            simulator.reset()

@@ -1,0 +1,204 @@
+"""Packet generator: turn SLS operator calls into packets of NMP-Insts.
+
+This module reproduces the software/memory-controller pipeline of Fig. 10 and
+Fig. 13: physical addresses are generated for every embedding lookup (via the
+simplified OS page mapping), the DDR command tags (ACT/RD/PRE presence) are
+set from the relative position of consecutive accesses, the LocalityBit is
+filled in from hot-entry profiling, and the lookups are grouped into NMP
+packets of a configurable number of poolings (bounded by the 4-bit PsumTag).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hot_entry import HotEntryProfiler
+from repro.core.instruction import (
+    DDR_CMD_ACT,
+    DDR_CMD_PRE,
+    DDR_CMD_RD,
+    NMPInstruction,
+    NMPOpcode,
+    NMPPacket,
+)
+
+
+@dataclass
+class PacketGeneratorConfig:
+    """Configuration of packet generation.
+
+    Attributes
+    ----------
+    poolings_per_packet:
+        How many pooling operations share one NMP packet (1-16; the paper
+        sweeps 1-8 in Fig. 14(a)).
+    vector_size_bytes:
+        Embedding vector size (64-256 B in production).
+    row_buffer_bytes:
+        DRAM row size used to decide whether consecutive vectors share a row
+        (and therefore can skip ACT/PRE).
+    enable_hot_entry_profiling:
+        If True the LocalityBit is set from a :class:`HotEntryProfiler`;
+        otherwise every instruction is marked cacheable (the paper's
+        "RecNMP-cache" configuration without profiling).
+    hot_entry_threshold:
+        Repetition threshold for the profiler.
+    opcode:
+        SLS-family opcode stamped on the generated instructions.
+    """
+
+    poolings_per_packet: int = 8
+    vector_size_bytes: int = 64
+    row_buffer_bytes: int = 8192
+    enable_hot_entry_profiling: bool = True
+    hot_entry_threshold: int = 2
+    opcode: NMPOpcode = NMPOpcode.SUM
+
+    def __post_init__(self):
+        if not 1 <= self.poolings_per_packet <= 16:
+            raise ValueError("poolings_per_packet must be in [1, 16] "
+                             "(4-bit PsumTag)")
+        if self.vector_size_bytes % 64:
+            raise ValueError("vector_size_bytes must be a multiple of 64")
+        if self.vector_size_bytes <= 0:
+            raise ValueError("vector_size_bytes must be positive")
+        if self.row_buffer_bytes <= 0:
+            raise ValueError("row_buffer_bytes must be positive")
+
+    @property
+    def vsize(self):
+        """Vector size in 64 B bursts."""
+        return self.vector_size_bytes // 64
+
+
+class PacketGenerator:
+    """Generate NMP packets from SLS requests.
+
+    Parameters
+    ----------
+    config:
+        A :class:`PacketGeneratorConfig`.
+    address_of:
+        Callable ``(table_id, row_index) -> physical byte address``.  The
+        embedding-bag layout plus the simplified OS page mapper provide this
+        in the full pipeline; tests can pass simple lambdas.
+    """
+
+    def __init__(self, config=None, address_of=None):
+        self.config = config or PacketGeneratorConfig()
+        if address_of is None:
+            # Default: dense row-major placement of a single table at 0.
+            address_of = lambda table_id, row: \
+                row * self.config.vector_size_bytes  # noqa: E731
+        self.address_of = address_of
+        self._packet_counter = 0
+
+    # ------------------------------------------------------------------ #
+    def _daddr(self, physical_address):
+        """Compress a physical byte address into the 32-bit Daddr field."""
+        return (physical_address // 64) & 0xFFFFFFFF
+
+    def _ddr_cmd_tags(self, physical_addresses):
+        """Set ACT/RD/PRE presence from consecutive-access row locality.
+
+        The host-side memory controller sets the tags from the relative
+        physical address of consecutive embedding accesses: when the next
+        vector falls in the same DRAM row the ACT (and the preceding PRE)
+        can be elided; otherwise the full PRE+ACT+RD sequence is required.
+        """
+        row_bytes = self.config.row_buffer_bytes
+        tags = []
+        previous_row = None
+        for address in physical_addresses:
+            row = address // row_bytes
+            if previous_row is not None and row == previous_row:
+                tags.append(DDR_CMD_RD)
+            else:
+                tags.append(DDR_CMD_ACT | DDR_CMD_RD | DDR_CMD_PRE)
+            previous_row = row
+        return tags
+
+    # ------------------------------------------------------------------ #
+    def packets_for_request(self, request, model_id=0, batch_index=0,
+                            profile=None):
+        """Generate the NMP packets for one :class:`SLSRequest`.
+
+        ``profile`` optionally passes a pre-computed
+        :class:`~repro.core.hot_entry.ProfileResult`; otherwise the profiler
+        runs on the request's own indices when profiling is enabled.
+        """
+        config = self.config
+        if config.enable_hot_entry_profiling and profile is None:
+            profiler = HotEntryProfiler(threshold=config.hot_entry_threshold)
+            profile = profiler.profile(request.indices,
+                                       table_id=request.table_id)
+        packets = []
+        pooling_groups = list(request.pooling_slices())
+        for start in range(0, len(pooling_groups),
+                           config.poolings_per_packet):
+            group = pooling_groups[start:start + config.poolings_per_packet]
+            instructions = []
+            # Collect the physical addresses of the group in issue order to
+            # derive the DDR command tags.
+            flat = []
+            for tag_slot, (pooling_index, indices, weights) in enumerate(group):
+                for position, row in enumerate(indices):
+                    weight = (float(weights[position])
+                              if weights is not None else 1.0)
+                    flat.append((tag_slot, pooling_index, int(row), weight))
+            addresses = [self.address_of(request.table_id, row)
+                         for _, _, row, _ in flat]
+            ddr_tags = self._ddr_cmd_tags(addresses)
+            for (tag_slot, pooling_index, row, weight), address, ddr_cmd in \
+                    zip(flat, addresses, ddr_tags):
+                locality = True
+                if config.enable_hot_entry_profiling:
+                    locality = profile.is_hot(row)
+                instructions.append(NMPInstruction(
+                    opcode=config.opcode,
+                    ddr_cmd=ddr_cmd,
+                    daddr=self._daddr(address),
+                    vsize=config.vsize,
+                    weight=weight,
+                    locality_bit=locality,
+                    psum_tag=tag_slot,
+                    table_id=request.table_id,
+                    pooling_index=pooling_index,
+                    row_index=row,
+                ))
+            packets.append(NMPPacket(instructions=instructions,
+                                     table_id=request.table_id,
+                                     model_id=model_id,
+                                     batch_index=batch_index,
+                                     packet_id=self._packet_counter))
+            self._packet_counter += 1
+        return packets
+
+    def packets_for_requests(self, requests, model_id=0):
+        """Generate packets for a list of SLS requests (one batch)."""
+        packets = []
+        profiles = None
+        if self.config.enable_hot_entry_profiling:
+            profiler = HotEntryProfiler(
+                threshold=self.config.hot_entry_threshold)
+            profiles = profiler.profile_requests(requests)
+        for batch_index, request in enumerate(requests):
+            profile = profiles.get(request.table_id) if profiles else None
+            packets.extend(self.packets_for_request(
+                request, model_id=model_id, batch_index=batch_index,
+                profile=profile))
+        return packets
+
+    # ------------------------------------------------------------------ #
+    def rank_load(self, packets, rank_of_address, num_ranks):
+        """Distribution of instructions over ranks for a list of packets.
+
+        Returns an integer array of length ``num_ranks`` counting how many
+        embedding lookups each rank serves -- the quantity behind the
+        load-imbalance analysis of Fig. 14(b).
+        """
+        counts = np.zeros(num_ranks, dtype=np.int64)
+        for packet in packets:
+            for inst in packet.instructions:
+                counts[rank_of_address(inst.daddr * 64)] += 1
+        return counts

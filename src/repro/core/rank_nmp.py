@@ -1,0 +1,297 @@
+"""Rank-NMP module (Fig. 8(c)).
+
+Each rank of a RecNMP-equipped DIMM has its own rank-NMP module performing
+three functions:
+
+1. translate NMP-Insts into low-level DDR command sequences for the DRAM
+   devices of that rank (the local command decoder),
+2. manage the memory-side RankCache (with LocalityBit bypass),
+3. execute the SLS-family datapath: multiply the fetched vector by the
+   weight (and dequantisation scalar/bias when needed) and accumulate it
+   into the partial-sum register selected by the PsumTag.
+
+The module is modelled at cycle granularity: every instruction is charged
+either the RankCache access latency (on a hit) or the DRAM access latency
+derived from the rank's DDR4 timing state (on a miss / bypass).  The
+arithmetic pipeline (FP32 multipliers and adders, Table I) is overlapped
+with memory reads, so it only contributes when it is the bottleneck.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cache.rank_cache import RankCache
+from repro.dram.commands import CommandType
+from repro.dram.rank import Rank
+from repro.dram.timing import DDR4_2400
+
+
+@dataclass
+class RankNMPConfig:
+    """Configuration of one rank-NMP module.
+
+    Latencies follow Table I: RankCache access 1 cycle, FP32 adder 3 cycles,
+    FP32 multiplier 4 cycles (all in DRAM cycles at the DIMM buffer clock).
+    """
+
+    timing: object = field(default_factory=lambda: DDR4_2400)
+    use_cache: bool = True
+    cache_capacity_bytes: int = 128 * 1024
+    vector_size_bytes: int = 64
+    cache_latency_cycles: int = 1
+    adder_latency_cycles: int = 3
+    multiplier_latency_cycles: int = 4
+    num_bank_groups: int = 4
+    banks_per_group: int = 4
+    columns_per_row: int = 128
+
+    def __post_init__(self):
+        if self.cache_capacity_bytes <= 0:
+            raise ValueError("cache_capacity_bytes must be positive")
+        if self.vector_size_bytes <= 0 or self.vector_size_bytes % 64:
+            raise ValueError("vector_size_bytes must be a positive multiple "
+                             "of 64")
+
+
+@dataclass
+class RankNMPStats:
+    """Counters of one rank-NMP module."""
+
+    instructions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bypasses: int = 0
+    dram_reads: int = 0
+    activations: int = 0
+    busy_cycles: int = 0
+    bytes_from_dram: int = 0
+    bytes_from_cache: int = 0
+
+    @property
+    def cache_hit_rate(self):
+        total = self.cache_hits + self.cache_misses + self.cache_bypasses
+        if not total:
+            return 0.0
+        return self.cache_hits / total
+
+    def as_dict(self):
+        return {
+            "instructions": self.instructions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_bypasses": self.cache_bypasses,
+            "dram_reads": self.dram_reads,
+            "activations": self.activations,
+            "busy_cycles": self.busy_cycles,
+            "bytes_from_dram": self.bytes_from_dram,
+            "bytes_from_cache": self.bytes_from_cache,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+class RankNMP:
+    """Cycle-approximate model of one rank-NMP module."""
+
+    def __init__(self, config=None, rank_index=0):
+        self.config = config or RankNMPConfig()
+        self.rank_index = rank_index
+        self.dram_rank = Rank(self.config.timing,
+                              num_bank_groups=self.config.num_bank_groups,
+                              banks_per_group=self.config.banks_per_group,
+                              rank_index=rank_index)
+        self.cache = RankCache(
+            capacity_bytes=self.config.cache_capacity_bytes,
+            vector_size_bytes=self.config.vector_size_bytes,
+            access_latency_cycles=self.config.cache_latency_cycles,
+        ) if self.config.use_cache else None
+        self.stats = RankNMPStats()
+        # Partial-sum register file: PsumTag -> accumulated vector count.
+        self._psum_counts = {}
+        self.current_cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # Address decoding                                                   #
+    # ------------------------------------------------------------------ #
+    def decode_bank_row(self, daddr):
+        """Decode (bank_group, bank, row, column) from a 64 B block Daddr.
+
+        The low bits address the column within a row, the next bits pick the
+        bank group and bank, and the remaining bits are the row -- consistent
+        with the channel-level mapping used by the packet generator.
+        """
+        config = self.config
+        block = int(daddr)
+        column = block % config.columns_per_row
+        block //= config.columns_per_row
+        bank_group = block % config.num_bank_groups
+        block //= config.num_bank_groups
+        bank = block % config.banks_per_group
+        block //= config.banks_per_group
+        row = block
+        return bank_group, bank, row, column
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                          #
+    # ------------------------------------------------------------------ #
+    def _dram_read(self, instruction, earliest_cycle):
+        """Issue the DDR commands of one instruction.
+
+        Returns ``(data_done, next_slot)`` where ``data_done`` is the cycle
+        the last data beat arrives and ``next_slot`` the command-bus cycle
+        from which the *next* instruction's commands may start.  Commands of
+        consecutive instructions are pipelined: the next instruction only
+        waits for the local C/A slots this one consumed, not for its
+        tRP/tRCD/tCL latency chain, while the bank and rank state machines
+        keep every later command legal (tCCD, tRRD, tFAW, data bus).
+        """
+        bank_group, bank_index, row, _ = self.decode_bank_row(
+            instruction.daddr)
+        bank = self.dram_rank.bank(bank_group, bank_index)
+        cycle = max(self.current_cycle, earliest_cycle)
+        commands_issued = 0
+        first_issue = None
+        # The rank command decoder replays the compressed DDR cmd field; a
+        # conflicting open row forces PRE+ACT even if the tag omitted them
+        # (the host-side tags are hints based on consecutive addresses).
+        if not bank.is_row_hit(row):
+            if not bank.is_row_closed():
+                cycle = self.dram_rank.earliest_issue_cycle(
+                    CommandType.PRE, bank_group, bank_index, cycle)
+                self.dram_rank.issue(CommandType.PRE, bank_group, bank_index,
+                                     row, cycle)
+                commands_issued += 1
+                first_issue = cycle if first_issue is None else first_issue
+            cycle = self.dram_rank.earliest_issue_cycle(
+                CommandType.ACT, bank_group, bank_index, cycle)
+            self.dram_rank.issue(CommandType.ACT, bank_group, bank_index,
+                                 row, cycle)
+            commands_issued += 1
+            first_issue = cycle if first_issue is None else first_issue
+            self.stats.activations += 1
+        finish = cycle
+        bursts = max(1, instruction.vsize)
+        for _ in range(bursts):
+            cycle = self.dram_rank.earliest_issue_cycle(
+                CommandType.RD, bank_group, bank_index, cycle)
+            finish = self.dram_rank.issue(CommandType.RD, bank_group,
+                                          bank_index, row, cycle)
+            commands_issued += 1
+            first_issue = cycle if first_issue is None else first_issue
+            self.stats.dram_reads += 1
+        self.stats.bytes_from_dram += instruction.vector_bytes
+        start = max(self.current_cycle, earliest_cycle)
+        next_slot = max(start, first_issue) + commands_issued
+        return finish, next_slot
+
+    def execute_instruction(self, instruction, arrival_cycle=0):
+        """Execute one NMP-Inst; returns the cycle its Psum update completes."""
+        self.stats.instructions += 1
+        start = max(self.current_cycle, arrival_cycle)
+        if self.cache is not None:
+            hit = self.cache.lookup(instruction.daddr,
+                                    locality_hint=instruction.locality_bit)
+            if hit:
+                self.stats.cache_hits += 1
+                self.stats.bytes_from_cache += instruction.vector_bytes
+                data_ready = start + self.config.cache_latency_cycles
+                next_free = start + self.config.cache_latency_cycles
+            else:
+                if instruction.locality_bit:
+                    self.stats.cache_misses += 1
+                else:
+                    self.stats.cache_bypasses += 1
+                data_ready, next_free = self._dram_read(instruction, start)
+        else:
+            data_ready, next_free = self._dram_read(instruction, start)
+        # Datapath: weighted multiply (if any) then accumulate.  The pipeline
+        # overlaps with the next memory access, so only the final add depth
+        # shows up in the completion time of this instruction.
+        compute = self.config.adder_latency_cycles
+        if instruction.weight != 1.0:
+            compute += self.config.multiplier_latency_cycles
+        completion = data_ready + compute
+        self._psum_counts[instruction.psum_tag] = \
+            self._psum_counts.get(instruction.psum_tag, 0) + 1
+        busy_delta = max(0, next_free - start)
+        self.stats.busy_cycles += busy_delta
+        # Memory accesses are pipelined: the next instruction's DDR commands
+        # can be scheduled as soon as this one's last command slot is past
+        # (bank/rank/data-bus legality is enforced by the DRAM rank model).
+        self.current_cycle = next_free
+        return completion
+
+    def _estimated_start(self, instruction, arrival_cycle):
+        """Earliest cycle the first command of an instruction could issue.
+
+        Used by the windowed scheduler to avoid head-of-line blocking: an
+        instruction whose bank is still serving tRAS/tRC from an earlier
+        access can be deferred in favour of one whose bank is ready.
+        """
+        start = max(self.current_cycle, arrival_cycle)
+        if self.cache is not None and instruction.locality_bit and \
+                self.cache.contains(instruction.daddr):
+            return start
+        bank_group, bank_index, row, _ = self.decode_bank_row(
+            instruction.daddr)
+        bank = self.dram_rank.bank(bank_group, bank_index)
+        if bank.is_row_hit(row):
+            command = CommandType.RD
+        elif bank.is_row_closed():
+            command = CommandType.ACT
+        else:
+            command = CommandType.PRE
+        return self.dram_rank.earliest_issue_cycle(
+            command, bank_group, bank_index, start)
+
+    def execute_instructions(self, instructions, arrival_cycles=None,
+                             reorder_window=16):
+        """Execute a list of instructions; returns the last completion cycle.
+
+        Instructions are issued FR-FCFS-style within a small reorder window
+        (the host-side memory controller performs this reordering inside a
+        packet per the paper): among the ``reorder_window`` oldest pending
+        instructions, the one whose bank can accept a command earliest goes
+        first.  Correctness is unaffected because each pooling accumulates
+        into its own PsumTag register.
+        """
+        if arrival_cycles is None:
+            arrival_cycles = [0] * len(instructions)
+        if len(arrival_cycles) != len(instructions):
+            raise ValueError("arrival_cycles must match instructions")
+        pending = list(zip(instructions, arrival_cycles))
+        last_completion = self.current_cycle
+        while pending:
+            window = pending[:max(1, reorder_window)]
+            best_index = 0
+            best_start = None
+            for index, (instruction, arrival) in enumerate(window):
+                estimate = self._estimated_start(instruction, arrival)
+                if best_start is None or estimate < best_start:
+                    best_start = estimate
+                    best_index = index
+            instruction, arrival = pending.pop(best_index)
+            last_completion = max(
+                last_completion,
+                self.execute_instruction(instruction, arrival_cycle=arrival))
+        return last_completion
+
+    # ------------------------------------------------------------------ #
+    def psum_count(self, psum_tag):
+        """Number of vectors accumulated into a PsumTag so far."""
+        return self._psum_counts.get(psum_tag, 0)
+
+    def reset_psums(self):
+        """Clear the partial-sum register file (between packets)."""
+        self._psum_counts.clear()
+
+    def reset(self):
+        """Reset timing state, cache contents and statistics."""
+        self.dram_rank = Rank(self.config.timing,
+                              num_bank_groups=self.config.num_bank_groups,
+                              banks_per_group=self.config.banks_per_group,
+                              rank_index=self.rank_index)
+        if self.cache is not None:
+            self.cache.flush()
+            self.cache.reset_stats()
+        self.stats = RankNMPStats()
+        self._psum_counts.clear()
+        self.current_cycle = 0

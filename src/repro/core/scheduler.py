@@ -1,0 +1,111 @@
+"""NMP packet scheduling (Section III-D, Fig. 11).
+
+In production, the memory controller receives NMP packets from many parallel
+SLS threads (different tables, different co-located models) with equal
+priority.  Interleaving them destroys the intra-table temporal locality the
+RankCache could otherwise exploit.  The *table-aware* scheduling policy
+reorders the packet queue so that all packets of one (model, table, batch)
+group issue back to back, preserving the reuse within a batch.
+"""
+
+from collections import OrderedDict
+
+
+def fcfs_interleaved_order(packet_lists):
+    """Baseline scheduling: round-robin interleave packets across sources.
+
+    ``packet_lists`` is a list of per-source packet lists (one source per
+    SLS thread / table).  The result mimics an FR-FCFS memory controller
+    receiving concurrent packets from parallel threads with equal priority.
+    """
+    order = []
+    positions = [0] * len(packet_lists)
+    remaining = sum(len(packets) for packets in packet_lists)
+    while remaining:
+        for source, packets in enumerate(packet_lists):
+            position = positions[source]
+            if position < len(packets):
+                order.append(packets[position])
+                positions[source] += 1
+                remaining -= 1
+    return order
+
+
+def table_aware_order(packet_lists):
+    """Table-aware scheduling: issue all packets of one table/batch together.
+
+    Packets are grouped by ``(model_id, table_id, batch_index)`` and groups
+    are emitted in first-arrival order, which retains the intra-batch,
+    intra-table temporal locality in the RankCache.
+    """
+    groups = OrderedDict()
+    for packets in packet_lists:
+        for packet in packets:
+            key = (packet.model_id, packet.table_id, packet.batch_index)
+            groups.setdefault(key, []).append(packet)
+    order = []
+    for group_packets in groups.values():
+        order.extend(group_packets)
+    return order
+
+
+class PacketScheduler:
+    """Queue of NMP packets with selectable scheduling policy.
+
+    Parameters
+    ----------
+    policy:
+        ``"fcfs"`` (baseline interleaving) or ``"table-aware"``.
+    """
+
+    POLICIES = ("fcfs", "table-aware")
+
+    def __init__(self, policy="table-aware"):
+        if policy not in self.POLICIES:
+            raise ValueError("unknown scheduling policy %r; expected one of %s"
+                             % (policy, self.POLICIES))
+        self.policy = policy
+        self._sources = []
+
+    def add_source(self, packets):
+        """Register the packet list of one SLS thread / operator."""
+        self._sources.append(list(packets))
+
+    def clear(self):
+        """Drop all registered sources."""
+        self._sources = []
+
+    @property
+    def num_sources(self):
+        return len(self._sources)
+
+    @property
+    def num_packets(self):
+        return sum(len(source) for source in self._sources)
+
+    def schedule(self):
+        """Return the packets in issue order according to the policy."""
+        if not self._sources:
+            return []
+        if self.policy == "fcfs":
+            return fcfs_interleaved_order(self._sources)
+        return table_aware_order(self._sources)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def locality_span(order):
+        """Average distance between consecutive packets of the same table.
+
+        A diagnostic for how well a schedule keeps same-table packets
+        together (smaller is better; table-aware ordering gives ~1).
+        """
+        last_position = {}
+        spans = []
+        for position, packet in enumerate(order):
+            key = (packet.model_id, packet.table_id)
+            if key in last_position:
+                spans.append(position - last_position[key])
+            last_position[key] = position
+        if not spans:
+            return 0.0
+        return sum(spans) / len(spans)

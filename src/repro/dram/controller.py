@@ -1,0 +1,239 @@
+"""Host-side FR-FCFS memory controller.
+
+The controller owns one channel.  Requests arrive as
+:class:`~repro.dram.commands.MemoryRequest` objects; each 64-byte burst is
+scheduled with the First-Ready, First-Come-First-Served policy: among queued
+requests whose next DDR command is ready to issue, row-buffer hits win, ties
+broken by age.  An open-page policy keeps rows open after a read.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.dram.address_mapping import SkylakeAddressMapping
+from repro.dram.channel import Channel
+from repro.dram.commands import CommandType, RequestType
+from repro.dram.timing import DDR4_2400
+
+
+@dataclass
+class ControllerStats:
+    """Aggregated controller statistics."""
+
+    requests_completed: int = 0
+    total_latency_cycles: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    commands_issued: int = 0
+    cycles_elapsed: int = 0
+    latencies: list = field(default_factory=list)
+
+    @property
+    def average_latency_cycles(self):
+        if not self.requests_completed:
+            return 0.0
+        return self.total_latency_cycles / self.requests_completed
+
+    @property
+    def row_hit_rate(self):
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        if not total:
+            return 0.0
+        return self.row_hits / total
+
+
+class _PendingRequest:
+    """Book-keeping wrapper around a queued memory request."""
+
+    __slots__ = ("request", "address", "arrival_cycle", "outcome_recorded")
+
+    def __init__(self, request, address, arrival_cycle):
+        self.request = request
+        self.address = address
+        self.arrival_cycle = arrival_cycle
+        self.outcome_recorded = False
+
+
+class MemoryController:
+    """FR-FCFS controller for a single DRAM channel.
+
+    Parameters
+    ----------
+    timing:
+        DDR4 timing parameters.
+    num_dimms, ranks_per_dimm:
+        Channel population.
+    address_mapping:
+        An address-mapping object with a ``map(physical_address)`` method.
+        Defaults to the Skylake-style mapping.
+    queue_depth:
+        Read-queue capacity (Table I: 32 entries).
+    """
+
+    def __init__(self, timing=None, num_dimms=1, ranks_per_dimm=2,
+                 address_mapping=None, queue_depth=32, channel_index=0):
+        self.timing = timing or DDR4_2400
+        self.channel = Channel(self.timing, num_dimms=num_dimms,
+                               ranks_per_dimm=ranks_per_dimm,
+                               channel_index=channel_index)
+        self.address_mapping = address_mapping or SkylakeAddressMapping()
+        self.queue_depth = int(queue_depth)
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        self.cycle = 0
+        self._queue = []
+        self._waiting = []          # requests not yet admitted to the queue
+        self.stats = ControllerStats()
+
+    # ------------------------------------------------------------------ #
+    # Request admission                                                  #
+    # ------------------------------------------------------------------ #
+    def enqueue(self, request):
+        """Submit a memory request; it is admitted when queue space allows."""
+        if request.request_type is not RequestType.READ:
+            raise NotImplementedError(
+                "the RecNMP study only exercises read traffic")
+        request.arrival_cycle = self.cycle
+        self._waiting.append(request)
+        self._admit_waiting()
+
+    def _admit_waiting(self):
+        while self._waiting and len(self._queue) < self.queue_depth:
+            request = self._waiting.pop(0)
+            address = self.address_mapping.map(request.physical_address)
+            self._queue.append(
+                _PendingRequest(request, address, self.cycle))
+
+    @property
+    def pending_requests(self):
+        """Number of requests still queued or waiting for admission."""
+        return len(self._queue) + len(self._waiting)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling                                                         #
+    # ------------------------------------------------------------------ #
+    def _rank_of(self, address):
+        return self.channel.global_rank_index(address.dimm, address.rank)
+
+    def _next_command(self, pending):
+        """Return the next DDR command needed by a pending request."""
+        address = pending.address
+        rank_index = self._rank_of(address)
+        bank = self.channel.rank(rank_index).bank(address.bank_group,
+                                                  address.bank)
+        commands = bank.required_commands(address.row)
+        return commands[0]
+
+    def _is_row_hit(self, pending):
+        address = pending.address
+        rank_index = self._rank_of(address)
+        bank = self.channel.rank(rank_index).bank(address.bank_group,
+                                                  address.bank)
+        return bank.is_row_hit(address.row)
+
+    def _can_issue_next(self, pending):
+        command = self._next_command(pending)
+        address = pending.address
+        rank_index = self._rank_of(address)
+        return self.channel.can_issue(command, rank_index,
+                                      address.bank_group, address.bank,
+                                      self.cycle)
+
+    def _select_request(self):
+        """FR-FCFS selection: ready row hits first, then oldest ready."""
+        best = None
+        best_is_hit = False
+        for pending in self._queue:
+            if not self._can_issue_next(pending):
+                continue
+            is_hit = self._is_row_hit(pending)
+            if best is None or (is_hit and not best_is_hit):
+                best = pending
+                best_is_hit = is_hit
+                if best_is_hit:
+                    # Queue order is arrival order, so the first ready hit is
+                    # already the oldest ready hit.
+                    break
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Simulation loop                                                    #
+    # ------------------------------------------------------------------ #
+    def tick(self):
+        """Advance one memory-clock cycle, issuing at most one command."""
+        self._admit_waiting()
+        if not self.channel.ca_bus_free(self.cycle):
+            self.cycle += 1
+            return
+        pending = self._select_request()
+        if pending is not None:
+            self._issue_for(pending)
+        self.cycle += 1
+
+    def _issue_for(self, pending):
+        address = pending.address
+        rank_index = self._rank_of(address)
+        bank = self.channel.rank(rank_index).bank(address.bank_group,
+                                                  address.bank)
+        if not pending.outcome_recorded:
+            # Record hit/miss/conflict once, at the first command issued on
+            # behalf of this request.
+            if bank.is_row_hit(address.row):
+                self.stats.row_hits += 1
+            elif bank.is_row_closed():
+                self.stats.row_misses += 1
+            else:
+                self.stats.row_conflicts += 1
+            pending.outcome_recorded = True
+        command = self._next_command(pending)
+        data_done = self.channel.issue(command, rank_index,
+                                       address.bank_group, address.bank,
+                                       address.row, self.cycle)
+        self.stats.commands_issued += 1
+        if command is CommandType.RD:
+            self._complete(pending, data_done)
+
+    def _complete(self, pending, completion_cycle):
+        pending.request.completion_cycle = completion_cycle
+        latency = completion_cycle - pending.request.arrival_cycle
+        self.stats.requests_completed += 1
+        self.stats.total_latency_cycles += latency
+        self.stats.latencies.append(latency)
+        self._queue.remove(pending)
+
+    def run_until_drained(self, max_cycles=10_000_000):
+        """Tick until all queued requests complete (or ``max_cycles``)."""
+        start_cycle = self.cycle
+        while self.pending_requests:
+            if self.cycle - start_cycle > max_cycles:
+                raise RuntimeError(
+                    "controller did not drain within %d cycles" % max_cycles)
+            self.tick()
+        self.stats.cycles_elapsed = self.cycle
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    def process_trace(self, physical_addresses, batch_size=None):
+        """Convenience helper: enqueue a read for every address and drain.
+
+        ``batch_size`` optionally throttles admission so that at most that
+        many requests are outstanding at once (mimicking a core's MSHR
+        limit); ``None`` enqueues everything up front.
+        """
+        from repro.dram.commands import MemoryRequest
+
+        addresses = list(physical_addresses)
+        if batch_size is None:
+            for address in addresses:
+                self.enqueue(MemoryRequest(physical_address=int(address)))
+            return self.run_until_drained()
+        index = 0
+        while index < len(addresses) or self.pending_requests:
+            while (index < len(addresses)
+                   and self.pending_requests < batch_size):
+                self.enqueue(
+                    MemoryRequest(physical_address=int(addresses[index])))
+                index += 1
+            self.tick()
+        self.stats.cycles_elapsed = self.cycle
+        return self.stats

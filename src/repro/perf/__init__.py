@@ -1,0 +1,38 @@
+"""Analytical CPU/system performance models.
+
+These models reproduce the *real-system* half of the paper's methodology
+(Fig. 13): operator latency breakdowns on the Skylake baseline, roofline
+analysis, memory-bandwidth saturation, FC cache-contention under model
+co-location, and the end-to-end speedup composition that combines the SLS
+memory-latency speedups from the cycle simulator with the non-SLS operator
+speedups.
+"""
+
+from repro.perf.system import SystemParameters, SKYLAKE_SYSTEM
+from repro.perf.roofline import RooflineModel, RooflinePoint
+from repro.perf.bandwidth import BandwidthSaturationModel
+from repro.perf.operator_latency import (
+    OperatorLatencyModel,
+    OperatorBreakdown,
+)
+from repro.perf.colocation import ColocationModel, ColocationResult
+from repro.perf.end_to_end import (
+    EndToEndModel,
+    ModelSpeedup,
+    latency_throughput_curve,
+)
+
+__all__ = [
+    "SystemParameters",
+    "SKYLAKE_SYSTEM",
+    "RooflineModel",
+    "RooflinePoint",
+    "BandwidthSaturationModel",
+    "OperatorLatencyModel",
+    "OperatorBreakdown",
+    "ColocationModel",
+    "ColocationResult",
+    "EndToEndModel",
+    "ModelSpeedup",
+    "latency_throughput_curve",
+]

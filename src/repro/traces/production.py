@@ -1,0 +1,154 @@
+"""Synthetic equivalents of the production embedding traces T1-T8.
+
+The paper's locality study (Fig. 7) uses eight per-table traces collected
+from production traffic (Eisenman et al.).  Those traces are proprietary; we
+synthesise replacements that reproduce the two properties the paper relies
+on:
+
+* **Modest temporal reuse** -- an LRU cache of 8-64 MB shared by eight
+  interleaved tables (Comb-8) observes a 20-60 % hit rate, growing with
+  capacity, while a random trace stays below 5 %.
+* **Negligible spatial locality** -- consecutive lookups land on unrelated
+  rows, so growing the cacheline size does not help (it hurts, by wasting
+  capacity).
+
+Each synthetic table trace is a hot-set/Zipf mixture whose hot-set size and
+hit probability vary per table (T1 has the most reuse, T8 the least),
+mirroring the spread of per-table hit rates visible in the paper's Fig. 12.
+"""
+
+import numpy as np
+
+from repro.traces.trace import CombinedTrace, EmbeddingTrace
+from repro.utils.distributions import HotSetGenerator, ZipfGenerator
+
+
+class ProductionTraceGenerator:
+    """Generate synthetic per-table production-like traces T1..Tn.
+
+    Parameters
+    ----------
+    num_rows:
+        Rows per embedding table (paper: 1M production-scale tables).
+    num_tables:
+        Number of distinct table traces to generate (paper: 8, T1-T8).
+    seed:
+        Base RNG seed; table ``k`` uses ``seed + k``.
+    locality_range:
+        (high, low) hot-access probability assigned to T1 .. Tn by linear
+        interpolation; the defaults produce the 20-60 % Comb-8 band.
+    hot_fraction_range:
+        (small, large) hot-set fraction for T1 .. Tn.  The hot set of the
+        most reusable table is the smallest (fits in cache easily).
+    """
+
+    def __init__(self, num_rows=1_000_000, num_tables=8, seed=0,
+                 locality_range=(0.75, 0.2),
+                 hot_fraction_range=(0.0005, 0.01),
+                 zipf_alpha=1.05, zipf_mix=0.3):
+        if num_tables <= 0:
+            raise ValueError("num_tables must be positive")
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        self.num_rows = int(num_rows)
+        self.num_tables = int(num_tables)
+        self.seed = seed
+        self.locality_range = locality_range
+        self.hot_fraction_range = hot_fraction_range
+        self.zipf_alpha = float(zipf_alpha)
+        self.zipf_mix = float(zipf_mix)
+
+    # ------------------------------------------------------------------ #
+    def table_parameters(self, table_index):
+        """Hot-set parameters for table ``table_index`` (0-based)."""
+        if not 0 <= table_index < self.num_tables:
+            raise IndexError("table_index out of range")
+        if self.num_tables == 1:
+            fraction = 0.0
+        else:
+            fraction = table_index / (self.num_tables - 1)
+        hot_probability = (self.locality_range[0]
+                           + fraction * (self.locality_range[1]
+                                         - self.locality_range[0]))
+        hot_fraction = (self.hot_fraction_range[0]
+                        + fraction * (self.hot_fraction_range[1]
+                                      - self.hot_fraction_range[0]))
+        return {"hot_probability": hot_probability,
+                "hot_fraction": hot_fraction}
+
+    def generate_table_trace(self, table_index, num_lookups):
+        """Generate the synthetic trace for one table (``T{k+1}``)."""
+        params = self.table_parameters(table_index)
+        seed = None if self.seed is None else self.seed + table_index
+        hot_generator = HotSetGenerator(
+            self.num_rows,
+            hot_fraction=params["hot_fraction"],
+            hot_probability=params["hot_probability"],
+            seed=seed,
+        )
+        # The Zipf component spans the whole table: its warm middle ranks
+        # give the capacity-dependent reuse of Fig. 7(a) (hit rate grows as
+        # the cache approaches the table footprint), while the hot-set
+        # component provides the short-range reuse the RankCache exploits.
+        zipf_generator = ZipfGenerator(
+            self.num_rows, alpha=self.zipf_alpha, seed=seed)
+        rng = np.random.default_rng(seed)
+        hot_indices = hot_generator.sample(num_lookups)
+        zipf_indices = zipf_generator.sample(num_lookups)
+        use_zipf = rng.random(num_lookups) < self.zipf_mix
+        indices = np.where(use_zipf, zipf_indices, hot_indices)
+        return EmbeddingTrace(
+            table_id=table_index,
+            indices=indices.astype(np.int64),
+            num_rows=self.num_rows,
+            name="T%d" % (table_index + 1),
+            metadata={"kind": "production-synthetic", **params},
+        )
+
+    def generate_all(self, num_lookups_per_table):
+        """Generate traces for all tables; returns a list of traces."""
+        return [self.generate_table_trace(i, num_lookups_per_table)
+                for i in range(self.num_tables)]
+
+
+def make_production_table_traces(num_lookups_per_table=20_000,
+                                 num_rows=1_000_000, num_tables=8, seed=0):
+    """Convenience wrapper returning the T1-T8 synthetic traces."""
+    generator = ProductionTraceGenerator(num_rows=num_rows,
+                                         num_tables=num_tables, seed=seed)
+    return generator.generate_all(num_lookups_per_table)
+
+
+def make_combined_trace(table_traces, multiplier=1, block_size=1):
+    """Build a Comb-N interleaving from per-table traces.
+
+    ``multiplier`` replicates the table set, matching the paper's Comb-16 /
+    Comb-32 / Comb-64 methodology (the 8 production traces multiplied 2x,
+    4x and 8x on the same machine).  Replicated tables are re-identified so
+    they behave as distinct tables with the same statistics.
+    """
+    if multiplier <= 0:
+        raise ValueError("multiplier must be positive")
+    traces = []
+    next_table_id = 0
+    for copy in range(multiplier):
+        for trace in table_traces:
+            if copy == 0:
+                replica = trace
+                replica = EmbeddingTrace(table_id=next_table_id,
+                                         indices=trace.indices,
+                                         num_rows=trace.num_rows,
+                                         name=trace.name,
+                                         metadata=dict(trace.metadata))
+            else:
+                # Shift the index space of the replica so it does not share
+                # rows (separate physical table with identical statistics).
+                shifted = (trace.indices + copy * 977) % trace.num_rows
+                replica = EmbeddingTrace(table_id=next_table_id,
+                                         indices=shifted,
+                                         num_rows=trace.num_rows,
+                                         name="%s-copy%d" % (trace.name, copy),
+                                         metadata=dict(trace.metadata))
+            traces.append(replica)
+            next_table_id += 1
+    return CombinedTrace(traces, block_size=block_size)

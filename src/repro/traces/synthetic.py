@@ -1,0 +1,65 @@
+"""Synthetic trace generators: random, Zipfian and hot-set traces."""
+
+import numpy as np
+
+from repro.dlrm.operators import SLSRequest
+from repro.traces.trace import EmbeddingTrace
+from repro.utils.distributions import (
+    HotSetGenerator,
+    UniformGenerator,
+    ZipfGenerator,
+)
+
+
+def random_trace(num_rows, num_lookups, table_id=0, seed=None, name="random"):
+    """Fully random (worst-case locality) lookup trace."""
+    generator = UniformGenerator(num_rows, seed=seed)
+    indices = generator.sample(num_lookups)
+    return EmbeddingTrace(table_id=table_id, indices=indices,
+                          num_rows=num_rows, name=name,
+                          metadata={"kind": "random"})
+
+
+def zipf_trace(num_rows, num_lookups, alpha=1.05, table_id=0, seed=None,
+               name="zipf"):
+    """Zipf-distributed lookup trace (power-law item popularity)."""
+    generator = ZipfGenerator(num_rows, alpha=alpha, seed=seed)
+    indices = generator.sample(num_lookups)
+    return EmbeddingTrace(table_id=table_id, indices=indices,
+                          num_rows=num_rows, name=name,
+                          metadata={"kind": "zipf", "alpha": alpha})
+
+
+def hotset_trace(num_rows, num_lookups, hot_fraction=0.001,
+                 hot_probability=0.5, table_id=0, seed=None, name="hotset"):
+    """Hot-set mixture trace with controllable temporal locality."""
+    generator = HotSetGenerator(num_rows, hot_fraction=hot_fraction,
+                                hot_probability=hot_probability, seed=seed)
+    indices = generator.sample(num_lookups)
+    return EmbeddingTrace(table_id=table_id, indices=indices,
+                          num_rows=num_rows, name=name,
+                          metadata={"kind": "hotset",
+                                    "hot_fraction": hot_fraction,
+                                    "hot_probability": hot_probability})
+
+
+def batched_requests_from_trace(trace, batch_size, pooling_factor):
+    """Slice a trace into :class:`SLSRequest` batches.
+
+    Each request consumes ``batch_size * pooling_factor`` consecutive lookups
+    from the trace; trailing lookups that do not fill a request are dropped.
+    """
+    if batch_size <= 0 or pooling_factor <= 0:
+        raise ValueError("batch_size and pooling_factor must be positive")
+    per_request = batch_size * pooling_factor
+    num_requests = len(trace) // per_request
+    requests = []
+    for i in range(num_requests):
+        start = i * per_request
+        indices = trace.indices[start:start + per_request]
+        lengths = np.full(batch_size, pooling_factor, dtype=np.int64)
+        requests.append(SLSRequest(table_id=trace.table_id, indices=indices,
+                                   lengths=lengths,
+                                   metadata={"trace": trace.name,
+                                             "request_index": i}))
+    return requests

@@ -1,0 +1,155 @@
+"""Trace containers: per-table lookup streams and their combination.
+
+An :class:`EmbeddingTrace` is the sequence of row indices looked up in one
+embedding table.  A :class:`CombinedTrace` interleaves several per-table
+traces the way a co-located production host sees them (Comb-8 / Comb-16 /
+Comb-32 / Comb-64 in the paper's Fig. 7 and Fig. 12).
+"""
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class EmbeddingTrace:
+    """Lookup trace for one embedding table.
+
+    Attributes
+    ----------
+    table_id:
+        Identifier of the table.
+    indices:
+        The sequence of row indices accessed, in program order.
+    num_rows:
+        Number of rows in the table the indices refer to.
+    name:
+        Human-readable trace name (e.g. ``"T3"``).
+    """
+
+    table_id: int
+    indices: np.ndarray
+    num_rows: int
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indices.ndim != 1:
+            raise ValueError("indices must be a 1-D sequence")
+        if self.num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        if self.indices.size and (self.indices.min() < 0
+                                  or self.indices.max() >= self.num_rows):
+            raise ValueError("trace contains out-of-range indices")
+
+    def __len__(self):
+        return int(self.indices.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def unique_fraction(self):
+        """Fraction of accesses that touch a distinct row (1.0 = no reuse)."""
+        if not len(self):
+            return 0.0
+        return np.unique(self.indices).size / self.indices.size
+
+    def reuse_histogram(self, max_count=16):
+        """Histogram of per-row access counts, clipped at ``max_count``."""
+        if not len(self):
+            return np.zeros(max_count + 1, dtype=np.int64)
+        counts = np.bincount(
+            np.unique(self.indices, return_counts=True)[1].clip(max=max_count))
+        histogram = np.zeros(max_count + 1, dtype=np.int64)
+        histogram[:counts.size] = counts
+        return histogram
+
+    def slice(self, start, stop):
+        """Return a sub-trace covering accesses ``[start, stop)``."""
+        return EmbeddingTrace(table_id=self.table_id,
+                              indices=self.indices[start:stop],
+                              num_rows=self.num_rows,
+                              name=self.name,
+                              metadata=dict(self.metadata))
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self):
+        """JSON-serialisable representation."""
+        return {
+            "table_id": self.table_id,
+            "indices": self.indices.tolist(),
+            "num_rows": self.num_rows,
+            "name": self.name,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(table_id=payload["table_id"],
+                   indices=np.asarray(payload["indices"], dtype=np.int64),
+                   num_rows=payload["num_rows"],
+                   name=payload.get("name", ""),
+                   metadata=payload.get("metadata", {}))
+
+    def save(self, path):
+        """Write the trace as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load(cls, path):
+        """Load a trace previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+class CombinedTrace:
+    """Interleaving of several per-table traces on one machine.
+
+    The interleaving is round-robin in blocks of ``block_size`` lookups,
+    approximating concurrent SLS threads of co-located models taking turns
+    on the memory system (the paper's Comb-N methodology: N tables share the
+    machine and their accesses interleave).
+    """
+
+    def __init__(self, traces, block_size=1):
+        if not traces:
+            raise ValueError("need at least one trace to combine")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.traces = list(traces)
+        self.block_size = int(block_size)
+
+    def __len__(self):
+        return sum(len(trace) for trace in self.traces)
+
+    @property
+    def num_tables(self):
+        return len(self.traces)
+
+    def interleaved(self):
+        """Yield ``(table_id, row_index)`` pairs in interleaved order."""
+        positions = [0] * len(self.traces)
+        remaining = len(self)
+        while remaining:
+            progressed = False
+            for slot, trace in enumerate(self.traces):
+                start = positions[slot]
+                if start >= len(trace):
+                    continue
+                stop = min(start + self.block_size, len(trace))
+                for index in trace.indices[start:stop]:
+                    yield slot, int(index)
+                consumed = stop - start
+                positions[slot] = stop
+                remaining -= consumed
+                progressed = True
+            if not progressed:
+                break
+
+    def interleaved_array(self):
+        """Return the interleaving as an (N, 2) array of (slot, row)."""
+        pairs = list(self.interleaved())
+        if not pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(pairs, dtype=np.int64)

@@ -1,0 +1,45 @@
+"""Shared utilities: random distributions, statistics, and unit helpers."""
+
+from repro.utils.distributions import (
+    ZipfGenerator,
+    HotSetGenerator,
+    UniformGenerator,
+    make_index_generator,
+)
+from repro.utils.stats import (
+    RunningStats,
+    percentile,
+    geometric_mean,
+    weighted_harmonic_speedup,
+)
+from repro.utils.units import (
+    KB,
+    MB,
+    GB,
+    GIGA,
+    MEGA,
+    KILO,
+    ns_to_cycles,
+    cycles_to_ns,
+    bytes_to_mb,
+)
+
+__all__ = [
+    "ZipfGenerator",
+    "HotSetGenerator",
+    "UniformGenerator",
+    "make_index_generator",
+    "RunningStats",
+    "percentile",
+    "geometric_mean",
+    "weighted_harmonic_speedup",
+    "KB",
+    "MB",
+    "GB",
+    "GIGA",
+    "MEGA",
+    "KILO",
+    "ns_to_cycles",
+    "cycles_to_ns",
+    "bytes_to_mb",
+]

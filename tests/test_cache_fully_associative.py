@@ -1,0 +1,63 @@
+"""Tests for repro.cache.fully_associative."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.fully_associative import FullyAssociativeCache
+from repro.cache.set_associative import SetAssociativeCache
+
+
+class TestBehaviour:
+    def test_miss_then_hit(self):
+        cache = FullyAssociativeCache(1024)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_lru_order(self):
+        cache = FullyAssociativeCache(128, line_size_bytes=64)   # 2 lines
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)
+        cache.access(128)       # evicts 64
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_no_conflict_misses(self):
+        # Addresses that conflict in a direct-mapped/set-assoc cache all fit
+        # in a fully-associative cache of the same capacity.
+        capacity = 4 * 1024
+        stride = capacity          # maximally conflicting stride
+        addresses = [i * stride for i in range(capacity // 64)]
+        fa = FullyAssociativeCache(capacity)
+        sa = SetAssociativeCache(capacity, associativity=4)
+        fa.access_many(addresses)
+        sa.access_many(addresses)
+        fa_second = fa.access_many(addresses)
+        sa_second = sa.access_many(addresses)
+        assert fa_second == len(addresses)
+        assert fa_second >= sa_second
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache(1024, line_size_bytes=100)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache(1024).access(-4)
+
+    def test_reset_stats(self):
+        cache = FullyAssociativeCache(1024)
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_fa_hit_rate_at_least_sa(self, addresses):
+        fa = FullyAssociativeCache(4 * 1024)
+        sa = SetAssociativeCache(4 * 1024, associativity=4)
+        fa_hits = fa.access_many(addresses)
+        sa_hits = sa.access_many(addresses)
+        assert fa_hits >= sa_hits

@@ -1,0 +1,106 @@
+"""Tests for repro.cache.rank_cache (the memory-side RankCache)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.rank_cache import RankCache
+
+
+class TestRankCacheBehaviour:
+    def test_miss_then_hit(self):
+        cache = RankCache(capacity_bytes=1024, vector_size_bytes=64)
+        assert cache.lookup(100) is False
+        assert cache.lookup(100) is True
+
+    def test_bypass_does_not_allocate(self):
+        cache = RankCache(capacity_bytes=1024, vector_size_bytes=64)
+        assert cache.lookup(7, locality_hint=False) is False
+        assert cache.lookup(7, locality_hint=True) is False   # still a miss
+        assert cache.stats.bypasses == 1
+        assert cache.stats.misses == 1
+
+    def test_bypass_does_not_evict(self):
+        cache = RankCache(capacity_bytes=128, vector_size_bytes=64)  # 2 slots
+        cache.lookup(1)
+        cache.lookup(2)
+        cache.lookup(3, locality_hint=False)   # must not evict 1 or 2
+        assert cache.contains(1)
+        assert cache.contains(2)
+        assert not cache.contains(3)
+
+    def test_bypassed_entry_can_still_hit_if_resident(self):
+        cache = RankCache(capacity_bytes=1024, vector_size_bytes=64)
+        cache.lookup(5, locality_hint=True)
+        # Even with the hint cleared, a resident vector is a hit.
+        assert cache.lookup(5, locality_hint=False) is True
+
+    def test_lru_eviction(self):
+        cache = RankCache(capacity_bytes=128, vector_size_bytes=64)
+        cache.lookup(1)
+        cache.lookup(2)
+        cache.lookup(1)
+        cache.lookup(3)
+        assert cache.contains(1)
+        assert not cache.contains(2)
+
+    def test_capacity_in_vectors(self):
+        cache = RankCache(capacity_bytes=128 * 1024, vector_size_bytes=256)
+        assert cache.num_entries == 512
+
+    def test_hit_rate_counts_bypasses_as_misses(self):
+        cache = RankCache(capacity_bytes=1024)
+        cache.lookup(1)                          # miss
+        cache.lookup(1)                          # hit
+        cache.lookup(2, locality_hint=False)     # bypass
+        assert cache.stats.lookups == 3
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_flush_and_reset(self):
+        cache = RankCache(capacity_bytes=1024)
+        cache.lookup(1)
+        cache.flush()
+        assert cache.occupancy == 0
+        cache.reset_stats()
+        assert cache.stats.lookups == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            RankCache(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            RankCache(vector_size_bytes=0)
+        with pytest.raises(ValueError):
+            RankCache().lookup(-1)
+
+
+class TestRankCacheProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=500),
+                              st.booleans()),
+                    min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded(self, lookups):
+        cache = RankCache(capacity_bytes=16 * 64, vector_size_bytes=64)
+        for address, hint in lookups:
+            cache.lookup(address, locality_hint=hint)
+        assert cache.occupancy <= cache.num_entries
+
+    @given(st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_counters_consistent(self, addresses):
+        cache = RankCache(capacity_bytes=8 * 64, vector_size_bytes=64)
+        for address in addresses:
+            cache.lookup(address)
+        stats = cache.stats
+        assert stats.hits + stats.misses == len(addresses)
+        assert stats.bypasses == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_all_bypass_never_caches(self, addresses):
+        cache = RankCache(capacity_bytes=8 * 64, vector_size_bytes=64)
+        for address in addresses:
+            cache.lookup(address, locality_hint=False)
+        assert cache.occupancy == 0
+        assert cache.stats.hits == 0

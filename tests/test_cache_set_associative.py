@@ -1,0 +1,130 @@
+"""Tests for repro.cache.set_associative."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.set_associative import SetAssociativeCache
+
+
+class TestConstruction:
+    def test_basic_geometry(self):
+        cache = SetAssociativeCache(16 * 1024, line_size_bytes=64,
+                                    associativity=4)
+        assert cache.num_sets == 64
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, line_size_bytes=96)
+
+    def test_rejects_indivisible_associativity(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64 * 3, line_size_bytes=64, associativity=4)
+
+
+class TestBehaviour:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(1024, associativity=4)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = SetAssociativeCache(1024, line_size_bytes=64)
+        cache.access(0)
+        assert cache.access(63) is True
+        assert cache.access(64) is False
+
+    def test_lru_eviction(self):
+        # Single-set cache of 2 ways.
+        cache = SetAssociativeCache(128, line_size_bytes=64, associativity=2)
+        assert cache.num_sets == 1
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)            # refresh line 0 -> line 64 becomes LRU
+        cache.access(128)          # evicts line 64
+        assert cache.access(0) is True
+        assert cache.access(64) is False
+
+    def test_eviction_counted(self):
+        cache = SetAssociativeCache(128, line_size_bytes=64, associativity=2)
+        for i in range(3):
+            cache.access(i * 64)
+        assert cache.stats.evictions == 1
+
+    def test_flush_clears_contents_not_stats(self):
+        cache = SetAssociativeCache(1024)
+        cache.access(0)
+        cache.flush()
+        assert not cache.contains(0)
+        assert cache.stats.misses == 1
+
+    def test_reset_stats(self):
+        cache = SetAssociativeCache(1024)
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+    def test_access_many_returns_hits(self):
+        cache = SetAssociativeCache(4096)
+        hits = cache.access_many([0, 64, 0, 64, 128])
+        assert hits == 2
+
+    def test_hit_rate(self):
+        cache = SetAssociativeCache(4096)
+        cache.access_many([0, 0, 0, 0])
+        assert cache.hit_rate == pytest.approx(0.75)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024).access(-1)
+
+    def test_working_set_fits_all_hits_second_pass(self):
+        cache = SetAssociativeCache(64 * 1024, associativity=4)
+        addresses = [i * 64 for i in range(512)]    # 32 KB working set
+        cache.access_many(addresses)
+        hits = cache.access_many(addresses)
+        assert hits == 512
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = SetAssociativeCache(8 * 1024)
+        cache.access_many(addresses)
+        assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                    min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = SetAssociativeCache(4 * 1024)
+        cache.access_many(addresses)
+        assert cache.resident_lines <= 4 * 1024 // 64
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 18),
+                    min_size=1, max_size=200),
+           st.integers(min_value=0, max_value=1 << 18))
+    @settings(max_examples=30, deadline=None)
+    def test_immediate_reaccess_always_hits(self, addresses, probe):
+        cache = SetAssociativeCache(8 * 1024)
+        cache.access_many(addresses)
+        cache.access(probe)
+        assert cache.access(probe) is True
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_larger_cache_never_fewer_hits(self, addresses):
+        small = SetAssociativeCache(4 * 1024)
+        large = SetAssociativeCache(64 * 1024)
+        small_hits = small.access_many(addresses)
+        large_hits = large.access_many(addresses)
+        assert large_hits >= small_hits

@@ -1,0 +1,112 @@
+"""Tests for repro.core.memory_controller (the NMP extension)."""
+
+import pytest
+
+from repro.core.instruction import (
+    DDR_CMD_ACT,
+    DDR_CMD_PRE,
+    DDR_CMD_RD,
+    NMPInstruction,
+    NMPPacket,
+)
+from repro.core.memory_controller import NMPMemoryController
+from repro.core.processing_unit import RecNMPChannel
+from repro.core.rank_nmp import RankNMPConfig
+
+FULL_CMD = DDR_CMD_ACT | DDR_CMD_RD | DDR_CMD_PRE
+
+
+def _packet(table_id, batch_index, packet_id, count=8, stride=997):
+    instructions = [
+        NMPInstruction(ddr_cmd=FULL_CMD,
+                       daddr=(packet_id * 10_000 + i * stride) & 0xFFFFFFFF,
+                       psum_tag=i % 4, table_id=table_id)
+        for i in range(count)
+    ]
+    return NMPPacket(instructions=instructions, table_id=table_id,
+                     batch_index=batch_index, packet_id=packet_id)
+
+
+class TestSubmissionAndDispatch:
+    def test_dispatch_runs_all_packets(self):
+        controller = NMPMemoryController(num_ranks=4)
+        channel = RecNMPChannel(num_dimms=2, ranks_per_dimm=2)
+        controller.submit([_packet(0, 0, i) for i in range(3)])
+        controller.submit([_packet(1, 0, 10 + i) for i in range(3)])
+        total, per_packet = controller.dispatch(channel)
+        assert controller.stats.packets_issued == 6
+        assert controller.stats.instructions_issued == 48
+        assert len(per_packet) == 6
+        assert total >= max(per_packet)
+
+    def test_per_rank_instruction_accounting(self):
+        controller = NMPMemoryController(num_ranks=4)
+        channel = RecNMPChannel(num_dimms=2, ranks_per_dimm=2)
+        controller.submit([_packet(0, 0, 0, count=16)])
+        controller.dispatch(channel)
+        assert sum(controller.stats.per_rank_instructions.values()) == 16
+
+    def test_table_aware_policy_orders_by_table(self):
+        controller = NMPMemoryController(num_ranks=2,
+                                         scheduling_policy="table-aware")
+        controller.submit([_packet(0, 0, 0), _packet(0, 0, 1)])
+        controller.submit([_packet(1, 0, 2), _packet(1, 0, 3)])
+        order = controller.scheduler.schedule()
+        assert [p.table_id for p in order] == [0, 0, 1, 1]
+
+    def test_fcfs_policy_interleaves(self):
+        controller = NMPMemoryController(num_ranks=2,
+                                         scheduling_policy="fcfs")
+        controller.submit([_packet(0, 0, 0), _packet(0, 0, 1)])
+        controller.submit([_packet(1, 0, 2), _packet(1, 0, 3)])
+        order = controller.scheduler.schedule()
+        assert [p.table_id for p in order] == [0, 1, 0, 1]
+
+    def test_reset(self):
+        controller = NMPMemoryController(num_ranks=2)
+        controller.submit([_packet(0, 0, 0)])
+        controller.reset()
+        assert controller.scheduler.num_packets == 0
+        assert controller.stats.packets_received == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NMPMemoryController(num_ranks=0)
+        with pytest.raises(ValueError):
+            NMPMemoryController(reorder_window=0)
+
+
+class TestReordering:
+    def test_reorder_groups_same_row(self):
+        controller = NMPMemoryController(num_ranks=1, reorder_window=8)
+        # Rows alternate A, B, A, B...; reordering should group them.
+        instructions = [NMPInstruction(ddr_cmd=FULL_CMD,
+                                       daddr=(i % 2) * 128 * 64 + i)
+                        for i in range(8)]
+        packet = NMPPacket(instructions=instructions)
+        reordered = controller._reorder_within_packet(packet)
+        rows = [inst.daddr // 128 for inst in reordered]
+        transitions = sum(1 for a, b in zip(rows, rows[1:]) if a != b)
+        original_rows = [inst.daddr // 128 for inst in instructions]
+        original_transitions = sum(1 for a, b in
+                                   zip(original_rows, original_rows[1:])
+                                   if a != b)
+        assert transitions <= original_transitions
+        # No instruction may be lost or duplicated.
+        assert sorted(i.daddr for i in reordered) == \
+            sorted(i.daddr for i in instructions)
+
+    def test_reorder_preserves_instruction_multiset(self):
+        controller = NMPMemoryController(num_ranks=4, reorder_window=4)
+        packet = _packet(0, 0, 0, count=12)
+        reordered = controller._reorder_within_packet(packet)
+        assert sorted(i.daddr for i in reordered) == \
+            sorted(i.daddr for i in packet.instructions)
+
+    def test_dispatch_without_reorder(self):
+        controller = NMPMemoryController(num_ranks=2)
+        channel = RecNMPChannel(num_dimms=1, ranks_per_dimm=2,
+                                rank_config=RankNMPConfig(use_cache=False))
+        controller.submit([_packet(0, 0, 0)])
+        total, _ = controller.dispatch(channel, reorder=False)
+        assert total > 0

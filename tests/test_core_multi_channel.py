@@ -1,0 +1,100 @@
+"""Tests for repro.core.multi_channel (software-coordinated channels)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_channel import MultiChannelRecNMP
+from repro.core.simulator import RecNMPConfig
+from repro.dlrm.operators import SLSRequest
+
+NUM_ROWS = 10_000
+VECTOR_BYTES = 128
+
+
+def _address_of(table_id, row):
+    return table_id * NUM_ROWS * VECTOR_BYTES + row * VECTOR_BYTES
+
+
+def _requests(num_tables=4, batch=4, pooling=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return [SLSRequest(table_id=t,
+                       indices=rng.integers(0, NUM_ROWS,
+                                            size=batch * pooling),
+                       lengths=np.full(batch, pooling))
+            for t in range(num_tables)]
+
+
+def _coordinator(num_channels=2, **config_overrides):
+    defaults = dict(num_dimms=1, ranks_per_dimm=2,
+                    vector_size_bytes=VECTOR_BYTES)
+    defaults.update(config_overrides)
+    return MultiChannelRecNMP(num_channels=num_channels,
+                              channel_config=RecNMPConfig(**defaults),
+                              address_of=_address_of)
+
+
+class TestPartitioning:
+    def test_tables_round_robin_over_channels(self):
+        coordinator = _coordinator(num_channels=2)
+        assert coordinator.channel_of_table(0) == 0
+        assert coordinator.channel_of_table(1) == 1
+        assert coordinator.channel_of_table(2) == 0
+
+    def test_partition_preserves_all_requests(self):
+        coordinator = _coordinator(num_channels=2)
+        requests = _requests(num_tables=5)
+        partitions = coordinator.partition_requests(requests)
+        assert sum(len(p) for p in partitions) == 5
+        assert len(partitions[0]) == 3 and len(partitions[1]) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiChannelRecNMP(num_channels=0)
+        with pytest.raises(ValueError):
+            _coordinator().channel_of_table(-1)
+
+
+class TestExecution:
+    def test_aggregate_accounting(self):
+        coordinator = _coordinator(num_channels=2)
+        requests = _requests(num_tables=4, seed=1)
+        result = coordinator.run_requests(requests, compare_baseline=False)
+        assert result.num_channels == 2
+        assert result.total_cycles == max(result.per_channel_cycles)
+        assert sum(result.per_channel_instructions) == 4 * 4 * 16
+        assert 0.5 <= result.channel_utilization <= 1.0
+        assert result.energy_nj > 0
+
+    def test_two_channels_faster_than_one(self):
+        requests = _requests(num_tables=4, seed=2)
+        single = _coordinator(num_channels=1).run_requests(
+            requests, compare_baseline=False)
+        dual = _coordinator(num_channels=2).run_requests(
+            requests, compare_baseline=False)
+        assert dual.total_cycles < single.total_cycles
+
+    def test_speedup_vs_baseline(self):
+        coordinator = _coordinator(num_channels=2, num_dimms=2)
+        result = coordinator.run_requests(_requests(num_tables=4, seed=3))
+        assert result.baseline_cycles > 0
+        assert result.speedup_vs_baseline > 1.0
+        assert result.baseline_energy_nj > result.energy_nj
+
+    def test_empty_channel_tolerated(self):
+        # One table on a two-channel system leaves channel 1 idle.
+        coordinator = _coordinator(num_channels=2)
+        result = coordinator.run_requests(_requests(num_tables=1, seed=4),
+                                          compare_baseline=False)
+        assert result.per_channel_instructions[1] == 0
+        assert result.total_cycles > 0
+
+    def test_no_requests_rejected(self):
+        with pytest.raises(ValueError):
+            _coordinator().run_requests([], compare_baseline=False)
+
+    def test_reset(self):
+        coordinator = _coordinator(num_channels=2)
+        coordinator.run_requests(_requests(seed=5), compare_baseline=False)
+        coordinator.reset()
+        for simulator in coordinator.simulators:
+            assert simulator.channel.aggregate_stats()["instructions"] == 0

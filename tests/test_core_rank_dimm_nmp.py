@@ -1,0 +1,217 @@
+"""Tests for repro.core.rank_nmp, dimm_nmp and processing_unit."""
+
+import pytest
+
+from repro.core.dimm_nmp import DimmNMP
+from repro.core.instruction import (
+    DDR_CMD_ACT,
+    DDR_CMD_PRE,
+    DDR_CMD_RD,
+    NMPInstruction,
+    NMPPacket,
+)
+from repro.core.processing_unit import RecNMPChannel, RecNMPProcessingUnit
+from repro.core.rank_nmp import RankNMP, RankNMPConfig
+from repro.dram.timing import DDR4_2400
+
+FULL_CMD = DDR_CMD_ACT | DDR_CMD_RD | DDR_CMD_PRE
+
+
+def _instructions(count, stride_blocks=1000, vsize=1, locality=True,
+                  psum_tags=1):
+    return [NMPInstruction(ddr_cmd=FULL_CMD, daddr=i * stride_blocks,
+                           vsize=vsize, locality_bit=locality,
+                           psum_tag=i % psum_tags)
+            for i in range(count)]
+
+
+class TestRankNMP:
+    def test_single_miss_latency(self):
+        rank = RankNMP(RankNMPConfig(use_cache=False))
+        completion = rank.execute_instruction(_instructions(1)[0])
+        minimum = DDR4_2400.tRCD + DDR4_2400.tCL + DDR4_2400.tBL
+        assert completion >= minimum
+
+    def test_cache_hit_is_fast(self):
+        config = RankNMPConfig(use_cache=True, cache_capacity_bytes=4096)
+        rank = RankNMP(config)
+        inst = _instructions(1)[0]
+        rank.execute_instruction(inst)
+        start = rank.current_cycle
+        completion = rank.execute_instruction(inst)
+        assert rank.stats.cache_hits == 1
+        assert completion - start <= (config.cache_latency_cycles
+                                      + config.adder_latency_cycles)
+
+    def test_bypass_skips_cache(self):
+        rank = RankNMP(RankNMPConfig(use_cache=True))
+        inst = NMPInstruction(ddr_cmd=FULL_CMD, daddr=10, locality_bit=False)
+        rank.execute_instruction(inst)
+        rank.execute_instruction(inst)
+        assert rank.stats.cache_hits == 0
+        assert rank.stats.cache_bypasses == 2
+
+    def test_throughput_pipelines_row_misses(self):
+        # 64 random-row lookups must take far less than 64 serialized
+        # PRE+ACT+RD latency chains thanks to bank-level pipelining.
+        rank = RankNMP(RankNMPConfig(use_cache=False))
+        instructions = _instructions(64, stride_blocks=997)
+        last = rank.execute_instructions(instructions)
+        serialized = 64 * (DDR4_2400.tRP + DDR4_2400.tRCD + DDR4_2400.tCL)
+        assert last < serialized * 0.5
+
+    def test_weighted_instruction_uses_multiplier(self):
+        config = RankNMPConfig(use_cache=False)
+        rank = RankNMP(config)
+        unweighted = rank.execute_instruction(
+            NMPInstruction(ddr_cmd=FULL_CMD, daddr=1, weight=1.0))
+        rank2 = RankNMP(config)
+        weighted = rank2.execute_instruction(
+            NMPInstruction(ddr_cmd=FULL_CMD, daddr=1, weight=0.5))
+        assert weighted == unweighted + config.multiplier_latency_cycles
+
+    def test_psum_counts(self):
+        rank = RankNMP(RankNMPConfig(use_cache=False))
+        rank.execute_instructions(_instructions(8, psum_tags=4))
+        assert rank.psum_count(0) == 2
+        assert rank.psum_count(3) == 2
+        rank.reset_psums()
+        assert rank.psum_count(0) == 0
+
+    def test_stats_bytes(self):
+        rank = RankNMP(RankNMPConfig(use_cache=False, vector_size_bytes=256))
+        rank.execute_instructions(_instructions(4, vsize=4))
+        assert rank.stats.bytes_from_dram == 4 * 256
+
+    def test_reset(self):
+        rank = RankNMP()
+        rank.execute_instructions(_instructions(4))
+        rank.reset()
+        assert rank.current_cycle == 0
+        assert rank.stats.instructions == 0
+        assert rank.cache.occupancy == 0
+
+    def test_decode_bank_row_ranges(self):
+        rank = RankNMP()
+        for daddr in (0, 1, 127, 128, 5000, (1 << 32) - 1):
+            bank_group, bank, row, column = rank.decode_bank_row(daddr)
+            assert 0 <= bank_group < 4
+            assert 0 <= bank < 4
+            assert 0 <= column < 128
+            assert row >= 0
+
+    def test_arrival_cycles_respected(self):
+        rank = RankNMP(RankNMPConfig(use_cache=False))
+        completion = rank.execute_instruction(_instructions(1)[0],
+                                              arrival_cycle=500)
+        assert completion > 500
+
+
+class TestDimmNMP:
+    def test_packet_execution_uses_all_ranks(self):
+        dimm = DimmNMP(num_ranks=2,
+                       rank_config=RankNMPConfig(use_cache=False))
+        packet = NMPPacket(instructions=_instructions(16))
+        completion, per_rank = dimm.execute_packet(packet)
+        assert len(per_rank) == 2
+        assert completion >= max(per_rank)
+        assert dimm.stats.instructions_dispatched == 16
+
+    def test_more_ranks_is_faster(self):
+        packet = NMPPacket(instructions=_instructions(64, stride_blocks=997))
+        slow = DimmNMP(num_ranks=1,
+                       rank_config=RankNMPConfig(use_cache=False))
+        fast = DimmNMP(num_ranks=4,
+                       rank_config=RankNMPConfig(use_cache=False))
+        slow_completion, _ = slow.execute_packet(packet)
+        packet2 = NMPPacket(instructions=_instructions(64, stride_blocks=997))
+        fast_completion, _ = fast.execute_packet(packet2)
+        assert fast_completion < slow_completion
+
+    def test_rank_load_distribution(self):
+        dimm = DimmNMP(num_ranks=4)
+        packet = NMPPacket(instructions=_instructions(16, stride_blocks=1))
+        load = dimm.rank_load_distribution(packet)
+        assert sum(load) == 16
+        assert load == [4, 4, 4, 4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DimmNMP(num_ranks=0)
+        with pytest.raises(ValueError):
+            DimmNMP(dispatch_rate_insts_per_cycle=0)
+
+    def test_reset(self):
+        dimm = DimmNMP(num_ranks=2)
+        dimm.execute_packet(NMPPacket(instructions=_instructions(4)))
+        dimm.reset()
+        assert dimm.stats.packets == 0
+        assert dimm.rank_nmps[0].stats.instructions == 0
+
+
+class TestRecNMPChannel:
+    def test_rank_indexing(self):
+        channel = RecNMPChannel(num_dimms=2, ranks_per_dimm=2)
+        assert channel.num_ranks == 4
+        assert len(channel.all_rank_nmps()) == 4
+        assert channel.rank_nmp(3) is \
+            channel.processing_units[1].rank_nmps[1]
+
+    def test_packet_execution_scales_with_ranks(self):
+        def run(num_dimms, ranks_per_dimm):
+            channel = RecNMPChannel(
+                num_dimms=num_dimms, ranks_per_dimm=ranks_per_dimm,
+                rank_config=RankNMPConfig(use_cache=False))
+            packet = NMPPacket(
+                instructions=_instructions(128, stride_blocks=997))
+            return channel.execute_packet(packet)
+
+        two_ranks = run(1, 2)
+        eight_ranks = run(4, 2)
+        assert eight_ranks < two_ranks
+
+    def test_custom_rank_assignment(self):
+        channel = RecNMPChannel(num_dimms=1, ranks_per_dimm=2,
+                                rank_config=RankNMPConfig(use_cache=False))
+        packet = NMPPacket(instructions=_instructions(8))
+        channel.execute_packet(packet, rank_of_instruction=lambda inst: 1)
+        stats = channel.aggregate_stats()
+        assert stats["instructions"] == 8
+        assert channel.rank_nmp(0).stats.instructions == 0
+        assert channel.rank_nmp(1).stats.instructions == 8
+
+    def test_invalid_rank_assignment_rejected(self):
+        channel = RecNMPChannel(num_dimms=1, ranks_per_dimm=2)
+        packet = NMPPacket(instructions=_instructions(1))
+        with pytest.raises(ValueError):
+            channel.execute_packet(packet, rank_of_instruction=lambda i: 5)
+
+    def test_rank_load(self):
+        channel = RecNMPChannel(num_dimms=1, ranks_per_dimm=2)
+        packet = NMPPacket(instructions=_instructions(10, stride_blocks=1))
+        load = channel.rank_load(packet)
+        assert sum(load) == 10
+
+    def test_processing_unit_wrapper(self):
+        pu = RecNMPProcessingUnit(num_ranks=2)
+        packet = NMPPacket(instructions=_instructions(8))
+        completion = pu.execute_packet(packet)
+        assert completion > 0
+        assert pu.stats()["instructions_dispatched"] == 8
+        pu.reset()
+        assert pu.stats()["instructions_dispatched"] == 0
+
+    def test_aggregate_stats_hit_rate(self):
+        channel = RecNMPChannel(num_dimms=1, ranks_per_dimm=1)
+        instructions = _instructions(4, stride_blocks=0)  # same address
+        packet = NMPPacket(instructions=instructions)
+        channel.execute_packet(packet)
+        stats = channel.aggregate_stats()
+        assert stats["cache_hits"] == 3
+        assert stats["cache_hit_rate"] == pytest.approx(0.75)
+
+    def test_reset(self):
+        channel = RecNMPChannel(num_dimms=1, ranks_per_dimm=2)
+        channel.execute_packet(NMPPacket(instructions=_instructions(4)))
+        channel.reset()
+        assert channel.aggregate_stats()["instructions"] == 0

@@ -1,0 +1,136 @@
+"""Tests for repro.core.scheduler and repro.core.hot_entry."""
+
+import numpy as np
+import pytest
+
+from repro.cache.rank_cache import RankCache
+from repro.core.hot_entry import HotEntryProfiler
+from repro.core.instruction import NMPInstruction, NMPPacket
+from repro.core.scheduler import (
+    PacketScheduler,
+    fcfs_interleaved_order,
+    table_aware_order,
+)
+from repro.dlrm.operators import SLSRequest
+
+
+def _packet(table_id, batch_index, packet_id, model_id=0):
+    return NMPPacket(instructions=[NMPInstruction(daddr=packet_id)],
+                     table_id=table_id, model_id=model_id,
+                     batch_index=batch_index, packet_id=packet_id)
+
+
+class TestOrderings:
+    def test_fcfs_interleaves_sources(self):
+        a = [_packet(0, 0, i) for i in range(3)]
+        b = [_packet(1, 0, 10 + i) for i in range(3)]
+        order = fcfs_interleaved_order([a, b])
+        assert [p.table_id for p in order] == [0, 1, 0, 1, 0, 1]
+
+    def test_fcfs_handles_uneven_sources(self):
+        a = [_packet(0, 0, 0)]
+        b = [_packet(1, 0, 1), _packet(1, 0, 2)]
+        order = fcfs_interleaved_order([a, b])
+        assert len(order) == 3
+
+    def test_table_aware_groups_same_table(self):
+        a = [_packet(0, 0, i) for i in range(3)]
+        b = [_packet(1, 0, 10 + i) for i in range(3)]
+        order = table_aware_order([a, b])
+        assert [p.table_id for p in order] == [0, 0, 0, 1, 1, 1]
+
+    def test_table_aware_separates_batches(self):
+        packets = [_packet(0, 0, 0), _packet(0, 1, 1), _packet(0, 0, 2)]
+        order = table_aware_order([packets])
+        assert [p.packet_id for p in order] == [0, 2, 1]
+
+
+class TestPacketScheduler:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            PacketScheduler(policy="random")
+
+    def test_schedule_preserves_packet_count(self):
+        scheduler = PacketScheduler(policy="table-aware")
+        scheduler.add_source([_packet(0, 0, i) for i in range(4)])
+        scheduler.add_source([_packet(1, 0, 10 + i) for i in range(4)])
+        assert scheduler.num_packets == 8
+        assert len(scheduler.schedule()) == 8
+
+    def test_empty_schedule(self):
+        assert PacketScheduler().schedule() == []
+
+    def test_locality_span_smaller_for_table_aware(self):
+        sources = [[_packet(t, 0, t * 10 + i) for i in range(5)]
+                   for t in range(4)]
+        fcfs = PacketScheduler(policy="fcfs")
+        aware = PacketScheduler(policy="table-aware")
+        for source in sources:
+            fcfs.add_source(source)
+            aware.add_source(source)
+        assert PacketScheduler.locality_span(aware.schedule()) < \
+            PacketScheduler.locality_span(fcfs.schedule())
+
+    def test_clear(self):
+        scheduler = PacketScheduler()
+        scheduler.add_source([_packet(0, 0, 0)])
+        scheduler.clear()
+        assert scheduler.num_sources == 0
+
+
+class TestHotEntryProfiler:
+    def test_threshold_marks_repeated_rows(self):
+        profiler = HotEntryProfiler(threshold=2)
+        profile = profiler.profile([1, 2, 1, 3, 1, 2])
+        assert profile.is_hot(1)
+        assert profile.is_hot(2)
+        assert not profile.is_hot(3)
+
+    def test_threshold_one_marks_everything(self):
+        profile = HotEntryProfiler(threshold=1).profile([4, 5, 6])
+        assert profile.num_hot_rows == 3
+
+    def test_hot_access_fraction(self):
+        profile = HotEntryProfiler(threshold=2).profile([1, 1, 1, 2])
+        assert profile.hot_access_fraction == pytest.approx(0.75)
+
+    def test_profile_requests_groups_by_table(self):
+        profiler = HotEntryProfiler(threshold=2)
+        requests = [
+            SLSRequest(table_id=0, indices=[1, 1], lengths=[2]),
+            SLSRequest(table_id=1, indices=[2, 3], lengths=[2]),
+            SLSRequest(table_id=1, indices=[2, 4], lengths=[2]),
+        ]
+        results = profiler.profile_requests(requests)
+        assert results[0].is_hot(1)
+        # Row 2 appears twice for table 1 across the two requests.
+        assert results[1].is_hot(2)
+        assert not results[1].is_hot(3)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            HotEntryProfiler(threshold=0)
+
+    def test_sweep_threshold_picks_best_hit_rate(self):
+        rng = np.random.default_rng(0)
+        hot = rng.integers(0, 20, size=600)          # heavy reuse of 20 rows
+        cold = rng.integers(20, 100_000, size=400)   # single-use rows
+        indices = np.concatenate([hot, cold])
+        rng.shuffle(indices)
+        cache = RankCache(capacity_bytes=64 * 64, vector_size_bytes=64)
+        best, results = HotEntryProfiler.sweep_threshold(
+            indices, cache, address_of=lambda row: row * 64,
+            thresholds=(1, 2, 4))
+        assert best in results
+        assert results[best] == max(results.values())
+        # Filtering single-use rows must beat caching everything.
+        assert results[best] >= results[1]
+
+    def test_profiling_overhead_below_two_percent(self):
+        profiler = HotEntryProfiler()
+        overhead = profiler.profiling_overhead_fraction(batch_lookups=80_000)
+        assert overhead < 0.02
+
+    def test_overhead_validation(self):
+        with pytest.raises(ValueError):
+            HotEntryProfiler().profiling_overhead_fraction(-1)

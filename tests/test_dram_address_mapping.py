@@ -1,0 +1,139 @@
+"""Tests for repro.dram.address_mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address_mapping import (
+    InterleavedVectorMapping,
+    MemoryGeometry,
+    PageColoringMapping,
+    SimplePageMapper,
+    SkylakeAddressMapping,
+)
+
+
+class TestMemoryGeometry:
+    def test_default_capacity_matches_table1(self):
+        geometry = MemoryGeometry()
+        # 4 channels x 1 DIMM x 2 ranks x 16 banks x 64K rows x 8 KB = 64 GB.
+        assert geometry.total_bytes == 64 * 1024 ** 3
+
+    def test_row_size(self):
+        assert MemoryGeometry().row_size_bytes == 8192
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MemoryGeometry(num_channels=0)
+
+
+class TestSkylakeMapping:
+    def test_fields_in_range(self):
+        mapping = SkylakeAddressMapping()
+        g = mapping.geometry
+        for address in range(0, 1 << 22, 4096 + 64):
+            decoded = mapping.map(address)
+            assert 0 <= decoded.channel < g.num_channels
+            assert 0 <= decoded.dimm < g.dimms_per_channel
+            assert 0 <= decoded.rank < g.ranks_per_dimm
+            assert 0 <= decoded.bank_group < g.bank_groups
+            assert 0 <= decoded.bank < g.banks_per_group
+            assert 0 <= decoded.row < g.rows_per_bank
+            assert 0 <= decoded.column < g.columns_per_row
+
+    def test_same_block_same_coordinates(self):
+        mapping = SkylakeAddressMapping()
+        assert mapping.map(128) == mapping.map(128 + 63)
+
+    def test_consecutive_blocks_rotate_channels(self):
+        mapping = SkylakeAddressMapping()
+        channels = {mapping.map(64 * i).channel for i in range(4)}
+        assert channels == {0, 1, 2, 3}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SkylakeAddressMapping().map(-1)
+
+    @given(st.integers(min_value=0, max_value=2**36))
+    @settings(max_examples=200, deadline=None)
+    def test_always_in_range(self, address):
+        mapping = SkylakeAddressMapping()
+        g = mapping.geometry
+        decoded = mapping.map(address)
+        assert 0 <= decoded.channel < g.num_channels
+        assert 0 <= decoded.rank < g.ranks_per_dimm
+        assert 0 <= decoded.bank_group < g.bank_groups
+        assert 0 <= decoded.bank < g.banks_per_group
+        assert 0 <= decoded.column < g.columns_per_row
+        assert 0 <= decoded.row < g.rows_per_bank
+
+
+class TestPageColoring:
+    def test_explicit_color_pins_rank(self):
+        mapping = PageColoringMapping()
+        mapping.assign_color(0, 1)
+        decoded = mapping.map(100)        # inside page frame 0
+        assert decoded.rank_global(mapping.geometry.ranks_per_dimm) == 1
+
+    def test_whole_page_same_rank(self):
+        mapping = PageColoringMapping()
+        mapping.assign_color(3, 0)
+        base = 3 * 4096
+        ranks = {mapping.map(base + offset).rank_global(
+            mapping.geometry.ranks_per_dimm) for offset in range(0, 4096, 64)}
+        assert ranks == {0}
+
+    def test_default_round_robin(self):
+        mapping = PageColoringMapping()
+        colors = {mapping.color_of_page(p) for p in range(8)}
+        assert colors == {0, 1}
+
+    def test_rejects_invalid_rank(self):
+        with pytest.raises(ValueError):
+            PageColoringMapping().assign_color(0, 99)
+
+
+class TestInterleavedVectorMapping:
+    def test_consecutive_blocks_rotate_dimms(self):
+        geometry = MemoryGeometry(dimms_per_channel=4)
+        mapping = InterleavedVectorMapping(geometry)
+        dimms = [mapping.map(64 * i).dimm for i in range(4)]
+        assert dimms == [0, 1, 2, 3]
+
+    def test_small_vector_stays_on_one_dimm(self):
+        geometry = MemoryGeometry(dimms_per_channel=4)
+        mapping = InterleavedVectorMapping(geometry)
+        # A 64 B vector occupies exactly one block and therefore one DIMM --
+        # TensorDIMM's limitation with small embedding vectors.
+        first = mapping.map(0)
+        second = mapping.map(63)
+        assert first.dimm == second.dimm
+
+
+class TestSimplePageMapper:
+    def test_deterministic(self):
+        a = SimplePageMapper(seed=3)
+        b = SimplePageMapper(seed=3)
+        addresses = [4096 * i + 7 for i in range(50)]
+        assert [a.translate(x) for x in addresses] == \
+            [b.translate(x) for x in addresses]
+
+    def test_offset_preserved(self):
+        mapper = SimplePageMapper(seed=0)
+        physical = mapper.translate(4096 + 123)
+        assert physical % 4096 == 123
+
+    def test_same_page_same_frame(self):
+        mapper = SimplePageMapper(seed=0)
+        first = mapper.translate(8192)
+        second = mapper.translate(8192 + 100)
+        assert second - first == 100
+
+    def test_distinct_pages_get_distinct_frames(self):
+        mapper = SimplePageMapper(seed=1)
+        frames = {mapper.translate(4096 * i) // 4096 for i in range(200)}
+        assert len(frames) == 200
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimplePageMapper().translate(-5)

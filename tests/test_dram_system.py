@@ -1,0 +1,102 @@
+"""Tests for repro.dram.system and repro.dram.energy."""
+
+import pytest
+
+from repro.dram.energy import DramEnergyModel, DramEnergyParameters
+from repro.dram.system import DramSystem, DramSystemConfig
+from repro.dram.timing import DDR4_2400
+
+
+class TestDramSystemConfig:
+    def test_defaults_match_table1(self):
+        config = DramSystemConfig()
+        assert config.num_channels == 4
+        assert config.ranks_per_dimm == 2
+        assert config.queue_depth == 32
+        assert config.peak_bandwidth_gbps == pytest.approx(76.8)
+
+    def test_total_ranks(self):
+        assert DramSystemConfig().total_ranks == 8
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            DramSystemConfig(num_channels=0)
+
+
+class TestDramSystemExecution:
+    def test_trace_distributes_over_channels(self):
+        system = DramSystem(DramSystemConfig(num_channels=2))
+        addresses = [i * 64 for i in range(64)]
+        result = system.run_trace(addresses)
+        assert result.requests == 64
+        assert len(result.per_channel_stats) == 2
+
+    def test_multi_channel_faster_than_single(self):
+        addresses = [i * 64 for i in range(256)]
+        single = DramSystem(DramSystemConfig(num_channels=1)).run_trace(
+            addresses)
+        quad = DramSystem(DramSystemConfig(num_channels=4)).run_trace(
+            addresses)
+        assert quad.cycles < single.cycles
+
+    def test_large_requests_expand_to_bursts(self):
+        system = DramSystem(DramSystemConfig(num_channels=1))
+        addresses = [i * 256 for i in range(32)]
+        small = system.run_trace(addresses, request_bytes=64)
+        system2 = DramSystem(DramSystemConfig(num_channels=1))
+        large = system2.run_trace(addresses, request_bytes=256)
+        assert large.requests == 4 * small.requests
+        assert large.cycles > small.cycles
+
+    def test_rejects_bad_request_bytes(self):
+        system = DramSystem()
+        with pytest.raises(ValueError):
+            system.run_trace([0], request_bytes=100)
+
+    def test_bandwidth_below_peak(self):
+        system = DramSystem(DramSystemConfig(num_channels=1))
+        addresses = [i * 64 for i in range(512)]
+        result = system.run_trace(addresses)
+        per_channel_peak = DDR4_2400.data_rate_mts * 1e6 * 8 / 1e9
+        assert 0 < result.achieved_bandwidth_gbps <= per_channel_peak * 1.01
+
+    def test_energy_reported(self):
+        system = DramSystem(DramSystemConfig(num_channels=1))
+        result = system.run_trace([i * 4096 for i in range(64)])
+        assert result.energy_nj > 0
+        assert result.energy_breakdown["activate_nj"] > 0
+
+
+class TestDramEnergyModel:
+    def test_activation_energy(self):
+        model = DramEnergyModel()
+        breakdown = model.energy(activations=10, bytes_read=0,
+                                 bytes_to_host=0, elapsed_ns=0)
+        assert breakdown.activate_nj == pytest.approx(21.0)
+
+    def test_read_and_io_energy(self):
+        model = DramEnergyModel()
+        breakdown = model.energy(activations=0, bytes_read=64,
+                                 bytes_to_host=64, elapsed_ns=0)
+        assert breakdown.read_write_nj == pytest.approx(64 * 8 * 14 / 1000)
+        assert breakdown.offchip_io_nj == pytest.approx(64 * 8 * 22 / 1000)
+
+    def test_background_energy_scales_with_time_and_ranks(self):
+        model = DramEnergyModel()
+        one = model.energy(0, 0, 0, elapsed_ns=1000, active_ranks=1)
+        two = model.energy(0, 0, 0, elapsed_ns=1000, active_ranks=2)
+        assert two.background_nj == pytest.approx(2 * one.background_nj)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            DramEnergyModel().energy(-1, 0, 0, 0)
+
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            DramEnergyParameters(activate_nj=-1)
+
+    def test_total_is_sum(self):
+        breakdown = DramEnergyModel().energy(5, 640, 640, 100.0, 2)
+        parts = (breakdown.activate_nj + breakdown.read_write_nj
+                 + breakdown.offchip_io_nj + breakdown.background_nj)
+        assert breakdown.total_nj == pytest.approx(parts)

@@ -1,0 +1,193 @@
+"""Tests for repro.traces (trace containers and synthetic generators)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.set_associative import SetAssociativeCache
+from repro.traces.production import (
+    ProductionTraceGenerator,
+    make_combined_trace,
+    make_production_table_traces,
+)
+from repro.traces.synthetic import (
+    batched_requests_from_trace,
+    hotset_trace,
+    random_trace,
+    zipf_trace,
+)
+from repro.traces.trace import CombinedTrace, EmbeddingTrace
+
+
+class TestEmbeddingTrace:
+    def test_basic_properties(self):
+        trace = EmbeddingTrace(table_id=0, indices=[1, 2, 2, 3],
+                               num_rows=10, name="T1")
+        assert len(trace) == 4
+        assert trace.unique_fraction() == pytest.approx(0.75)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingTrace(table_id=0, indices=[10], num_rows=10)
+        with pytest.raises(ValueError):
+            EmbeddingTrace(table_id=0, indices=[-1], num_rows=10)
+
+    def test_slice(self):
+        trace = EmbeddingTrace(table_id=1, indices=list(range(10)),
+                               num_rows=10)
+        sub = trace.slice(2, 5)
+        assert list(sub.indices) == [2, 3, 4]
+        assert sub.table_id == 1
+
+    def test_reuse_histogram(self):
+        trace = EmbeddingTrace(table_id=0, indices=[0, 0, 0, 1], num_rows=5)
+        histogram = trace.reuse_histogram(max_count=4)
+        assert histogram[1] == 1      # one row accessed once
+        assert histogram[3] == 1      # one row accessed three times
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = random_trace(100, 50, seed=0)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = EmbeddingTrace.load(path)
+        np.testing.assert_array_equal(loaded.indices, trace.indices)
+        assert loaded.num_rows == trace.num_rows
+        assert loaded.name == trace.name
+
+
+class TestCombinedTrace:
+    def test_interleaving_preserves_all_accesses(self):
+        traces = [random_trace(50, 10, table_id=i, seed=i) for i in range(3)]
+        combined = CombinedTrace(traces)
+        pairs = combined.interleaved_array()
+        assert pairs.shape == (30, 2)
+        assert set(pairs[:, 0].tolist()) == {0, 1, 2}
+
+    def test_round_robin_order(self):
+        traces = [
+            EmbeddingTrace(table_id=0, indices=[1, 2], num_rows=5),
+            EmbeddingTrace(table_id=1, indices=[3, 4], num_rows=5),
+        ]
+        pairs = CombinedTrace(traces, block_size=1).interleaved_array()
+        assert pairs[:, 0].tolist() == [0, 1, 0, 1]
+
+    def test_uneven_lengths(self):
+        traces = [
+            EmbeddingTrace(table_id=0, indices=[1], num_rows=5),
+            EmbeddingTrace(table_id=1, indices=[2, 3, 4], num_rows=5),
+        ]
+        pairs = CombinedTrace(traces).interleaved_array()
+        assert len(pairs) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CombinedTrace([])
+
+
+class TestSyntheticTraces:
+    def test_random_trace_low_locality(self):
+        trace = random_trace(1_000_000, 20_000, seed=0)
+        cache = SetAssociativeCache(8 * 1024 * 1024, associativity=4)
+        cache.access_many(trace.indices * 64)
+        # The paper: random traces see <5% hit rate.
+        assert cache.hit_rate < 0.05
+
+    def test_hotset_trace_has_locality(self):
+        trace = hotset_trace(1_000_000, 20_000, hot_fraction=0.0005,
+                             hot_probability=0.6, seed=1)
+        cache = SetAssociativeCache(8 * 1024 * 1024, associativity=4)
+        cache.access_many(trace.indices * 64)
+        assert cache.hit_rate > 0.3
+
+    def test_zipf_trace_metadata(self):
+        trace = zipf_trace(1000, 100, alpha=1.2, seed=0)
+        assert trace.metadata["kind"] == "zipf"
+        assert trace.metadata["alpha"] == 1.2
+
+    def test_batched_requests(self):
+        trace = random_trace(100, 100, table_id=3, seed=0)
+        requests = batched_requests_from_trace(trace, batch_size=4,
+                                               pooling_factor=5)
+        assert len(requests) == 5
+        for request in requests:
+            assert request.table_id == 3
+            assert request.batch_size == 4
+            assert request.total_lookups == 20
+
+    def test_batched_requests_validation(self):
+        trace = random_trace(10, 10, seed=0)
+        with pytest.raises(ValueError):
+            batched_requests_from_trace(trace, 0, 1)
+
+
+class TestProductionTraces:
+    def test_t1_has_more_locality_than_t8(self):
+        generator = ProductionTraceGenerator(num_rows=500_000, seed=0)
+        t1 = generator.generate_table_trace(0, 15_000)
+        t8 = generator.generate_table_trace(7, 15_000)
+        cache_t1 = SetAssociativeCache(4 * 1024 * 1024, associativity=4)
+        cache_t8 = SetAssociativeCache(4 * 1024 * 1024, associativity=4)
+        cache_t1.access_many(t1.indices * 64)
+        cache_t8.access_many(t8.indices * 64)
+        assert cache_t1.hit_rate > cache_t8.hit_rate
+
+    def test_comb8_hit_rate_in_paper_band(self):
+        # Fig. 7(a): Comb-8 on an 8-64 MB cache sees roughly 20-60% hits.
+        traces = make_production_table_traces(num_lookups_per_table=8_000,
+                                              num_rows=1_000_000, seed=0)
+        combined = make_combined_trace(traces)
+        cache = SetAssociativeCache(16 * 1024 * 1024, associativity=4)
+        for _, row in combined.interleaved():
+            cache.access(row * 64)
+        assert 0.15 < cache.hit_rate < 0.65
+
+    def test_table_names(self):
+        traces = make_production_table_traces(num_lookups_per_table=100,
+                                              seed=0)
+        assert [t.name for t in traces] == ["T%d" % i for i in range(1, 9)]
+
+    def test_combined_multiplier(self):
+        traces = make_production_table_traces(num_lookups_per_table=100,
+                                              seed=0)
+        combined = make_combined_trace(traces, multiplier=2)
+        assert combined.num_tables == 16
+        assert len(combined) == 1600
+
+    def test_table_parameters_monotone(self):
+        generator = ProductionTraceGenerator(num_tables=8)
+        hot_probabilities = [generator.table_parameters(i)["hot_probability"]
+                             for i in range(8)]
+        assert hot_probabilities == sorted(hot_probabilities, reverse=True)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ProductionTraceGenerator(num_tables=0)
+        with pytest.raises(IndexError):
+            ProductionTraceGenerator(num_tables=4).table_parameters(4)
+        with pytest.raises(ValueError):
+            make_combined_trace([], multiplier=0)
+
+
+class TestTraceProperties:
+    @given(num_rows=st.integers(min_value=10, max_value=10_000),
+           lookups=st.integers(min_value=1, max_value=2000),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_trace_within_bounds(self, num_rows, lookups, seed):
+        trace = random_trace(num_rows, lookups, seed=seed)
+        assert len(trace) == lookups
+        assert trace.indices.min() >= 0
+        assert trace.indices.max() < num_rows
+
+    @given(multiplier=st.integers(min_value=1, max_value=4),
+           block=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_combined_length_scales_with_multiplier(self, multiplier, block):
+        traces = make_production_table_traces(num_lookups_per_table=50,
+                                              num_rows=10_000, num_tables=4,
+                                              seed=1)
+        combined = make_combined_trace(traces, multiplier=multiplier,
+                                       block_size=block)
+        assert len(combined) == 4 * 50 * multiplier
+        assert len(combined.interleaved_array()) == len(combined)

@@ -1,0 +1,128 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    RunningStats,
+    geometric_mean,
+    percentile,
+    weighted_harmonic_speedup,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.stddev == 0.0
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+
+    def test_known_values(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.138, abs=1e-3)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_as_dict(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0])
+        payload = stats.as_dict()
+        assert payload["count"] == 3
+        assert payload["mean"] == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_batch_formulas(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        mean = sum(values) / len(values)
+        assert stats.mean == pytest.approx(mean, rel=1e-6, abs=1e-6)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [3, 1, 4, 1, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_single_element(self):
+        assert percentile([42], 73) == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1, 4, 16]) == pytest.approx(4.0)
+
+    def test_identity(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestWeightedHarmonicSpeedup:
+    def test_amdahl(self):
+        # Half the time sped up 2x -> overall 1.333x.
+        assert weighted_harmonic_speedup([0.5, 0.5], [2.0, 1.0]) == \
+            pytest.approx(4.0 / 3.0)
+
+    def test_infinite_like_speedup_limited_by_serial_fraction(self):
+        speedup = weighted_harmonic_speedup([0.8, 0.2], [1000.0, 1.0])
+        assert speedup < 5.0
+        assert speedup == pytest.approx(1.0 / (0.8 / 1000 + 0.2), rel=1e-6)
+
+    def test_all_fraction_on_one_component(self):
+        assert weighted_harmonic_speedup([1.0, 0.0], [3.0, 1.0]) == \
+            pytest.approx(3.0)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_speedup([0.6, 0.6], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            weighted_harmonic_speedup([0.5], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            weighted_harmonic_speedup([0.5, 0.5], [1.0, 0.0])
+
+    @given(fraction=st.floats(min_value=0.01, max_value=0.99),
+           speedup=st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_component_speedups(self, fraction, speedup):
+        overall = weighted_harmonic_speedup(
+            [fraction, 1.0 - fraction], [speedup, 1.0])
+        assert 1.0 <= overall <= speedup + 1e-9
+        # Amdahl bound: 1 / (1 - fraction).
+        assert overall <= 1.0 / (1.0 - fraction) + 1e-9
