@@ -1,22 +1,20 @@
 """Figure 16: RecNMP vs TensorDIMM vs Chameleon vs the host baseline.
 
 Regenerates the comparison across memory configurations (1x2, 1x4, 2x2,
-4x2), on random and production traces.  RecNMP is simulated; TensorDIMM and
-Chameleon use their analytical models (DIMM-level scaling, no memory-side
-cache, Chameleon pays a C/A-and-DQ multiplexing penalty).  Paper claims
-checked: RecNMP scales with rank count while the others only scale with DIMM
-count, RecNMP wins at every configuration, and only RecNMP benefits from the
-locality of production traces.
+4x2), on random and production traces.  All four systems are built by name
+through the unified registry (:mod:`repro.systems`) -- RecNMP is simulated,
+TensorDIMM and Chameleon use their analytical models grounded on the
+simulated host cycle count.  Paper claims checked: RecNMP scales with rank
+count while the others only scale with DIMM count, RecNMP wins at every
+configuration, and only RecNMP benefits from the locality of production
+traces.
 """
-
-from repro.baselines.chameleon import Chameleon
-from repro.baselines.tensordimm import TensorDIMM
 
 from workloads import (
     format_table,
     production_requests,
     random_requests,
-    run_recnmp,
+    run_system,
 )
 
 CONFIGS = ((1, 2), (1, 4), (2, 2), (4, 2))
@@ -31,20 +29,17 @@ def compute_fig16():
     rows = []
     for num_dimms, ranks_per_dimm in CONFIGS:
         label = "%dx%d" % (num_dimms, ranks_per_dimm)
-        tensordimm = TensorDIMM(num_dimms=num_dimms,
-                                ranks_per_dimm=ranks_per_dimm)
-        chameleon = Chameleon(num_dimms=num_dimms,
-                              ranks_per_dimm=ranks_per_dimm)
+        population = dict(num_dimms=num_dimms, ranks_per_dimm=ranks_per_dimm)
         for trace_kind, requests in workloads.items():
-            recnmp = run_recnmp(requests, num_dimms=num_dimms,
-                                ranks_per_dimm=ranks_per_dimm,
-                                use_rank_cache=True, enable_profiling=True)
+            speedups = {
+                name: run_system(name, requests,
+                                 **population).speedup_vs_baseline
+                for name in ("recnmp-opt", "tensordimm", "chameleon")
+            }
             rows.append((label, trace_kind,
-                         round(recnmp.speedup_vs_baseline, 2),
-                         round(tensordimm.memory_latency_speedup(
-                             trace_kind=trace_kind), 2),
-                         round(chameleon.memory_latency_speedup(
-                             trace_kind=trace_kind), 2)))
+                         round(speedups["recnmp-opt"], 2),
+                         round(speedups["tensordimm"], 2),
+                         round(speedups["chameleon"], 2)))
     return rows
 
 

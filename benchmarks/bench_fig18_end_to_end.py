@@ -11,7 +11,7 @@ from repro.dlrm.config import RM1_LARGE, RM1_SMALL, RM2_LARGE, RM2_SMALL
 from repro.perf.end_to_end import EndToEndModel, latency_throughput_curve
 from repro.perf.operator_latency import OperatorLatencyModel
 
-from workloads import format_table, production_requests, run_recnmp
+from workloads import format_table, production_requests, run_system
 
 MODELS = (RM1_SMALL, RM1_LARGE, RM2_SMALL, RM2_LARGE)
 BATCH_SIZES = (8, 64, 128, 256)
@@ -23,7 +23,7 @@ def _sls_speedups():
     requests = production_requests(num_tables=8, batch=8, pooling=40, seed=0)
     speedups = {}
     for label, (num_dimms, ranks_per_dimm) in RANK_CONFIGS.items():
-        result = run_recnmp(requests, num_dimms=num_dimms,
+        result = run_system("recnmp-opt", requests, num_dimms=num_dimms,
                             ranks_per_dimm=ranks_per_dimm)
         speedups[label] = result.speedup_vs_baseline
     return speedups

@@ -1,0 +1,105 @@
+"""Run every ``bench_*.py`` and collect results into ``BENCH_results.json``.
+
+Each benchmark file is executed as its own pytest session (they are
+pytest-benchmark suites), so one failing figure never blocks the others.
+The driver records pass/fail, duration and captured output per file and
+writes a single JSON summary for trajectory tracking across PRs.
+
+Usage::
+
+    python benchmarks/run_all.py [--output BENCH_results.json] [--match fig16]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def discover(match=None):
+    names = sorted(p.name for p in BENCH_DIR.glob("bench_*.py"))
+    if match:
+        names = [n for n in names if match in n]
+    return names
+
+
+def run_one(name, timeout_seconds):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    command = [sys.executable, "-m", "pytest", str(BENCH_DIR / name),
+               "-q", "-p", "no:cacheprovider",
+               "-o", "python_files=bench_*.py",
+               "-o", "python_functions=bench_*"]
+    start = time.perf_counter()
+    try:
+        completed = subprocess.run(
+            command, cwd=str(REPO_ROOT), env=env, timeout=timeout_seconds,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        status = "passed" if completed.returncode == 0 else "failed"
+        output = completed.stdout
+        returncode = completed.returncode
+    except subprocess.TimeoutExpired as error:
+        status = "timeout"
+        output = (error.stdout or b"").decode("utf-8", "replace") \
+            if isinstance(error.stdout, bytes) else (error.stdout or "")
+        returncode = -1
+    duration = time.perf_counter() - start
+    return {
+        "benchmark": name,
+        "status": status,
+        "returncode": returncode,
+        "duration_seconds": round(duration, 3),
+        "output_tail": output[-4000:],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO_ROOT /
+                                                "BENCH_results.json"))
+    parser.add_argument("--match", default=None,
+                        help="only run benchmarks whose filename contains "
+                             "this substring")
+    parser.add_argument("--timeout", type=float, default=900.0,
+                        help="per-benchmark timeout in seconds")
+    args = parser.parse_args(argv)
+
+    names = discover(args.match)
+    if not names:
+        print("no benchmarks matched", file=sys.stderr)
+        return 2
+    results = []
+    for name in names:
+        print("running %s ..." % name, flush=True)
+        record = run_one(name, args.timeout)
+        print("  %s in %.1fs" % (record["status"],
+                                 record["duration_seconds"]), flush=True)
+        results.append(record)
+
+    summary = {
+        "generated_unix_time": int(time.time()),
+        "python": sys.version.split()[0],
+        "num_benchmarks": len(results),
+        "num_passed": sum(r["status"] == "passed" for r in results),
+        "total_seconds": round(sum(r["duration_seconds"]
+                                   for r in results), 3),
+        "results": results,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s (%d/%d passed)"
+          % (args.output, summary["num_passed"], summary["num_benchmarks"]))
+    return 0 if summary["num_passed"] == summary["num_benchmarks"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

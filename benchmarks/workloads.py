@@ -9,8 +9,8 @@ results (lookup locality, vector sizes, pooling factors, rank counts).
 
 import numpy as np
 
-from repro.core.simulator import RecNMPConfig, RecNMPSimulator
 from repro.dlrm.operators import SLSRequest
+from repro.systems import build_system
 from repro.traces.production import make_production_table_traces
 from repro.traces.synthetic import batched_requests_from_trace, random_trace
 
@@ -50,12 +50,34 @@ def production_requests(num_tables=4, batch=BATCH_SIZE, pooling=POOLING,
     return requests
 
 
+def build_bench_system(name, **overrides):
+    """Build a registry system wired to the shared benchmark workload layout.
+
+    The comparison glue every ``bench_*`` file used to re-implement lives in
+    :mod:`repro.systems` now; this helper only pins the scaled-down
+    embedding layout (``address_of``, vector size) shared by the harness.
+    """
+    overrides.setdefault("address_of", address_of)
+    overrides.setdefault("vector_size_bytes", VECTOR_BYTES)
+    return build_system(name, **overrides)
+
+
+def run_system(name, requests, **overrides):
+    """Build a registry system and run one request list through it."""
+    return build_bench_system(name, **overrides).run(requests)
+
+
 def run_recnmp(requests, num_dimms=4, ranks_per_dimm=2, use_rank_cache=True,
                scheduling_policy="table-aware", enable_profiling=True,
                poolings_per_packet=8, rank_assignment="address",
                rank_cache_kb=128, compare_baseline=True):
-    """Run one RecNMP configuration over a request list."""
-    config = RecNMPConfig(
+    """Run one RecNMP configuration over a request list.
+
+    Kept as the legacy-shaped entry point of the harness; routes through
+    the system registry and returns the underlying ``RecNMPResult``.
+    """
+    result = run_system(
+        "recnmp-opt", requests,
         num_dimms=num_dimms,
         ranks_per_dimm=ranks_per_dimm,
         use_rank_cache=use_rank_cache,
@@ -63,11 +85,10 @@ def run_recnmp(requests, num_dimms=4, ranks_per_dimm=2, use_rank_cache=True,
         scheduling_policy=scheduling_policy,
         enable_hot_entry_profiling=enable_profiling,
         poolings_per_packet=poolings_per_packet,
-        vector_size_bytes=VECTOR_BYTES,
         rank_assignment=rank_assignment,
+        compare_baseline=compare_baseline,
     )
-    simulator = RecNMPSimulator(config, address_of=address_of)
-    return simulator.run_requests(requests, compare_baseline=compare_baseline)
+    return result.raw
 
 
 def format_table(title, headers, rows):

@@ -17,8 +17,9 @@ Run with:  python examples/design_space_exploration.py
 
 import numpy as np
 
-from repro.core import AreaPowerModel, RecNMPConfig, RecNMPSimulator
+from repro.core import AreaPowerModel
 from repro.dlrm.operators import SLSRequest
+from repro.systems import build_system
 from repro.traces import make_production_table_traces
 
 NUM_ROWS = 20_000
@@ -45,11 +46,11 @@ def build_requests(seed=0):
 
 
 def run(requests, **overrides):
-    defaults = dict(num_dimms=4, ranks_per_dimm=2, vector_size_bytes=VECTOR_BYTES)
+    defaults = dict(num_dimms=4, ranks_per_dimm=2,
+                    vector_size_bytes=VECTOR_BYTES, address_of=address_of)
     defaults.update(overrides)
-    config = RecNMPConfig(**defaults)
-    simulator = RecNMPSimulator(config, address_of=address_of)
-    return config, simulator.run_requests(requests)
+    system = build_system("recnmp-opt", **defaults)
+    return system, system.run(requests)
 
 
 def sweep_channel_population(requests):

@@ -14,10 +14,10 @@ Run with:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import RecNMPConfig, RecNMPSimulator
 from repro.dlrm import DLRMModel, RM1_SMALL
 from repro.dlrm.config import scaled_config
 from repro.perf import EndToEndModel
+from repro.systems import build_system
 
 
 def main():
@@ -43,18 +43,19 @@ def main():
     def address_of(table_id, row):
         return model.embeddings[table_id].row_address(row)
 
-    recnmp_config = RecNMPConfig(
+    # Systems are built by name through the unified registry; every knob of
+    # the underlying RecNMPConfig is an override.
+    system = build_system(
+        "recnmp-opt",
         num_dimms=4, ranks_per_dimm=2,          # 8 concurrently active ranks
-        use_rank_cache=True, rank_cache_kb=128,
-        scheduling_policy="table-aware", enable_hot_entry_profiling=True,
         vector_size_bytes=vector_bytes,
+        address_of=address_of,
     )
-    simulator = RecNMPSimulator(recnmp_config, address_of=address_of)
-    result = simulator.run_requests(sls_requests)
+    result = system.run(sls_requests)
 
     print()
-    print("RecNMP configuration: %s" % recnmp_config.label())
-    print("  embedding lookups simulated : %d" % result.num_instructions)
+    print("RecNMP configuration: %s" % system.describe())
+    print("  embedding lookups simulated : %d" % result.num_lookups)
     print("  DDR4 baseline               : %d cycles" % result.baseline_cycles)
     print("  RecNMP                      : %d cycles" % result.total_cycles)
     print("  SLS memory-latency speedup  : %.2fx" % result.speedup_vs_baseline)

@@ -1,0 +1,79 @@
+"""Serving study: production traffic on a sharded RecNMP cluster.
+
+Builds a two-node serving cluster for each registry system, offers the same
+Poisson query stream (production-locality traces, batched by a size- and
+deadline-triggered frontend, tables sharded round-robin), and reports the
+latency percentiles and sustainable throughput of each -- then sweeps the
+offered load on the RecNMP cluster to show the latency/QPS trade-off.
+
+Run with:  python examples/serving_demo.py
+"""
+
+from repro.serving import (
+    BatchingFrontend,
+    PoissonArrivalProcess,
+    ShardedServingCluster,
+    qps_sweep,
+    queries_from_traces,
+)
+from repro.traces import make_production_table_traces
+
+NUM_ROWS = 20_000
+VECTOR_BYTES = 128
+NUM_TABLES = 8
+NUM_QUERIES = 64
+NUM_NODES = 2
+
+
+def address_of(table_id, row):
+    return (table_id * NUM_ROWS + row) * VECTOR_BYTES
+
+
+def build_queries(qps, seed=1):
+    traces = make_production_table_traces(
+        num_lookups_per_table=2_000, num_rows=NUM_ROWS,
+        num_tables=NUM_TABLES, seed=0)
+    return queries_from_traces(
+        traces, NUM_QUERIES, PoissonArrivalProcess(rate_qps=qps, seed=seed),
+        batch_size=4, pooling_factor=20)
+
+
+def compare_systems():
+    print("Tail latency by system (%d nodes, 120k QPS offered)" % NUM_NODES)
+    print("  %-16s %-6s %-10s %-10s %-10s %-14s"
+          % ("system", "rho", "p50 (us)", "p95 (us)", "p99 (us)",
+             "sustainable"))
+    queries = build_queries(120_000.0)
+    frontend = BatchingFrontend(max_queries=8, max_delay_us=100.0)
+    for name in ("host", "tensordimm", "recnmp-opt", "recnmp-opt-4ch"):
+        cluster = ShardedServingCluster(
+            num_nodes=NUM_NODES, node_system=name, address_of=address_of,
+            vector_size_bytes=VECTOR_BYTES)
+        report = cluster.simulate(queries, frontend=frontend)
+        print("  %-16s %-6.2f %-10.1f %-10.1f %-10.1f %-14.0f"
+              % (name, report.utilization, report.p50_us, report.p95_us,
+                 report.p99_us, report.sustainable_qps))
+    print()
+
+
+def load_sweep():
+    print("Offered-load sweep (recnmp-opt-4ch, %d nodes)" % NUM_NODES)
+    cluster = ShardedServingCluster(
+        num_nodes=NUM_NODES, node_system="recnmp-opt-4ch",
+        address_of=address_of, vector_size_bytes=VECTOR_BYTES)
+    frontend = BatchingFrontend(max_queries=8, max_delay_us=100.0)
+    points = (50_000.0, 150_000.0, 400_000.0, 1_000_000.0)
+    reports = qps_sweep(cluster, build_queries, points, frontend=frontend)
+    for qps, report in zip(points, reports):
+        print("  %8.0f QPS offered: rho %.3f, p50 %7.1f us, p99 %7.1f us"
+              % (qps, report.utilization, report.p50_us, report.p99_us))
+    print()
+
+
+def main():
+    compare_systems()
+    load_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -15,12 +15,27 @@ system described in the paper:
   the cycle simulator, and the energy/area models),
 * :mod:`repro.perf` -- the analytical CPU/system performance models used for
   the characterization and the end-to-end evaluation,
-* :mod:`repro.baselines` -- the host CPU, TensorDIMM and Chameleon baselines.
+* :mod:`repro.baselines` -- the host CPU, TensorDIMM and Chameleon baselines,
+* :mod:`repro.systems` -- the unified ``EmbeddingSystem`` interface and the
+  string-keyed registry every compared system plugs into,
+* :mod:`repro.serving` -- request-level traffic serving (arrivals, batching,
+  table sharding, queueing) on top of the system interface.
 """
 
-from repro import baselines, cache, core, dlrm, dram, perf, traces, utils
+from repro import (
+    baselines,
+    cache,
+    core,
+    dlrm,
+    dram,
+    perf,
+    serving,
+    systems,
+    traces,
+    utils,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "baselines",
@@ -29,6 +44,8 @@ __all__ = [
     "dlrm",
     "dram",
     "perf",
+    "serving",
+    "systems",
     "traces",
     "utils",
     "__version__",

@@ -1,0 +1,192 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands
+-----------
+``list-systems``
+    Print every registered embedding system with its description.
+``run``
+    Build a system by registry name, run a synthetic workload on it and
+    print the canonical result.
+``serve``
+    Drive a sharded serving cluster with Poisson traffic and print the
+    latency/QPS report.
+"""
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.dlrm.operators import SLSRequest
+from repro.serving import (
+    BatchingFrontend,
+    PoissonArrivalProcess,
+    ShardedServingCluster,
+    queries_from_traces,
+)
+from repro.systems import (
+    available_systems,
+    build_system,
+    system_description,
+)
+from repro.traces import make_production_table_traces, random_trace
+
+
+def _build_traces(kind, num_tables, num_rows, lookups_per_table, seed):
+    if kind == "production":
+        return make_production_table_traces(
+            num_lookups_per_table=lookups_per_table, num_rows=num_rows,
+            num_tables=num_tables, seed=seed)
+    return [random_trace(num_rows, lookups_per_table, table_id=t,
+                         seed=seed + t, name="random-T%d" % t)
+            for t in range(num_tables)]
+
+
+def _build_requests(traces, batch, pooling):
+    requests = []
+    for trace in traces:
+        per_request = batch * pooling
+        indices = trace.indices[:per_request]
+        if indices.size < per_request:
+            raise SystemExit("trace too short: need %d lookups per table"
+                             % per_request)
+        requests.append(SLSRequest(table_id=trace.table_id, indices=indices,
+                                   lengths=np.full(batch, pooling)))
+    return requests
+
+
+def _build_system_or_exit(name, **overrides):
+    """Build a registry system; unknown names exit with the candidates."""
+    try:
+        return build_system(name, **overrides)
+    except KeyError as error:
+        raise SystemExit("error: %s" % error.args[0])
+
+
+def cmd_list_systems(args):
+    names = available_systems()
+    width = max(len(name) for name in names)
+    for name in names:
+        print("%-*s  %s" % (width, name, system_description(name)))
+    return 0
+
+
+def cmd_run(args):
+    traces = _build_traces(args.trace, args.tables, args.num_rows,
+                           args.batch * args.pooling, args.seed)
+    requests = _build_requests(traces, args.batch, args.pooling)
+    # No explicit address map: the adapters build the dense TableLayout
+    # from table_rows/vector_size_bytes, matching the generated traces.
+    system = _build_system_or_exit(
+        args.system, table_rows=args.num_rows,
+        vector_size_bytes=args.vector_bytes)
+    result = system.run(requests)
+    payload = result.as_dict()
+    payload["description"] = system.describe()
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(system.describe())
+    print("  workload       : %d requests, %d lookups (%s trace)"
+          % (result.num_requests, result.num_lookups, args.trace))
+    print("  latency        : %d cycles (%.2f us)"
+          % (result.total_cycles, result.latency_us))
+    if result.baseline_cycles:
+        print("  host baseline  : %d cycles -> %.2fx speedup"
+              % (result.baseline_cycles, result.speedup_vs_baseline))
+    if result.cache_hit_rate:
+        print("  cache hit rate : %.1f%%" % (100 * result.cache_hit_rate))
+    if result.energy_nj:
+        print("  memory energy  : %.1f nJ (savings %.1f%%)"
+              % (result.energy_nj,
+                 100 * result.energy_savings_fraction))
+    return 0
+
+
+def cmd_serve(args):
+    traces = _build_traces(args.trace, args.tables, args.num_rows,
+                           max(args.batch * args.pooling * 4, 2_000),
+                           args.seed)
+    queries = queries_from_traces(
+        traces, args.queries,
+        PoissonArrivalProcess(rate_qps=args.qps, seed=args.seed),
+        batch_size=args.batch, pooling_factor=args.pooling)
+    try:
+        cluster = ShardedServingCluster(
+            num_nodes=args.nodes, node_system=args.system,
+            table_rows=args.num_rows,
+            vector_size_bytes=args.vector_bytes)
+    except KeyError as error:     # unknown registry name from build_system
+        raise SystemExit("error: %s" % error.args[0])
+    report = cluster.simulate(
+        queries, frontend=BatchingFrontend(max_queries=args.max_batch,
+                                           max_delay_us=args.max_delay_us))
+    if args.json:
+        json.dump(report.as_dict(), sys.stdout, indent=2)
+        print()
+        return 0
+    print("%s serving %d queries at %.0f QPS offered" %
+          (cluster.describe(), report.num_queries, report.offered_qps))
+    print("  batches        : %d (%s)"
+          % (report.num_batches,
+             ", ".join("%s=%d" % kv
+                       for kv in sorted(report.trigger_counts.items()))))
+    print("  utilization    : %.1f%%" % (100 * report.utilization))
+    print("  latency p50    : %.1f us" % report.p50_us)
+    print("  latency p95    : %.1f us" % report.p95_us)
+    print("  latency p99    : %.1f us" % report.p99_us)
+    print("  sustainable    : %.0f QPS" % report.sustainable_qps)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="RecNMP reproduction: unified system runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-systems",
+                   help="list registered embedding systems")
+
+    def add_workload_args(p):
+        p.add_argument("--system", default="recnmp-opt",
+                       help="registry name (see list-systems)")
+        p.add_argument("--trace", choices=("synthetic", "production"),
+                       default="synthetic",
+                       help="'synthetic' (random) or 'production' locality")
+        p.add_argument("--tables", type=int, default=4)
+        p.add_argument("--batch", type=int, default=8)
+        p.add_argument("--pooling", type=int, default=40)
+        p.add_argument("--num-rows", type=int, default=20_000)
+        p.add_argument("--vector-bytes", type=int, default=128)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--json", action="store_true",
+                       help="emit the result as JSON")
+
+    run = sub.add_parser("run", help="run one system on a workload")
+    add_workload_args(run)
+
+    serve = sub.add_parser("serve",
+                           help="drive a sharded serving cluster")
+    add_workload_args(serve)
+    serve.add_argument("--nodes", type=int, default=2)
+    serve.add_argument("--qps", type=float, default=50_000.0)
+    serve.add_argument("--queries", type=int, default=64)
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--max-delay-us", type=float, default=200.0)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.command == "list-systems":
+        return cmd_list_systems(args)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_serve(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

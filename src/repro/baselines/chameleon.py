@@ -53,6 +53,15 @@ class Chameleon:
         del vector_bytes, trace_kind
         return self.num_dimms * self.multiplexing_efficiency
 
+    def cycles_estimate(self, baseline_cycles, vector_bytes=64,
+                        trace_kind="random"):
+        """Estimated execution cycles given the host baseline's cycles."""
+        if baseline_cycles < 0:
+            raise ValueError("baseline_cycles must be non-negative")
+        speedup = self.memory_latency_speedup(vector_bytes=vector_bytes,
+                                              trace_kind=trace_kind)
+        return int(round(baseline_cycles / speedup))
+
     def speedup_by_config(self, configs):
         """Speedups over several (num_dimms x ranks_per_dimm) configs."""
         results = {}

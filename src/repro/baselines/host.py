@@ -12,8 +12,9 @@ the channel bandwidth (Section II).  The baseline can be evaluated two ways:
 
 from dataclasses import dataclass
 
-from repro.dram.system import DramSystem, DramSystemConfig
+from repro.dram.system import DramSystemConfig
 from repro.perf.bandwidth import BandwidthSaturationModel
+from repro.perf.baseline_cache import run_baseline_trace
 
 
 @dataclass
@@ -47,12 +48,17 @@ class HostBaseline:
 
     # ------------------------------------------------------------------ #
     def run_trace(self, physical_addresses, vector_bytes=64,
-                  outstanding=32):
-        """Cycle-level execution of a physical-address lookup trace."""
-        system = DramSystem(self.dram_config)
-        result = system.run_trace(physical_addresses,
-                                  request_bytes=vector_bytes,
-                                  outstanding_per_channel=outstanding)
+                  outstanding=32, use_cache=True):
+        """Cycle-level execution of a physical-address lookup trace.
+
+        The underlying DDR4 simulation is memoised process-wide (see
+        :mod:`repro.perf.baseline_cache`); pass ``use_cache=False`` to force
+        a fresh simulation.
+        """
+        result = run_baseline_trace(self.dram_config, physical_addresses,
+                                    request_bytes=vector_bytes,
+                                    outstanding_per_channel=outstanding,
+                                    use_cache=use_cache)
         return HostBaselineResult(
             cycles=result.cycles,
             latency_ns=result.cycles * self.dram_config.timing.cycle_time_ns,
@@ -61,6 +67,21 @@ class HostBaseline:
             energy_nj=result.energy_nj,
             row_hit_rate=result.row_hit_rate,
         )
+
+    def run_requests(self, requests, address_of, vector_bytes=64,
+                     outstanding=32, use_cache=True):
+        """Cycle-level execution of a list of SLS requests.
+
+        Flattens the requests' embedding lookups into a physical-address
+        trace via ``address_of(table_id, row)`` and runs it through
+        :meth:`run_trace` -- the same trace the RecNMP simulator's baseline
+        comparison uses, so the two normalisation points agree.
+        """
+        addresses = [address_of(request.table_id, int(row))
+                     for request in requests
+                     for row in request.indices]
+        return self.run_trace(addresses, vector_bytes=vector_bytes,
+                              outstanding=outstanding, use_cache=use_cache)
 
     # ------------------------------------------------------------------ #
     def analytical_sls_time_us(self, num_lookups, vector_bytes=64,

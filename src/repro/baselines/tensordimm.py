@@ -67,6 +67,21 @@ class TensorDIMM:
             parallelism = self.effective_parallelism(vector_bytes)
         return parallelism * self.dimm_efficiency
 
+    def cycles_estimate(self, baseline_cycles, vector_bytes=256,
+                        trace_kind="random", batch_parallel=True):
+        """Estimated execution cycles given the host baseline's cycles.
+
+        The analytical model expresses TensorDIMM as a speedup over the host
+        DDR4 system; scaling the simulated baseline cycle count by it yields
+        the cycle estimate the unified system interface reports.
+        """
+        if baseline_cycles < 0:
+            raise ValueError("baseline_cycles must be non-negative")
+        speedup = self.memory_latency_speedup(vector_bytes=vector_bytes,
+                                              trace_kind=trace_kind,
+                                              batch_parallel=batch_parallel)
+        return int(round(baseline_cycles / speedup))
+
     def speedup_by_config(self, configs, vector_bytes=256):
         """Speedups over several (num_dimms x ranks_per_dimm) configs."""
         results = {}

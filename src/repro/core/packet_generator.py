@@ -92,6 +92,22 @@ class PacketGenerator:
                 row * self.config.vector_size_bytes  # noqa: E731
         self.address_of = address_of
         self._packet_counter = 0
+        self._last_profiles = {}
+
+    @property
+    def last_profiles(self):
+        """Per-table :class:`ProfileResult` of the most recent batch."""
+        return dict(self._last_profiles)
+
+    def reset(self):
+        """Clear cross-run state (packet ids and retained hot-entry profiles).
+
+        Without this, a reused generator keeps numbering packets from where
+        the previous run stopped and keeps serving the previous batch's
+        locality profiles through :attr:`last_profiles`.
+        """
+        self._packet_counter = 0
+        self._last_profiles = {}
 
     # ------------------------------------------------------------------ #
     def _daddr(self, physical_address):
@@ -182,6 +198,7 @@ class PacketGenerator:
             profiler = HotEntryProfiler(
                 threshold=self.config.hot_entry_threshold)
             profiles = profiler.profile_requests(requests)
+            self._last_profiles = profiles
         for batch_index, request in enumerate(requests):
             profile = profiles.get(request.table_id) if profiles else None
             packets.extend(self.packets_for_request(

@@ -19,8 +19,9 @@ from repro.core.packet_generator import PacketGenerator, PacketGeneratorConfig
 from repro.core.processing_unit import RecNMPChannel
 from repro.core.rank_nmp import RankNMPConfig
 from repro.core.energy import RecNMPEnergyModel
-from repro.dram.system import DramSystem, DramSystemConfig
+from repro.dram.system import DramSystemConfig
 from repro.dram.timing import DDR4_2400
+from repro.perf.baseline_cache import run_baseline_trace
 
 
 @dataclass
@@ -236,7 +237,12 @@ class RecNMPSimulator:
         return max(rank_load) / total
 
     def _fill_baseline(self, result, packets):
-        """Run the same lookups through the baseline DDR4 channel."""
+        """Run the same lookups through the baseline DDR4 channel.
+
+        The baseline simulation is memoised process-wide (see
+        :mod:`repro.perf.baseline_cache`): sweeps that vary only the RecNMP
+        configuration replay the stored baseline instead of re-simulating it.
+        """
         addresses = [inst.daddr * 64
                      for packet in packets
                      for inst in packet.instructions]
@@ -246,9 +252,9 @@ class RecNMPSimulator:
             dimms_per_channel=self.config.num_dimms,
             ranks_per_dimm=self.config.ranks_per_dimm,
         )
-        baseline = DramSystem(baseline_config)
-        baseline_result = baseline.run_trace(
-            addresses, request_bytes=self.config.vector_size_bytes,
+        baseline_result = run_baseline_trace(
+            baseline_config, addresses,
+            request_bytes=self.config.vector_size_bytes,
             outstanding_per_channel=32)
         result.baseline_cycles = baseline_result.cycles
         if result.total_cycles:
@@ -289,6 +295,13 @@ class RecNMPSimulator:
 
     # ------------------------------------------------------------------ #
     def reset(self):
-        """Reset channel state (RankCaches, DRAM timing, statistics)."""
+        """Reset all per-run state so the simulator can be reused.
+
+        Clears the channel (RankCaches, DRAM timing, statistics), the
+        page-colouring rank assignment, and the packet generator's packet-id
+        counter and retained hot-entry profiles -- without the last one a
+        reused simulator leaked locality state across runs.
+        """
         self.channel.reset()
         self._page_rank_cache.clear()
+        self.packet_generator.reset()

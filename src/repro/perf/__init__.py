@@ -8,6 +8,11 @@ memory-latency speedups from the cycle simulator with the non-SLS operator
 speedups.
 """
 
+from repro.perf.baseline_cache import (
+    baseline_cache_stats,
+    clear_baseline_cache,
+    run_baseline_trace,
+)
 from repro.perf.system import SystemParameters, SKYLAKE_SYSTEM
 from repro.perf.roofline import RooflineModel, RooflinePoint
 from repro.perf.bandwidth import BandwidthSaturationModel
@@ -23,6 +28,9 @@ from repro.perf.end_to_end import (
 )
 
 __all__ = [
+    "baseline_cache_stats",
+    "clear_baseline_cache",
+    "run_baseline_trace",
     "SystemParameters",
     "SKYLAKE_SYSTEM",
     "RooflineModel",

@@ -1,0 +1,118 @@
+"""Memoised DDR4 baseline simulation.
+
+Every speedup the paper reports is normalised against the host DDR4 system
+running the *same* physical-address trace.  Sweeps that vary only the RecNMP
+side (cache capacity, packet size, scheduling policy, channel count) used to
+re-run that baseline cycle simulation from scratch on every call, which
+dominated their runtime.  This module runs the baseline through a keyed LRU
+cache: the key captures the trace content and the full DRAM configuration,
+so a repeated (trace, config) pair returns the stored
+:class:`~repro.dram.system.DramSystemResult` without re-simulating.
+
+The cache is process-wide and thread-safe (the concurrent multi-channel
+coordinator hits it from worker threads).  Results must be treated as
+read-only by callers, which all current callers honour.
+"""
+
+import dataclasses
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.dram.system import DramSystem
+
+_LOCK = threading.Lock()
+_CACHE = OrderedDict()
+_MAX_ENTRIES = 128
+_HITS = 0
+_MISSES = 0
+
+
+def trace_fingerprint(physical_addresses):
+    """Stable digest of a physical-address trace (content, not identity)."""
+    array = np.asarray(physical_addresses, dtype=np.int64)
+    digest = hashlib.sha1(array.tobytes()).hexdigest()
+    return digest, int(array.size)
+
+
+def _config_fingerprint(config):
+    """Stable digest of the DRAM configuration, or None if there is none.
+
+    Dataclass reprs (including the nested timing dataclass) are
+    content-stable and carry the class qualname, so they key safely.  A
+    non-dataclass timing object's default repr embeds a memory address --
+    unstable across runs and reusable across objects -- so such configs are
+    reported as un-keyable and the caller skips the cache.
+    """
+    if dataclasses.is_dataclass(config) and \
+            dataclasses.is_dataclass(config.timing):
+        return repr(config)
+    return None
+
+
+def baseline_cache_key(config, physical_addresses, request_bytes,
+                       outstanding_per_channel):
+    """Cache key covering the trace and every DRAM configuration field.
+
+    Returns None when the configuration cannot be keyed safely (see
+    :func:`_config_fingerprint`).
+    """
+    config_key = _config_fingerprint(config)
+    if config_key is None:
+        return None
+    digest, size = trace_fingerprint(physical_addresses)
+    return (config_key, request_bytes, outstanding_per_channel, digest,
+            size)
+
+
+def run_baseline_trace(config, physical_addresses, request_bytes=64,
+                       outstanding_per_channel=32, use_cache=True):
+    """Run (or replay) the DDR4 baseline for a physical-address trace.
+
+    Parameters mirror :meth:`repro.dram.system.DramSystem.run_trace`;
+    ``config`` is the :class:`~repro.dram.system.DramSystemConfig`.  With
+    ``use_cache`` (the default) the simulation result is memoised.
+    """
+    global _HITS, _MISSES
+    key = None
+    if use_cache:
+        key = baseline_cache_key(config, physical_addresses, request_bytes,
+                                 outstanding_per_channel)
+    if key is None:
+        return DramSystem(config).run_trace(
+            physical_addresses, request_bytes=request_bytes,
+            outstanding_per_channel=outstanding_per_channel)
+    with _LOCK:
+        if key in _CACHE:
+            _HITS += 1
+            _CACHE.move_to_end(key)
+            return _CACHE[key]
+    # Simulate outside the lock: two threads racing on the same key at most
+    # duplicate the work, they never corrupt the cache.
+    result = DramSystem(config).run_trace(
+        physical_addresses, request_bytes=request_bytes,
+        outstanding_per_channel=outstanding_per_channel)
+    with _LOCK:
+        _MISSES += 1
+        _CACHE[key] = result
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > _MAX_ENTRIES:
+            _CACHE.popitem(last=False)
+    return result
+
+
+def clear_baseline_cache():
+    """Drop every memoised baseline result and zero the hit counters."""
+    global _HITS, _MISSES
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0
+
+
+def baseline_cache_stats():
+    """Return ``{"entries", "hits", "misses"}`` for the process-wide cache."""
+    with _LOCK:
+        return {"entries": len(_CACHE), "hits": _HITS, "misses": _MISSES}

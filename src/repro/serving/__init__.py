@@ -1,0 +1,57 @@
+"""Request-level traffic serving on top of the unified system interface.
+
+Models what sits between user traffic and the memory systems the paper
+studies: arrival processes (Poisson / trace replay), a size- and
+deadline-triggered batching frontend, deterministic table sharding across
+serving nodes, and a closed-form queueing step that turns per-batch
+simulated cycles into p50/p95/p99 latency and sustainable QPS::
+
+    from repro.serving import (PoissonArrivalProcess, ShardedServingCluster,
+                               queries_from_traces)
+    from repro.traces import make_production_table_traces
+
+    traces = make_production_table_traces(num_rows=20_000, num_tables=4)
+    queries = queries_from_traces(
+        traces, 64, PoissonArrivalProcess(rate_qps=2_000, seed=0))
+    report = ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt-4ch").simulate(queries)
+    print(report.p99_us, report.sustainable_qps)
+"""
+
+from repro.serving.arrival import (
+    PoissonArrivalProcess,
+    ServingQuery,
+    TraceReplayArrivalProcess,
+    queries_from_traces,
+)
+from repro.serving.batcher import BatchingFrontend, QueryBatch
+from repro.serving.sharding import TableSharder
+from repro.serving.queueing import (
+    ServingReport,
+    latency_percentiles,
+    mg1_mean_wait_us,
+    mg1_utilization,
+    percentile,
+    summarize_serving,
+    wait_quantile_us,
+)
+from repro.serving.cluster import ShardedServingCluster, qps_sweep
+
+__all__ = [
+    "PoissonArrivalProcess",
+    "ServingQuery",
+    "TraceReplayArrivalProcess",
+    "queries_from_traces",
+    "BatchingFrontend",
+    "QueryBatch",
+    "TableSharder",
+    "ServingReport",
+    "latency_percentiles",
+    "mg1_mean_wait_us",
+    "mg1_utilization",
+    "percentile",
+    "summarize_serving",
+    "wait_quantile_us",
+    "ShardedServingCluster",
+    "qps_sweep",
+]

@@ -1,0 +1,145 @@
+"""Request arrival processes and serving-query generation.
+
+A serving node receives a stream of inference *queries*; each query gathers
+embeddings from several tables (one SLS request per table).  This module
+models when queries arrive -- a Poisson process at a target QPS, or a replay
+of recorded inter-arrival gaps -- and materialises the queries themselves
+from the per-table lookup traces in :mod:`repro.traces`.
+"""
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traces.synthetic import batched_requests_from_trace
+
+
+@dataclass
+class ServingQuery:
+    """One user-facing inference query.
+
+    Attributes
+    ----------
+    query_id:
+        Monotonic identifier (also the tie-breaker for deterministic order).
+    arrival_us:
+        Arrival time at the serving frontend, in microseconds.
+    requests:
+        The query's SLS requests (one per embedding table it touches).
+    """
+
+    query_id: int
+    arrival_us: float
+    requests: list = field(default_factory=list)
+
+    @property
+    def total_lookups(self):
+        return sum(request.total_lookups for request in self.requests)
+
+    @property
+    def num_tables(self):
+        return len(self.requests)
+
+    def fingerprint(self):
+        """Content digest of the query's lookups (arrival-independent).
+
+        Two queries with the same tables and indices share a fingerprint
+        even when they are distinct objects with different arrival times --
+        the key the serving cluster memoises batch service times under.
+        """
+        if not hasattr(self, "_fingerprint"):
+            digest = hashlib.sha1()
+            for request in self.requests:
+                digest.update(str(request.table_id).encode())
+                digest.update(np.ascontiguousarray(request.indices).tobytes())
+                digest.update(np.ascontiguousarray(request.lengths).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+
+class PoissonArrivalProcess:
+    """Memoryless arrivals at a target rate (the classic traffic model)."""
+
+    def __init__(self, rate_qps, seed=None):
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        self.rate_qps = float(rate_qps)
+        self.seed = seed
+
+    def arrival_times_us(self, num_queries):
+        """Cumulative arrival times (us) of ``num_queries`` queries."""
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        rng = np.random.default_rng(self.seed)
+        mean_gap_us = 1e6 / self.rate_qps
+        gaps = rng.exponential(mean_gap_us, size=num_queries)
+        return np.cumsum(gaps)
+
+
+class TraceReplayArrivalProcess:
+    """Replay recorded inter-arrival gaps (cycled when the trace is short).
+
+    ``rate_scale`` compresses (>1) or stretches (<1) the recorded gaps,
+    which is how a QPS sweep replays the same production burstiness at
+    different offered loads.
+    """
+
+    def __init__(self, inter_arrival_us, rate_scale=1.0):
+        gaps = np.asarray(inter_arrival_us, dtype=np.float64)
+        if gaps.size == 0:
+            raise ValueError("need at least one inter-arrival gap")
+        if (gaps < 0).any():
+            raise ValueError("inter-arrival gaps must be non-negative")
+        if rate_scale <= 0:
+            raise ValueError("rate_scale must be positive")
+        self.gaps_us = gaps / rate_scale
+
+    @property
+    def mean_rate_qps(self):
+        mean_gap = float(self.gaps_us.mean())
+        return 1e6 / mean_gap if mean_gap > 0 else float("inf")
+
+    def arrival_times_us(self, num_queries):
+        """Cumulative arrival times (us) of ``num_queries`` queries."""
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        repeats = -(-num_queries // self.gaps_us.size) if num_queries else 0
+        gaps = np.tile(self.gaps_us, max(repeats, 1))[:num_queries]
+        return np.cumsum(gaps)
+
+
+def queries_from_traces(traces, num_queries, arrivals, batch_size=4,
+                        pooling_factor=20, start_id=0):
+    """Materialise serving queries from per-table embedding traces.
+
+    Each query carries one SLS request per trace (``batch_size`` poolings of
+    ``pooling_factor`` lookups), sliced from that table's trace in order and
+    cycled when the trace runs out -- so the query stream preserves each
+    table's locality structure.  ``arrivals`` is an arrival process or a
+    precomputed array of arrival times in microseconds.
+    """
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    if hasattr(arrivals, "arrival_times_us"):
+        arrival_times = arrivals.arrival_times_us(num_queries)
+    else:
+        arrival_times = np.asarray(arrivals, dtype=np.float64)
+        if arrival_times.size != num_queries:
+            raise ValueError("need one arrival time per query")
+    per_table_requests = []
+    for trace in traces:
+        requests = batched_requests_from_trace(trace, batch_size,
+                                               pooling_factor)
+        if not requests:
+            raise ValueError("trace %r too short for one %dx%d request"
+                             % (trace.name, batch_size, pooling_factor))
+        per_table_requests.append(requests)
+    queries = []
+    for i in range(num_queries):
+        requests = [candidates[i % len(candidates)]
+                    for candidates in per_table_requests]
+        queries.append(ServingQuery(query_id=start_id + i,
+                                    arrival_us=float(arrival_times[i]),
+                                    requests=requests))
+    return queries

@@ -1,0 +1,101 @@
+"""Batching frontend: group arriving queries into execution batches.
+
+Production embedding servers batch queries to amortise dispatch overheads
+and fill the memory system, but cap the wait so tail latency stays bounded.
+The frontend here implements the standard two-trigger policy:
+
+* **size** -- the open batch reaches ``max_queries`` and dispatches
+  immediately, and
+* **deadline** -- ``max_delay_us`` elapses after the batch opened and the
+  batch dispatches with whatever it holds.
+
+Batch formation is a pure function of the query arrival times, so it is
+deterministic and separately testable from the execution layers.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryBatch:
+    """A dispatched batch of serving queries."""
+
+    queries: list = field(default_factory=list)
+    open_us: float = 0.0
+    formed_us: float = 0.0
+    trigger: str = "size"
+
+    @property
+    def size(self):
+        return len(self.queries)
+
+    @property
+    def total_lookups(self):
+        return sum(query.total_lookups for query in self.queries)
+
+    def requests(self):
+        """All SLS requests of the batch, in query order."""
+        return [request for query in self.queries
+                for request in query.requests]
+
+    def batching_delay_us(self, query):
+        """How long ``query`` waited in the frontend before dispatch."""
+        return self.formed_us - query.arrival_us
+
+
+class BatchingFrontend:
+    """Size- and deadline-triggered query batcher.
+
+    Parameters
+    ----------
+    max_queries:
+        Dispatch as soon as the open batch holds this many queries.
+    max_delay_us:
+        Dispatch at the latest this long after the batch's first query
+        arrived (the deadline trigger).
+    """
+
+    def __init__(self, max_queries=8, max_delay_us=500.0):
+        if max_queries <= 0:
+            raise ValueError("max_queries must be positive")
+        if max_delay_us < 0:
+            raise ValueError("max_delay_us must be non-negative")
+        self.max_queries = int(max_queries)
+        self.max_delay_us = float(max_delay_us)
+
+    def form_batches(self, queries):
+        """Group a query stream into dispatched :class:`QueryBatch` objects.
+
+        Queries are processed in arrival order (ties broken by query id).
+        The final partial batch dispatches at its deadline.
+        """
+        ordered = sorted(queries, key=lambda q: (q.arrival_us, q.query_id))
+        batches = []
+        open_batch = None
+        for query in ordered:
+            if open_batch is not None and \
+                    query.arrival_us > open_batch.open_us + self.max_delay_us:
+                open_batch.formed_us = open_batch.open_us + self.max_delay_us
+                open_batch.trigger = "deadline"
+                batches.append(open_batch)
+                open_batch = None
+            if open_batch is None:
+                open_batch = QueryBatch(open_us=query.arrival_us)
+            open_batch.queries.append(query)
+            if len(open_batch.queries) >= self.max_queries:
+                open_batch.formed_us = query.arrival_us
+                open_batch.trigger = "size"
+                batches.append(open_batch)
+                open_batch = None
+        if open_batch is not None:
+            open_batch.formed_us = open_batch.open_us + self.max_delay_us
+            open_batch.trigger = "deadline"
+            batches.append(open_batch)
+        return batches
+
+    def trigger_counts(self, batches):
+        """``{"size": n, "deadline": m}`` over a batch list."""
+        counts = {"size": 0, "deadline": 0}
+        for batch in batches:
+            counts[batch.trigger] = counts.get(batch.trigger, 0) + 1
+        return counts

@@ -1,0 +1,112 @@
+"""Sharded serving cluster: traffic in, latency percentiles out.
+
+Ties the serving pieces together: an arrival process produces queries, the
+batching frontend groups them, the table sharder fans each batch out to N
+embedding-system nodes (built by name through
+:mod:`repro.systems`), the slowest shard sets the batch service time, and
+the closed-form queueing step converts the per-batch service times into
+p50/p95/p99 latency and a sustainable-QPS figure.
+"""
+
+from repro.serving.batcher import BatchingFrontend
+from repro.serving.queueing import summarize_serving
+from repro.serving.sharding import TableSharder
+from repro.systems.registry import build_system
+
+
+class ShardedServingCluster:
+    """N embedding-system nodes serving batched, sharded traffic.
+
+    Parameters
+    ----------
+    num_nodes:
+        Serving nodes; embedding tables are sharded across them.
+    node_system:
+        Registry name of the per-node embedding system (e.g.
+        ``"recnmp-opt-4ch"`` for the paper's four-channel server).
+    sharder:
+        A :class:`TableSharder`; defaults to round-robin over the nodes.
+    node_overrides:
+        Keyword overrides forwarded to ``build_system`` for every node.
+        ``compare_baseline`` defaults to False here: serving only needs the
+        system's own latency, not its host-DDR4 normalisation.
+    """
+
+    def __init__(self, num_nodes=2, node_system="recnmp-opt-4ch",
+                 sharder=None, **node_overrides):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        node_overrides.setdefault("compare_baseline", False)
+        self.num_nodes = int(num_nodes)
+        self.node_system = node_system
+        self.sharder = sharder or TableSharder(num_nodes)
+        if self.sharder.num_nodes != self.num_nodes:
+            raise ValueError("sharder is sized for %d nodes, cluster has %d"
+                             % (self.sharder.num_nodes, self.num_nodes))
+        self.nodes = [build_system(node_system, **node_overrides)
+                      for _ in range(self.num_nodes)]
+        self._service_cache = {}
+
+    # ------------------------------------------------------------------ #
+    def service_time_us(self, batch):
+        """Simulated execution time of one batch on the sharded cluster.
+
+        The batch's SLS requests are partitioned by table placement; every
+        node executes its shard and the batch completes when the slowest
+        shard does.  Results are memoised by batch *content* (the queries'
+        lookup fingerprints, not their ids or arrival times), so QPS sweeps
+        that re-batch the same queries only simulate new compositions while
+        different workloads never collide.
+        """
+        key = tuple(query.fingerprint() for query in batch.queries)
+        if key in self._service_cache:
+            return self._service_cache[key]
+        partitions = self.sharder.partition_requests(batch.requests())
+        latency_ns = 0.0
+        for node, shard in zip(self.nodes, partitions):
+            if not shard:
+                continue
+            result = node.run(shard)
+            latency_ns = max(latency_ns, result.latency_ns)
+        if latency_ns <= 0.0:
+            raise ValueError("batch dispatched no requests to any node")
+        service_us = latency_ns / 1e3
+        self._service_cache[key] = service_us
+        return service_us
+
+    def reset(self):
+        """Reset every node and drop the memoised batch service times."""
+        for node in self.nodes:
+            node.reset()
+        self._service_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    def simulate(self, queries, frontend=None):
+        """Serve a query stream; returns a
+        :class:`~repro.serving.queueing.ServingReport`."""
+        frontend = frontend or BatchingFrontend()
+        batches = frontend.form_batches(queries)
+        services = [self.service_time_us(batch) for batch in batches]
+        return summarize_serving(
+            self.describe(), batches, services,
+            trigger_counts=frontend.trigger_counts(batches),
+            extras={"num_nodes": self.num_nodes,
+                    "node_system": self.node_system,
+                    "shard_policy": self.sharder.policy})
+
+    def describe(self):
+        return "%dx %s" % (self.num_nodes, self.node_system)
+
+
+def qps_sweep(cluster, make_queries, qps_points, frontend=None):
+    """Latency/throughput curve over offered load.
+
+    ``make_queries(qps)`` must return the query stream offered at that rate
+    (typically the same queries with arrival times rescaled).  Returns the
+    list of :class:`ServingReport`, one per point, in order.
+    """
+    reports = []
+    for qps in qps_points:
+        reports.append(cluster.simulate(make_queries(qps),
+                                        frontend=frontend))
+    return reports

@@ -1,0 +1,188 @@
+"""Closed-form queueing step: batch service times -> latency percentiles.
+
+The serving simulator produces one *service time* per batch (the simulated
+execution time on the sharded cluster).  Rather than event-driven simulation
+of the dispatch queue, the frontend is modelled as an M/G/1 queue in steady
+state, which yields closed-form waiting times from the first two moments of
+the service distribution (the Pollaczek-Khinchine formula) and an
+exponential-tail approximation for the waiting-time quantiles.  Combined
+with the exact per-query batching delays this turns one pass of batch
+simulations into p50/p95/p99 latency and a sustainable-QPS number.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def percentile(samples, p):
+    """The ``p``-th percentile with linear interpolation (0 <= p <= 100)."""
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    array = np.asarray(samples, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("need at least one sample")
+    return float(np.percentile(array, p))
+
+
+def latency_percentiles(samples, ps=(50.0, 95.0, 99.0)):
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for a sample vector."""
+    return {"p%g" % p: percentile(samples, p) for p in ps}
+
+
+def mg1_utilization(arrival_rate_per_us, service_times_us):
+    """Offered load rho = lambda * E[S] of the batch queue."""
+    services = np.asarray(service_times_us, dtype=np.float64)
+    if services.size == 0:
+        raise ValueError("need at least one service time")
+    return float(arrival_rate_per_us * services.mean())
+
+
+def mg1_mean_wait_us(arrival_rate_per_us, service_times_us):
+    """Mean queueing delay of an M/G/1 queue (Pollaczek-Khinchine).
+
+    ``W = lambda * E[S^2] / (2 * (1 - rho))``; returns ``inf`` when the
+    queue is unstable (rho >= 1).
+    """
+    services = np.asarray(service_times_us, dtype=np.float64)
+    rho = mg1_utilization(arrival_rate_per_us, services)
+    if rho >= 1.0:
+        return float("inf")
+    second_moment = float((services ** 2).mean())
+    return arrival_rate_per_us * second_moment / (2.0 * (1.0 - rho))
+
+
+def wait_quantile_us(arrival_rate_per_us, service_times_us, p):
+    """Approximate ``p``-th percentile of the queueing delay.
+
+    Uses the classic exponential-tail approximation
+    ``P(W > t) = rho * exp(-(1 - rho) * t / E[S])`` (exact for M/M/1, a
+    good heavy-traffic approximation for M/G/1).  Returns 0 for quantiles
+    below the probability mass of not waiting at all, ``inf`` when the
+    queue is unstable.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    services = np.asarray(service_times_us, dtype=np.float64)
+    rho = mg1_utilization(arrival_rate_per_us, services)
+    if rho >= 1.0:
+        return float("inf")
+    tail = 1.0 - p / 100.0
+    if tail >= rho:
+        return 0.0
+    mean_service = float(services.mean())
+    return -math.log(tail / rho) * mean_service / (1.0 - rho)
+
+
+@dataclass
+class ServingReport:
+    """Latency and throughput summary of one serving run."""
+
+    system: str
+    num_queries: int
+    num_batches: int
+    offered_qps: float
+    utilization: float
+    mean_service_us: float
+    mean_batch_delay_us: float
+    mean_wait_us: float
+    mean_latency_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    sustainable_qps: float
+    trigger_counts: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def stable(self):
+        return self.utilization < 1.0
+
+    def as_dict(self):
+        return {
+            "system": self.system,
+            "num_queries": self.num_queries,
+            "num_batches": self.num_batches,
+            "offered_qps": self.offered_qps,
+            "utilization": self.utilization,
+            "mean_service_us": self.mean_service_us,
+            "mean_batch_delay_us": self.mean_batch_delay_us,
+            "mean_wait_us": self.mean_wait_us,
+            "mean_latency_us": self.mean_latency_us,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "sustainable_qps": self.sustainable_qps,
+            "stable": self.stable,
+            "trigger_counts": dict(self.trigger_counts),
+            "extras": dict(self.extras),
+        }
+
+
+def summarize_serving(system_name, batches, service_times_us,
+                      trigger_counts=None, extras=None):
+    """Turn per-batch service times into a :class:`ServingReport`.
+
+    ``batches`` are the dispatched :class:`~repro.serving.batcher.QueryBatch`
+    objects; ``service_times_us`` the simulated execution time of each.  A
+    per-query latency percentile combines the exact batching-delay-plus-
+    service distribution with the M/G/1 waiting-time quantile at the same
+    percentile (:func:`wait_quantile_us`), so the tail reflects queueing
+    variance, not just the mean wait.
+    """
+    services = np.asarray(service_times_us, dtype=np.float64)
+    if len(batches) != services.size:
+        raise ValueError("need one service time per batch")
+    if not len(batches):
+        raise ValueError("need at least one batch")
+    queries = [query for batch in batches for query in batch.queries]
+    first_arrival = min(query.arrival_us for query in queries)
+    last_arrival = max(query.arrival_us for query in queries)
+    span_us = max(last_arrival - first_arrival, 1e-9)
+    offered_qps = len(queries) / span_us * 1e6
+    # Batch arrival rate from the inter-dispatch intervals; a single batch
+    # never queues behind anything, so it contributes no waiting.
+    if len(batches) > 1:
+        formed = [batch.formed_us for batch in batches]
+        batch_span_us = max(max(formed) - min(formed), 1e-9)
+        batch_rate_per_us = (len(batches) - 1) / batch_span_us
+    else:
+        batch_rate_per_us = 0.0
+    rho = mg1_utilization(batch_rate_per_us, services)
+    mean_wait = mg1_mean_wait_us(batch_rate_per_us, services)
+    base_samples = []
+    for batch, service in zip(batches, services):
+        for query in batch.queries:
+            base_samples.append(batch.batching_delay_us(query)
+                                + float(service))
+    percentiles = {
+        "p%g" % p: percentile(base_samples, p)
+        + wait_quantile_us(batch_rate_per_us, services, p)
+        for p in (50.0, 95.0, 99.0)
+    }
+    samples = [base + mean_wait for base in base_samples]
+    mean_service = float(services.mean())
+    queries_per_batch = len(queries) / len(batches)
+    # The cluster saturates when batches arrive as fast as they are served:
+    # 1/E[S] batches per microsecond, each carrying E[queries-per-batch].
+    sustainable_qps = queries_per_batch / mean_service * 1e6
+    delays = [batch.batching_delay_us(query)
+              for batch in batches for query in batch.queries]
+    return ServingReport(
+        system=system_name,
+        num_queries=len(queries),
+        num_batches=len(batches),
+        offered_qps=offered_qps,
+        utilization=rho,
+        mean_service_us=mean_service,
+        mean_batch_delay_us=float(np.mean(delays)),
+        mean_wait_us=mean_wait,
+        mean_latency_us=float(np.mean(samples)),
+        p50_us=percentiles["p50"],
+        p95_us=percentiles["p95"],
+        p99_us=percentiles["p99"],
+        sustainable_qps=sustainable_qps,
+        trigger_counts=dict(trigger_counts or {}),
+        extras=dict(extras or {}),
+    )

@@ -1,0 +1,65 @@
+"""Table sharding: place embedding tables on serving nodes.
+
+Embedding models are far larger than one node's memory, so tables are
+sharded across N nodes and a query fans out to every node that holds one of
+its tables.  Placement must be *deterministic* (every frontend replica must
+agree where a table lives) -- both policies here are pure functions of the
+table id and node count.
+"""
+
+
+class TableSharder:
+    """Deterministic table -> node placement.
+
+    Parameters
+    ----------
+    num_nodes:
+        Serving nodes in the cluster.
+    policy:
+        ``"round-robin"`` -- table ``t`` lives on node ``t % num_nodes``
+        (perfectly balanced for dense table id spaces);
+        ``"hash"`` -- a Knuth multiplicative hash of the table id, balanced
+        in expectation even for sparse or clustered id spaces.
+    """
+
+    POLICIES = ("round-robin", "hash")
+
+    def __init__(self, num_nodes, policy="round-robin"):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError("policy must be one of %s" % (self.POLICIES,))
+        self.num_nodes = int(num_nodes)
+        self.policy = policy
+
+    # ------------------------------------------------------------------ #
+    def node_of_table(self, table_id):
+        """Node index a table is placed on (deterministic)."""
+        table_id = int(table_id)
+        if table_id < 0:
+            raise ValueError("table_id must be non-negative")
+        if self.policy == "round-robin":
+            return table_id % self.num_nodes
+        # Knuth multiplicative hashing: spread clustered ids uniformly
+        # without any per-process randomisation (unlike Python's hash()).
+        mixed = (table_id * 2654435761) & 0xFFFFFFFF
+        return (mixed >> 8) % self.num_nodes
+
+    def placement(self, table_ids):
+        """``{table_id: node}`` for a collection of tables."""
+        return {int(t): self.node_of_table(t) for t in table_ids}
+
+    def partition_requests(self, requests):
+        """Split SLS requests into per-node lists by table placement."""
+        partitions = [[] for _ in range(self.num_nodes)]
+        for request in requests:
+            partitions[self.node_of_table(request.table_id)].append(request)
+        return partitions
+
+    def shard_load(self, requests):
+        """Per-node lookup counts for a request list (balance diagnostics)."""
+        load = [0] * self.num_nodes
+        for request in requests:
+            load[self.node_of_table(request.table_id)] += \
+                request.total_lookups
+        return load

@@ -1,0 +1,356 @@
+"""Adapters plugging the legacy system APIs into :class:`EmbeddingSystem`.
+
+One adapter per system family:
+
+* :class:`HostSystem` -- the CPU + DDR4 baseline (cycle-level, memoised),
+* :class:`TensorDIMMSystem` / :class:`ChameleonSystem` -- the analytical
+  DIMM-level NMP baselines, grounded on the simulated host cycle count,
+* :class:`RecNMPSystem` -- one RecNMP-equipped channel (cycle-level),
+* :class:`MultiChannelSystem` -- the software-coordinated multi-channel
+  RecNMP configuration.
+
+Importing this module registers the built-in system names with the
+registry (``host``, ``tensordimm``, ``chameleon``, ``recnmp-base``,
+``recnmp-cache``, ``recnmp-sched``, ``recnmp-opt``, ``recnmp-opt-4ch``).
+All adapters share one keyword vocabulary (``num_dimms``,
+``ranks_per_dimm``, ``vector_size_bytes``, ``address_of`` ...), so
+``build_system(name, **overrides)`` works uniformly across families.
+"""
+
+from repro.baselines.chameleon import Chameleon
+from repro.baselines.host import HostBaseline
+from repro.baselines.tensordimm import TensorDIMM
+from repro.core.multi_channel import MultiChannelRecNMP
+from repro.core.simulator import RecNMPConfig, RecNMPSimulator
+from repro.dram.system import DramSystemConfig
+from repro.dram.timing import DDR4_2400
+from repro.systems.base import EmbeddingSystem, SystemResult, TableLayout
+from repro.systems.registry import register_system
+
+
+def _resolve_address_of(address_of, vector_size_bytes, table_rows):
+    """Default to a dense :class:`TableLayout` when no map is given."""
+    if address_of is not None:
+        return address_of
+    layout = TableLayout(num_rows=table_rows, vector_bytes=vector_size_bytes)
+    return layout.address_of
+
+
+def _workload_size(requests):
+    return len(requests), sum(request.total_lookups for request in requests)
+
+
+class HostSystem(EmbeddingSystem):
+    """Host CPU executing SLS over the conventional DDR4 channel."""
+
+    def __init__(self, name="host", num_dimms=4, ranks_per_dimm=2,
+                 vector_size_bytes=64, address_of=None, table_rows=100_000,
+                 timing=None, outstanding=32, compare_baseline=True):
+        del compare_baseline  # the host *is* the baseline
+        self.name = name
+        self.timing = timing or DDR4_2400
+        self.vector_size_bytes = vector_size_bytes
+        self.outstanding = outstanding
+        self.address_of = _resolve_address_of(address_of, vector_size_bytes,
+                                              table_rows)
+        # Same shape as the RecNMP baseline comparison (one channel,
+        # identically populated) so cycle counts -- and memoised baseline
+        # cache entries -- line up across systems.
+        self.dram_config = DramSystemConfig(
+            timing=self.timing, num_channels=1,
+            dimms_per_channel=num_dimms, ranks_per_dimm=ranks_per_dimm)
+        self.baseline = HostBaseline(dram_config=self.dram_config)
+
+    def run(self, requests):
+        result = self.baseline.run_requests(
+            requests, self.address_of,
+            vector_bytes=self.vector_size_bytes,
+            outstanding=self.outstanding)
+        num_requests, num_lookups = _workload_size(requests)
+        return SystemResult(
+            system=self.name,
+            total_cycles=result.cycles,
+            latency_ns=result.latency_ns,
+            num_requests=num_requests,
+            num_lookups=num_lookups,
+            baseline_cycles=result.cycles,
+            speedup_vs_baseline=1.0,
+            energy_nj=result.energy_nj,
+            baseline_energy_nj=result.energy_nj,
+            energy_savings_fraction=0.0,
+            extras={
+                "achieved_bandwidth_gbps": result.achieved_bandwidth_gbps,
+                "row_hit_rate": result.row_hit_rate,
+            },
+            raw=result,
+        )
+
+    def describe(self):
+        return "%s: CPU + DDR4, %dx%d channel population" % (
+            self.name, self.dram_config.dimms_per_channel,
+            self.dram_config.ranks_per_dimm)
+
+
+class _AnalyticalNMPSystem(EmbeddingSystem):
+    """Shared adapter for the analytical DIMM-level NMP baselines.
+
+    Both TensorDIMM and Chameleon are modelled as speedups over the host
+    DDR4 system, so the adapter simulates the host trace (memoised) and
+    scales its cycle count by the model's speedup.
+    """
+
+    def __init__(self, name, model, num_dimms, ranks_per_dimm,
+                 vector_size_bytes, address_of, table_rows, timing,
+                 outstanding, compare_baseline=True):
+        del compare_baseline  # the baseline run is what grounds the model
+        self.name = name
+        self.model = model
+        self.timing = timing or DDR4_2400
+        self.vector_size_bytes = vector_size_bytes
+        self.outstanding = outstanding
+        self.address_of = _resolve_address_of(address_of, vector_size_bytes,
+                                              table_rows)
+        self.dram_config = DramSystemConfig(
+            timing=self.timing, num_channels=1,
+            dimms_per_channel=num_dimms, ranks_per_dimm=ranks_per_dimm)
+        self.baseline = HostBaseline(dram_config=self.dram_config)
+
+    def _speedup(self):
+        raise NotImplementedError
+
+    def _cycles_estimate(self, baseline_cycles):
+        """The model's cycle estimate for a given host baseline."""
+        raise NotImplementedError
+
+    def run(self, requests):
+        baseline = self.baseline.run_requests(
+            requests, self.address_of,
+            vector_bytes=self.vector_size_bytes,
+            outstanding=self.outstanding)
+        speedup = self._speedup()
+        total_cycles = self._cycles_estimate(baseline.cycles)
+        num_requests, num_lookups = _workload_size(requests)
+        return SystemResult(
+            system=self.name,
+            total_cycles=total_cycles,
+            latency_ns=total_cycles * self.timing.cycle_time_ns,
+            num_requests=num_requests,
+            num_lookups=num_lookups,
+            baseline_cycles=baseline.cycles,
+            speedup_vs_baseline=speedup,
+            extras={"analytical": True},
+            raw=baseline,
+        )
+
+
+class TensorDIMMSystem(_AnalyticalNMPSystem):
+    """TensorDIMM (DIMM-level NMP, rank-interleaved vectors, no cache)."""
+
+    def __init__(self, name="tensordimm", num_dimms=4, ranks_per_dimm=2,
+                 vector_size_bytes=64, address_of=None, table_rows=100_000,
+                 timing=None, outstanding=32, dimm_efficiency=1.0,
+                 batch_parallel=True, compare_baseline=True):
+        model = TensorDIMM(num_dimms=num_dimms,
+                           ranks_per_dimm=ranks_per_dimm,
+                           dimm_efficiency=dimm_efficiency)
+        self.batch_parallel = batch_parallel
+        super().__init__(name, model, num_dimms, ranks_per_dimm,
+                         vector_size_bytes, address_of, table_rows, timing,
+                         outstanding, compare_baseline)
+
+    def _speedup(self):
+        return self.model.memory_latency_speedup(
+            vector_bytes=max(self.vector_size_bytes, 64),
+            batch_parallel=self.batch_parallel)
+
+    def _cycles_estimate(self, baseline_cycles):
+        return self.model.cycles_estimate(
+            baseline_cycles, vector_bytes=max(self.vector_size_bytes, 64),
+            batch_parallel=self.batch_parallel)
+
+    def describe(self):
+        return "%s: analytical, %d DIMMs, efficiency %.2f" % (
+            self.name, self.model.num_dimms, self.model.dimm_efficiency)
+
+
+class ChameleonSystem(_AnalyticalNMPSystem):
+    """Chameleon (CGRA in the LRDIMM data buffers, multiplexed buses)."""
+
+    def __init__(self, name="chameleon", num_dimms=4, ranks_per_dimm=2,
+                 vector_size_bytes=64, address_of=None, table_rows=100_000,
+                 timing=None, outstanding=32, multiplexing_efficiency=0.7,
+                 compare_baseline=True):
+        model = Chameleon(num_dimms=num_dimms,
+                          ranks_per_dimm=ranks_per_dimm,
+                          multiplexing_efficiency=multiplexing_efficiency)
+        super().__init__(name, model, num_dimms, ranks_per_dimm,
+                         vector_size_bytes, address_of, table_rows, timing,
+                         outstanding, compare_baseline)
+
+    def _speedup(self):
+        return self.model.memory_latency_speedup(
+            vector_bytes=self.vector_size_bytes)
+
+    def _cycles_estimate(self, baseline_cycles):
+        return self.model.cycles_estimate(
+            baseline_cycles, vector_bytes=self.vector_size_bytes)
+
+    def describe(self):
+        return "%s: analytical, %d DIMMs, multiplexing %.2f" % (
+            self.name, self.model.num_dimms,
+            self.model.multiplexing_efficiency)
+
+
+def _recnmp_system_result(name, result, cycle_time_ns, num_requests,
+                          num_lookups):
+    """Map a :class:`RecNMPResult` onto the canonical shape."""
+    return SystemResult(
+        system=name,
+        total_cycles=result.total_cycles,
+        latency_ns=result.total_cycles * cycle_time_ns,
+        num_requests=num_requests,
+        num_lookups=num_lookups,
+        baseline_cycles=result.baseline_cycles,
+        speedup_vs_baseline=result.speedup_vs_baseline,
+        energy_nj=result.energy_nj,
+        baseline_energy_nj=result.baseline_energy_nj,
+        energy_savings_fraction=result.energy_savings_fraction,
+        cache_hit_rate=result.cache_hit_rate,
+        load_imbalance=result.load_imbalance,
+        extras={
+            "num_packets": result.num_packets,
+            "rank_load": list(result.rank_load),
+        },
+        raw=result,
+    )
+
+
+class RecNMPSystem(EmbeddingSystem):
+    """One RecNMP-equipped memory channel (cycle-level simulation)."""
+
+    def __init__(self, name="recnmp-opt", address_of=None, table_rows=100_000,
+                 compare_baseline=True, **config_overrides):
+        self.name = name
+        self.compare_baseline = compare_baseline
+        self.config = RecNMPConfig(**config_overrides)
+        resolved = _resolve_address_of(address_of,
+                                       self.config.vector_size_bytes,
+                                       table_rows)
+        self.simulator = RecNMPSimulator(self.config, address_of=resolved)
+
+    def run(self, requests):
+        # Each run() is independent (the legacy contract: one fresh
+        # simulator per workload); reset clears channel timing, caches and
+        # the packet generator so results do not depend on call order.
+        self.simulator.reset()
+        result = self.simulator.run_requests(
+            requests, compare_baseline=self.compare_baseline)
+        num_requests, num_lookups = _workload_size(requests)
+        return _recnmp_system_result(
+            self.name, result, self.config.timing.cycle_time_ns,
+            num_requests, num_lookups)
+
+    def reset(self):
+        self.simulator.reset()
+
+    def describe(self):
+        return "%s: %s" % (self.name, self.config.label())
+
+
+class MultiChannelSystem(EmbeddingSystem):
+    """Software-coordinated RecNMP across several memory channels."""
+
+    def __init__(self, name="recnmp-opt-4ch", num_channels=4,
+                 address_of=None, table_rows=100_000, compare_baseline=True,
+                 max_workers=None, **config_overrides):
+        self.name = name
+        self.compare_baseline = compare_baseline
+        self.config = RecNMPConfig(**config_overrides)
+        resolved = _resolve_address_of(address_of,
+                                       self.config.vector_size_bytes,
+                                       table_rows)
+        self.coordinator = MultiChannelRecNMP(
+            num_channels=num_channels, channel_config=self.config,
+            address_of=resolved, max_workers=max_workers)
+
+    def run(self, requests):
+        self.coordinator.reset()
+        result = self.coordinator.run_requests(
+            requests, compare_baseline=self.compare_baseline)
+        num_requests, num_lookups = _workload_size(requests)
+        return SystemResult(
+            system=self.name,
+            total_cycles=result.total_cycles,
+            latency_ns=result.total_cycles
+            * self.config.timing.cycle_time_ns,
+            num_requests=num_requests,
+            num_lookups=num_lookups,
+            baseline_cycles=result.baseline_cycles,
+            speedup_vs_baseline=result.speedup_vs_baseline,
+            energy_nj=result.energy_nj,
+            baseline_energy_nj=result.baseline_energy_nj,
+            energy_savings_fraction=(
+                1.0 - result.energy_nj / result.baseline_energy_nj
+                if result.baseline_energy_nj > 0 else 0.0),
+            cache_hit_rate=result.cache_hit_rate,
+            load_imbalance=result.channel_utilization,
+            extras={
+                "num_channels": result.num_channels,
+                "per_channel_cycles": list(result.per_channel_cycles),
+                "per_channel_instructions":
+                    list(result.per_channel_instructions),
+            },
+            raw=result,
+        )
+
+    def reset(self):
+        self.coordinator.reset()
+
+    def describe(self):
+        return "%s: %d channels of %s" % (
+            self.name, self.coordinator.num_channels, self.config.label())
+
+
+# --------------------------------------------------------------------- #
+# Built-in registrations                                                #
+# --------------------------------------------------------------------- #
+_RECNMP_VARIANTS = {
+    "recnmp-base": dict(use_rank_cache=False, scheduling_policy="fcfs",
+                        enable_hot_entry_profiling=False),
+    "recnmp-cache": dict(use_rank_cache=True, scheduling_policy="fcfs",
+                         enable_hot_entry_profiling=False),
+    "recnmp-sched": dict(use_rank_cache=True,
+                         scheduling_policy="table-aware",
+                         enable_hot_entry_profiling=False),
+    "recnmp-opt": dict(use_rank_cache=True, scheduling_policy="table-aware",
+                       enable_hot_entry_profiling=True),
+}
+
+
+def register_builtin_systems():
+    """(Re-)register the built-in system names."""
+    register_system(
+        "host", HostSystem,
+        description="Host CPU over conventional DDR4 (normalisation point)")
+    register_system(
+        "tensordimm", TensorDIMMSystem,
+        description="TensorDIMM: DIMM-level NMP, scales with DIMM count")
+    register_system(
+        "chameleon", ChameleonSystem,
+        description="Chameleon: CGRA NDA with C/A+DQ multiplexing penalty")
+    descriptions = {
+        "recnmp-base": "RecNMP without RankCache (FCFS, no profiling)",
+        "recnmp-cache": "RecNMP + 128 KB RankCache (FCFS, no profiling)",
+        "recnmp-sched": "RecNMP + RankCache + table-aware scheduling",
+        "recnmp-opt": "RecNMP with all HW/SW co-optimisations",
+    }
+    for variant, preset in _RECNMP_VARIANTS.items():
+        register_system(variant, RecNMPSystem,
+                        description=descriptions[variant], **preset)
+    register_system(
+        "recnmp-opt-4ch", MultiChannelSystem,
+        description="4 memory channels of RecNMP-opt, software-coordinated",
+        num_channels=4, **_RECNMP_VARIANTS["recnmp-opt"])
+
+
+register_builtin_systems()

@@ -1,0 +1,57 @@
+"""String-keyed registry of embedding systems.
+
+``build_system("recnmp-opt-4ch", vector_size_bytes=128)`` constructs a ready
+:class:`~repro.systems.base.EmbeddingSystem`; the registry holds a factory
+plus preset keyword defaults per name, and user overrides win over presets.
+The built-in names are registered by :mod:`repro.systems.adapters` on
+import.
+"""
+
+
+class _SystemSpec:
+    def __init__(self, factory, defaults, description):
+        self.factory = factory
+        self.defaults = dict(defaults)
+        self.description = description
+
+
+_REGISTRY = {}
+
+
+def register_system(name, factory, description="", **defaults):
+    """Register ``factory`` under ``name`` with preset keyword defaults.
+
+    Re-registering a name replaces the previous entry (useful for tests and
+    for user-defined variants).  The factory is called as
+    ``factory(name=name, **merged_kwargs)``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("system name must be a non-empty string")
+    _REGISTRY[name] = _SystemSpec(factory, defaults, description)
+
+
+def build_system(name, **overrides):
+    """Build a registered embedding system, applying keyword overrides."""
+    try:
+        spec = _REGISTRY[name]
+    except KeyError:
+        raise KeyError("unknown system %r; available: %s"
+                       % (name, ", ".join(available_systems()))) from None
+    kwargs = dict(spec.defaults)
+    kwargs.update(overrides)
+    return spec.factory(name=name, **kwargs)
+
+
+def available_systems():
+    """Sorted tuple of every registered system name."""
+    return tuple(sorted(_REGISTRY))
+
+
+def system_description(name):
+    """The one-line description a name was registered with."""
+    return _REGISTRY[name].description
+
+
+def system_defaults(name):
+    """Copy of the preset keyword defaults a name was registered with."""
+    return dict(_REGISTRY[name].defaults)

@@ -117,6 +117,19 @@ class TestPacketGeneration:
         ids = [p.packet_id for p in packets]
         assert len(set(ids)) == len(ids)
 
+    def test_reset_clears_counter_and_profiles(self):
+        generator = PacketGenerator(PacketGeneratorConfig(
+            poolings_per_packet=1))
+        generator.packets_for_requests([_request(batch=4, pooling=2)])
+        assert generator._packet_counter > 0
+        assert generator.last_profiles
+        generator.reset()
+        assert generator._packet_counter == 0
+        assert generator.last_profiles == {}
+        # Packet ids restart from zero after a reset.
+        packets = generator.packets_for_request(_request(batch=2, pooling=2))
+        assert packets[0].packet_id == 0
+
     def test_vsize_stamped_from_config(self):
         config = PacketGeneratorConfig(vector_size_bytes=256,
                                        enable_hot_entry_profiling=False)

@@ -130,6 +130,28 @@ class TestSimulation:
         stats = simulator.channel.aggregate_stats()
         assert stats["instructions"] == 0
 
+    def test_reset_clears_packet_generator_state(self):
+        """reset() must also clear the generator's profiling/id state."""
+        simulator = _simulator()
+        simulator.run_requests(_requests(seed=7), compare_baseline=False)
+        assert simulator.packet_generator._packet_counter > 0
+        assert simulator.packet_generator.last_profiles
+        simulator.reset()
+        assert simulator.packet_generator._packet_counter == 0
+        assert simulator.packet_generator.last_profiles == {}
+
+    def test_reset_makes_runs_reproducible(self):
+        """A reset simulator reproduces a fresh simulator's result."""
+        requests = _requests(seed=9)
+        fresh = _simulator().run_requests(requests, compare_baseline=False)
+        reused = _simulator()
+        reused.run_requests(_requests(seed=10), compare_baseline=False)
+        reused.reset()
+        again = reused.run_requests(requests, compare_baseline=False)
+        assert again.total_cycles == fresh.total_cycles
+        assert again.cache_hit_rate == pytest.approx(fresh.cache_hit_rate)
+        assert again.num_packets == fresh.num_packets
+
     def test_per_source_submission(self):
         simulator = _simulator()
         requests = _requests(num_tables=4, seed=8)

@@ -1,0 +1,71 @@
+"""Tests for the memoised DDR4 baseline simulation."""
+
+import numpy as np
+import pytest
+
+from repro.dram.system import DramSystemConfig
+from repro.perf.baseline_cache import (
+    baseline_cache_stats,
+    clear_baseline_cache,
+    run_baseline_trace,
+    trace_fingerprint,
+)
+
+
+def _trace(seed=0, n=256):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 1 << 20, size=n) * 64).tolist()
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_baseline_cache()
+    yield
+    clear_baseline_cache()
+
+
+class TestBaselineCache:
+    def test_hit_returns_identical_result(self):
+        config = DramSystemConfig(num_channels=1)
+        trace = _trace()
+        first = run_baseline_trace(config, trace)
+        second = run_baseline_trace(config, trace)
+        assert second is first
+        stats = baseline_cache_stats()
+        assert stats == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_cached_matches_uncached(self):
+        config = DramSystemConfig(num_channels=1)
+        trace = _trace(seed=1)
+        cached = run_baseline_trace(config, trace)
+        uncached = run_baseline_trace(config, trace, use_cache=False)
+        assert cached.cycles == uncached.cycles
+        assert cached.energy_nj == pytest.approx(uncached.energy_nj)
+        assert cached.row_hit_rate == pytest.approx(uncached.row_hit_rate)
+
+    def test_distinct_traces_and_configs_miss(self):
+        config = DramSystemConfig(num_channels=1)
+        run_baseline_trace(config, _trace(seed=2))
+        run_baseline_trace(config, _trace(seed=3))
+        run_baseline_trace(DramSystemConfig(num_channels=1,
+                                            dimms_per_channel=2),
+                           _trace(seed=2))
+        run_baseline_trace(config, _trace(seed=2), request_bytes=128)
+        stats = baseline_cache_stats()
+        assert stats["misses"] == 4
+        assert stats["hits"] == 0
+
+    def test_fingerprint_depends_on_content_not_identity(self):
+        trace = _trace(seed=4)
+        assert trace_fingerprint(list(trace)) == \
+            trace_fingerprint(np.asarray(trace))
+        different = list(trace)
+        different[0] += 64
+        assert trace_fingerprint(different) != trace_fingerprint(trace)
+
+    def test_clear_resets_counters(self):
+        config = DramSystemConfig(num_channels=1)
+        run_baseline_trace(config, _trace(seed=5))
+        clear_baseline_cache()
+        assert baseline_cache_stats() == {"entries": 0, "hits": 0,
+                                          "misses": 0}
