@@ -17,15 +17,21 @@ from repro.serving import (
 )
 from repro.traces import make_production_table_traces
 
-from workloads import NUM_ROWS, VECTOR_BYTES, address_of, format_table
+from workloads import (
+    NUM_ROWS,
+    VECTOR_BYTES,
+    address_of,
+    format_table,
+    smoke_scaled,
+)
 
 SYSTEMS = ("host", "recnmp-opt", "recnmp-opt-4ch")
-NUM_QUERIES = 64
+NUM_QUERIES = smoke_scaled(64, 16)
 OFFERED_QPS = 120_000.0
 NUM_NODES = 2
-NUM_TABLES = 8
+NUM_TABLES = smoke_scaled(8, 4)
 QUERY_BATCH = 4
-QUERY_POOLING = 20
+QUERY_POOLING = smoke_scaled(20, 8)
 
 
 def compute_serving():

@@ -8,6 +8,11 @@ writes a single JSON summary for trajectory tracking across PRs.
 Usage::
 
     python benchmarks/run_all.py [--output BENCH_results.json] [--match fig16]
+                                 [--smoke]
+
+``--smoke`` exports ``REPRO_BENCH_SMOKE=1`` to every benchmark: files that
+opt in (via ``workloads.smoke_scaled``) shrink to wiring-check size, which
+is how CI executes the whole suite on every push.
 """
 
 import argparse
@@ -29,13 +34,18 @@ def discover(match=None):
     return names
 
 
-def run_one(name, timeout_seconds):
+def run_one(name, timeout_seconds, smoke=False):
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
                                if env.get("PYTHONPATH") else "")
+    if smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
+    # -s: benchmark tables and machine-readable records (e.g.
+    # QUEUE_VALIDATION_JSON) are printed from inside the tests; without
+    # it pytest captures them and they never reach output_tail.
     command = [sys.executable, "-m", "pytest", str(BENCH_DIR / name),
-               "-q", "-p", "no:cacheprovider",
+               "-q", "-s", "-p", "no:cacheprovider",
                "-o", "python_files=bench_*.py",
                "-o", "python_functions=bench_*"]
     start = time.perf_counter()
@@ -57,7 +67,7 @@ def run_one(name, timeout_seconds):
         "status": status,
         "returncode": returncode,
         "duration_seconds": round(duration, 3),
-        "output_tail": output[-4000:],
+        "output_tail": output[-8000:],
     }
 
 
@@ -70,6 +80,10 @@ def main(argv=None):
                              "this substring")
     parser.add_argument("--timeout", type=float, default=900.0,
                         help="per-benchmark timeout in seconds")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads: set REPRO_BENCH_SMOKE=1 for "
+                             "every benchmark so the whole suite runs as a "
+                             "wiring check (used by CI)")
     args = parser.parse_args(argv)
 
     names = discover(args.match)
@@ -79,7 +93,7 @@ def main(argv=None):
     results = []
     for name in names:
         print("running %s ..." % name, flush=True)
-        record = run_one(name, args.timeout)
+        record = run_one(name, args.timeout, smoke=args.smoke)
         print("  %s in %.1fs" % (record["status"],
                                  record["duration_seconds"]), flush=True)
         results.append(record)
@@ -87,6 +101,7 @@ def main(argv=None):
     summary = {
         "generated_unix_time": int(time.time()),
         "python": sys.version.split()[0],
+        "smoke": bool(args.smoke),
         "num_benchmarks": len(results),
         "num_passed": sum(r["status"] == "passed" for r in results),
         "total_seconds": round(sum(r["duration_seconds"]

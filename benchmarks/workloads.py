@@ -7,6 +7,8 @@ minutes on a laptop, while preserving the access statistics that drive the
 results (lookup locality, vector sizes, pooling factors, rank counts).
 """
 
+import os
+
 import numpy as np
 
 from repro.dlrm.operators import SLSRequest
@@ -19,6 +21,21 @@ NUM_ROWS = 20_000
 VECTOR_BYTES = 128
 BATCH_SIZE = 8
 POOLING = 40
+
+#: Smoke mode (``run_all.py --smoke`` / CI): benchmarks that opt in via
+#: :func:`smoke_scaled` shrink their workloads to wiring-check size.
+SMOKE_MODE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def smoke_scaled(value, smoke_value):
+    """``value`` normally, ``smoke_value`` under ``REPRO_BENCH_SMOKE``.
+
+    Smoke mode exists so CI can execute every benchmark end to end (the
+    wiring, not the numbers) in seconds; benchmarks whose assertions only
+    hold at full scale should gate those assertions on
+    :data:`SMOKE_MODE`.
+    """
+    return smoke_value if SMOKE_MODE else value
 
 
 def address_of(table_id, row):

@@ -4,11 +4,14 @@ Builds a two-node serving cluster for each registry system, offers the same
 Poisson query stream (production-locality traces, batched by a size- and
 deadline-triggered frontend, tables sharded round-robin), and reports the
 latency percentiles and sustainable throughput of each -- then sweeps the
-offered load on the RecNMP cluster to show the latency/QPS trade-off.
+offered load on the RecNMP cluster to show the latency/QPS trade-off, and
+compares the closed-form queue model against the event-driven engine on a
+long interpolated run.
 
 Run with:  python examples/serving_demo.py
 """
 
+from repro.perf.service_model import InterpolatingServiceModel
 from repro.serving import (
     BatchingFrontend,
     PoissonArrivalProcess,
@@ -29,12 +32,16 @@ def address_of(table_id, row):
     return (table_id * NUM_ROWS + row) * VECTOR_BYTES
 
 
-def build_queries(qps, seed=1):
-    traces = make_production_table_traces(
+def build_traces():
+    return make_production_table_traces(
         num_lookups_per_table=2_000, num_rows=NUM_ROWS,
         num_tables=NUM_TABLES, seed=0)
+
+
+def build_queries(qps, seed=1, num_queries=NUM_QUERIES):
     return queries_from_traces(
-        traces, NUM_QUERIES, PoissonArrivalProcess(rate_qps=qps, seed=seed),
+        build_traces(), num_queries,
+        PoissonArrivalProcess(rate_qps=qps, seed=seed),
         batch_size=4, pooling_factor=20)
 
 
@@ -70,9 +77,31 @@ def load_sweep():
     print()
 
 
+def engine_comparison():
+    """Analytic vs event-driven tails on a long interpolated run."""
+    print("Engine comparison (recnmp-opt-4ch, %d nodes, 2 frontends, "
+          "5k queries, interpolated service times)" % NUM_NODES)
+    cluster = ShardedServingCluster(
+        num_nodes=NUM_NODES, node_system="recnmp-opt-4ch",
+        num_frontends=2, address_of=address_of,
+        vector_size_bytes=VECTOR_BYTES)
+    frontend = BatchingFrontend(max_queries=8, max_delay_us=100.0)
+    model = InterpolatingServiceModel(build_traces())
+    queries = build_queries(600_000.0, num_queries=5_000)
+    for engine in ("analytic", "event"):
+        report = cluster.simulate(queries, frontend=frontend,
+                                  engine=engine, service_model=model)
+        print("  %-9s rho %.3f, mean %7.1f us, p95 %7.1f us, "
+              "p99 %7.1f us"
+              % (engine, report.utilization, report.mean_latency_us,
+                 report.p95_us, report.p99_us))
+    print()
+
+
 def main():
     compare_systems()
     load_sweep()
+    engine_comparison()
 
 
 if __name__ == "__main__":

@@ -9,7 +9,11 @@ Subcommands
     print the canonical result.
 ``serve``
     Drive a sharded serving cluster with Poisson traffic and print the
-    latency/QPS report.
+    latency/QPS report.  ``--engine`` picks the queueing model (analytic
+    M/G/c or event-driven simulation), ``--frontends`` the number of
+    concurrent dispatch servers, and ``--service-model`` how per-batch
+    service times are obtained (exact cycle simulation or grid
+    interpolation).
 """
 
 import argparse
@@ -19,6 +23,7 @@ import sys
 import numpy as np
 
 from repro.dlrm.operators import SLSRequest
+from repro.perf.service_model import InterpolatingServiceModel
 from repro.serving import (
     BatchingFrontend,
     PoissonArrivalProcess,
@@ -116,19 +121,29 @@ def cmd_serve(args):
     try:
         cluster = ShardedServingCluster(
             num_nodes=args.nodes, node_system=args.system,
+            num_frontends=args.frontends,
             table_rows=args.num_rows,
             vector_size_bytes=args.vector_bytes)
     except KeyError as error:     # unknown registry name from build_system
         raise SystemExit("error: %s" % error.args[0])
+    if args.service_model == "interp":
+        service_model = InterpolatingServiceModel(traces)
+    else:
+        service_model = None
     report = cluster.simulate(
         queries, frontend=BatchingFrontend(max_queries=args.max_batch,
-                                           max_delay_us=args.max_delay_us))
+                                           max_delay_us=args.max_delay_us),
+        engine=args.engine, service_model=service_model)
     if args.json:
         json.dump(report.as_dict(), sys.stdout, indent=2)
         print()
         return 0
     print("%s serving %d queries at %.0f QPS offered" %
           (cluster.describe(), report.num_queries, report.offered_qps))
+    print("  engine         : %s (%d frontend%s, %s service times)"
+          % (args.engine, report.num_servers,
+             "s" if report.num_servers != 1 else "",
+             args.service_model))
     print("  batches        : %d (%s)"
           % (report.num_batches,
              ", ".join("%s=%d" % kv
@@ -176,6 +191,16 @@ def build_parser():
     serve.add_argument("--queries", type=int, default=64)
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument("--max-delay-us", type=float, default=200.0)
+    serve.add_argument("--engine", choices=("analytic", "event"),
+                       default="analytic",
+                       help="queueing model: closed-form M/G/c or "
+                            "event-driven dispatch simulation")
+    serve.add_argument("--frontends", type=int, default=1,
+                       help="concurrent dispatch servers on the batch queue")
+    serve.add_argument("--service-model", choices=("exact", "interp"),
+                       default="exact",
+                       help="per-batch service times: exact cycle "
+                            "simulation or calibrated-grid interpolation")
     return parser
 
 

@@ -13,6 +13,12 @@ from repro.perf.baseline_cache import (
     clear_baseline_cache,
     run_baseline_trace,
 )
+from repro.perf.service_model import (
+    ExactServiceModel,
+    InterpolatingServiceModel,
+    ServiceTimeModel,
+    resolve_service_model,
+)
 from repro.perf.system import SystemParameters, SKYLAKE_SYSTEM
 from repro.perf.roofline import RooflineModel, RooflinePoint
 from repro.perf.bandwidth import BandwidthSaturationModel
@@ -31,6 +37,10 @@ __all__ = [
     "baseline_cache_stats",
     "clear_baseline_cache",
     "run_baseline_trace",
+    "ExactServiceModel",
+    "InterpolatingServiceModel",
+    "ServiceTimeModel",
+    "resolve_service_model",
     "SystemParameters",
     "SKYLAKE_SYSTEM",
     "RooflineModel",

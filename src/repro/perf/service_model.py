@@ -1,0 +1,238 @@
+"""Batch-size-aware service-time models for the serving layer.
+
+The cycle simulator is the serving bottleneck: every distinct batch
+composition costs a full RecNMP simulation.  The closed-form engine only
+ever needed a few dozen batches, but the event engine
+(:mod:`repro.serving.events`) is cheap enough to replay hundreds of
+thousands of batches -- if their service times do not each cost a cycle
+simulation.  A :class:`ServiceTimeModel` decides how a batch's service
+time is obtained:
+
+* :class:`ExactServiceModel` -- call
+  :meth:`ShardedServingCluster.service_time_us` for every batch, exactly
+  as before (memoised by batch content).
+* :class:`InterpolatingServiceModel` -- calibrate a (poolings x
+  pooling-factor) grid of simulated service times *once* per cluster,
+  then answer every batch by bilinear interpolation on its
+  ``total_poolings`` and ``mean_pooling_factor``.  Turns an O(batches)
+  number of cycle simulations into O(grid), which is what makes
+  million-query event runs tractable.
+
+The grid memoisation reuses the keyed-LRU pattern of
+:mod:`repro.perf.baseline_cache` via :class:`repro.utils.LRUCache`.
+"""
+
+import abc
+
+import numpy as np
+
+from repro.utils.lru import LRUCache
+
+
+class ServiceTimeModel(abc.ABC):
+    """Strategy interface: (cluster, batch) -> service time in us."""
+
+    #: Registry name of the model (``"exact"`` / ``"interp"``).
+    name = "service-model"
+
+    @abc.abstractmethod
+    def service_time_us(self, cluster, batch):
+        """Service time of ``batch`` on ``cluster``, in microseconds."""
+
+    def service_times_us(self, cluster, batches):
+        """Vector of per-batch service times (the engine-facing call)."""
+        return [self.service_time_us(cluster, batch) for batch in batches]
+
+    def describe(self):
+        """Human-readable one-line description of the model."""
+        return self.name
+
+
+class ExactServiceModel(ServiceTimeModel):
+    """Simulate every batch composition (the PR-1 behaviour)."""
+
+    name = "exact"
+
+    def service_time_us(self, cluster, batch):
+        return cluster.service_time_us(batch)
+
+
+class InterpolatingServiceModel(ServiceTimeModel):
+    """Interpolate service times from a calibrated grid of simulations.
+
+    The grid spans (batch size x pooling factor): for every per-query
+    request shape observed -- ``b`` poolings per table at ``p`` lookups
+    each -- one *row* of batches with ``batch_sizes`` queries of that
+    shape is simulated exactly, and every later batch with that shape is
+    answered by interpolating its ``total_poolings`` along the row
+    (linear extrapolation past the last grid point).  Batches issue one
+    SLS request per query per table, so calibration batches are composed
+    of real multi-query batches, preserving the per-request dispatch
+    overheads a single merged request would hide.
+
+    Parameters
+    ----------
+    traces:
+        Per-table :class:`EmbeddingTrace` list the calibration batches
+        are materialised from -- use the same traces (or the same
+        generator settings) as the workload being served, so the grid
+        preserves the workload's locality structure.
+    batch_sizes:
+        Queries per calibration batch (the grid's batch-size axis).
+    pooling_factors:
+        Pooling factors to snap observed batches onto.  ``None`` (the
+        default) calibrates one row per distinct observed (rounded)
+        pooling factor; a tuple restricts rows to those values and
+        interpolates between the two bracketing rows.
+    max_grids:
+        LRU bound on per-cluster calibration grids held by this model.
+    """
+
+    name = "interp"
+
+    def __init__(self, traces, batch_sizes=(1, 2, 4, 8, 16, 32),
+                 pooling_factors=None, max_grids=8):
+        if not traces:
+            raise ValueError("need at least one calibration trace")
+        if len(batch_sizes) < 2:
+            raise ValueError("need at least two batch-size grid points")
+        self.traces = list(traces)
+        self.batch_sizes = tuple(sorted(set(int(b) for b in batch_sizes)))
+        if any(b <= 0 for b in self.batch_sizes):
+            raise ValueError("batch-size grid points must be positive")
+        self.pooling_factors = None if pooling_factors is None else \
+            tuple(sorted(set(int(p) for p in pooling_factors)))
+        self._grids = LRUCache(max_entries=max_grids)
+        self._exact_calls = 0
+        self._interpolated_calls = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _query_shape(batch):
+        """Observed per-request poolings and per-pooling lookups."""
+        num_requests = sum(len(query.requests) for query in batch.queries)
+        poolings = max(int(round(batch.total_poolings / num_requests)), 1)
+        pooling_factor = max(int(round(batch.mean_pooling_factor)), 1)
+        return poolings, pooling_factor
+
+    def _calibration_row(self, cluster, poolings, pooling_factor):
+        """Simulated service times over the batch-size grid at one shape."""
+        from repro.serving.arrival import queries_from_traces
+        from repro.serving.batcher import QueryBatch
+
+        shortest = min(len(trace) for trace in self.traces)
+        if poolings * pooling_factor > shortest:
+            raise ValueError(
+                "calibration traces too short: need %d lookups per table "
+                "for a %dx%d request, shortest trace has %d"
+                % (poolings * pooling_factor, poolings, pooling_factor,
+                   shortest))
+        xs, values = [], []
+        for batch_size in self.batch_sizes:
+            queries = queries_from_traces(
+                self.traces, batch_size, [0.0] * batch_size,
+                batch_size=poolings, pooling_factor=pooling_factor)
+            batch = QueryBatch(queries=queries, open_us=0.0, formed_us=0.0)
+            xs.append(float(batch.total_poolings))
+            values.append(cluster.service_time_us(batch))
+            self._exact_calls += 1
+        return np.asarray(xs), np.asarray(values)
+
+    def _grid_for(self, cluster):
+        """The per-cluster grid of calibrated rows, keyed by query shape.
+
+        Entries hold a strong reference to their cluster: ``id()`` alone
+        could be reused by a new cluster after the old one is collected
+        and silently serve a grid calibrated on different hardware.  The
+        reference pins at most ``max_grids`` clusters, and the identity
+        check recalibrates if an id is ever reused anyway.
+        """
+        key = id(cluster)
+        entry = self._grids.get(key)
+        if entry is not None and entry[0] is cluster:
+            return entry[1]
+        grid = {}
+        self._grids.put(key, (cluster, grid))
+        return grid
+
+    def _row(self, grid, cluster, poolings, pooling_factor):
+        key = (poolings, pooling_factor)
+        if key not in grid:
+            grid[key] = self._calibration_row(cluster, poolings,
+                                              pooling_factor)
+        return grid[key]
+
+    @staticmethod
+    def _interp_row(row, total_poolings):
+        """Row lookup with linear extrapolation past the last grid point."""
+        xs, values = row
+        if total_poolings > xs[-1]:
+            slope = (values[-1] - values[-2]) / (xs[-1] - xs[-2])
+            return float(values[-1] + slope * (total_poolings - xs[-1]))
+        return float(np.interp(total_poolings, xs, values))
+
+    def service_time_us(self, cluster, batch):
+        grid = self._grid_for(cluster)
+        poolings, observed_pf = self._query_shape(batch)
+        total_poolings = float(batch.total_poolings)
+        if self.pooling_factors is None:
+            pf_rows = [observed_pf]
+        else:
+            # Bracket the observed pooling factor with permitted rows;
+            # clamp to the nearest row outside the grid (never
+            # extrapolate across the whole pooling-factor range).
+            below = [p for p in self.pooling_factors if p <= observed_pf]
+            above = [p for p in self.pooling_factors if p >= observed_pf]
+            if not below:
+                pf_rows = [above[0]]
+            elif not above:
+                pf_rows = [below[-1]]
+            else:
+                pf_rows = sorted({below[-1], above[0]})
+        self._interpolated_calls += 1
+        if len(pf_rows) == 1:
+            return self._interp_row(
+                self._row(grid, cluster, poolings, pf_rows[0]),
+                total_poolings)
+        low, high = pf_rows
+        value_low = self._interp_row(
+            self._row(grid, cluster, poolings, low), total_poolings)
+        value_high = self._interp_row(
+            self._row(grid, cluster, poolings, high), total_poolings)
+        weight = (observed_pf - low) / (high - low)
+        return value_low + weight * (value_high - value_low)
+
+    def stats(self):
+        """Calibration-vs-interpolation call accounting."""
+        return {"exact_calls": self._exact_calls,
+                "interpolated_calls": self._interpolated_calls,
+                "grids": len(self._grids)}
+
+
+#: Model registry: name -> class (interp needs constructor arguments, so
+#: resolve_service_model only instantiates the argument-free exact model).
+SERVICE_MODELS = {"exact": ExactServiceModel,
+                  "interp": InterpolatingServiceModel}
+
+
+def resolve_service_model(model):
+    """Normalise a ``service_model=`` argument into a model instance.
+
+    Accepts ``None`` or ``"exact"`` (a fresh :class:`ExactServiceModel`),
+    a ready :class:`ServiceTimeModel` instance, or a model class with a
+    zero-argument constructor.  ``"interp"`` must be passed as an
+    instance because it needs calibration traces.
+    """
+    if model is None:
+        return ExactServiceModel()
+    if isinstance(model, ServiceTimeModel):
+        return model
+    if isinstance(model, type) and issubclass(model, ServiceTimeModel):
+        return model()
+    if model == "exact":
+        return ExactServiceModel()
+    if model == "interp":
+        raise ValueError("the interpolating model needs calibration traces;"
+                         " pass an InterpolatingServiceModel instance")
+    raise ValueError("unknown service model %r; available: %s"
+                     % (model, ", ".join(sorted(SERVICE_MODELS))))

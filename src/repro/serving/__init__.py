@@ -3,8 +3,11 @@
 Models what sits between user traffic and the memory systems the paper
 studies: arrival processes (Poisson / trace replay), a size- and
 deadline-triggered batching frontend, deterministic table sharding across
-serving nodes, and a closed-form queueing step that turns per-batch
-simulated cycles into p50/p95/p99 latency and sustainable QPS::
+serving nodes, and a pluggable serving *engine* that turns per-batch
+simulated cycles into p50/p95/p99 latency and sustainable QPS -- the
+closed-form M/G/c model (``engine="analytic"``, default) or a
+discrete-event simulation of the multi-frontend dispatch queue
+(``engine="event"``)::
 
     from repro.serving import (PoissonArrivalProcess, ShardedServingCluster,
                                queries_from_traces)
@@ -28,13 +31,23 @@ from repro.serving.batcher import BatchingFrontend, QueryBatch
 from repro.serving.sharding import TableSharder
 from repro.serving.queueing import (
     ServingReport,
+    erlang_c,
     latency_percentiles,
     mg1_mean_wait_us,
     mg1_utilization,
+    mgc_mean_wait_us,
+    mgc_utilization,
     percentile,
     summarize_serving,
     wait_quantile_us,
 )
+from repro.serving.engine import (
+    AnalyticEngine,
+    ServingEngine,
+    available_engines,
+    resolve_engine,
+)
+from repro.serving.events import EventEngine, simulate_fifo_queue
 from repro.serving.cluster import ShardedServingCluster, qps_sweep
 
 __all__ = [
@@ -46,12 +59,21 @@ __all__ = [
     "QueryBatch",
     "TableSharder",
     "ServingReport",
+    "erlang_c",
     "latency_percentiles",
     "mg1_mean_wait_us",
     "mg1_utilization",
+    "mgc_mean_wait_us",
+    "mgc_utilization",
     "percentile",
     "summarize_serving",
     "wait_quantile_us",
+    "AnalyticEngine",
+    "EventEngine",
+    "ServingEngine",
+    "available_engines",
+    "resolve_engine",
+    "simulate_fifo_queue",
     "ShardedServingCluster",
     "qps_sweep",
 ]

@@ -33,6 +33,24 @@ class QueryBatch:
     def total_lookups(self):
         return sum(query.total_lookups for query in self.queries)
 
+    @property
+    def total_poolings(self):
+        """Pooling operations across the batch (the SLS batch dimension).
+
+        The axis service time scales along: a batch of ``n`` queries each
+        carrying ``b`` poolings per table behaves like one ``n * b``-pooling
+        request per table, which is how the interpolating service-time
+        model (:mod:`repro.perf.service_model`) keys its calibration grid.
+        """
+        return sum(len(request.lengths) for query in self.queries
+                   for request in query.requests)
+
+    @property
+    def mean_pooling_factor(self):
+        """Average lookups per pooling operation across the batch."""
+        poolings = self.total_poolings
+        return self.total_lookups / poolings if poolings else 0.0
+
     def requests(self):
         """All SLS requests of the batch, in query order."""
         return [request for query in self.queries

@@ -2,16 +2,28 @@
 
 Ties the serving pieces together: an arrival process produces queries, the
 batching frontend groups them, the table sharder fans each batch out to N
-embedding-system nodes (built by name through
-:mod:`repro.systems`), the slowest shard sets the batch service time, and
-the closed-form queueing step converts the per-batch service times into
-p50/p95/p99 latency and a sustainable-QPS figure.
+embedding-system nodes (built by name through :mod:`repro.systems`), the
+slowest shard sets the batch service time, and a pluggable
+:class:`~repro.serving.engine.ServingEngine` converts the per-batch
+service times into p50/p95/p99 latency and a sustainable-QPS figure --
+either the closed-form M/G/c model (``engine="analytic"``, the default)
+or a discrete-event simulation of the dispatch queue
+(``engine="event"``).  Per-batch service times come from a
+:class:`~repro.perf.service_model.ServiceTimeModel`: exact cycle
+simulation per batch composition, or interpolation from a calibrated
+grid for long event-driven runs.
 """
 
 from repro.serving.batcher import BatchingFrontend
-from repro.serving.queueing import summarize_serving
+from repro.serving.engine import resolve_engine
 from repro.serving.sharding import TableSharder
 from repro.systems.registry import build_system
+from repro.utils.lru import LRUCache
+
+#: Default bound on the per-cluster batch service-time cache.  Long trace
+#: replays stream millions of distinct batch compositions through a
+#: cluster; an unbounded cache would retain every one of them.
+DEFAULT_SERVICE_CACHE_ENTRIES = 4096
 
 
 class ShardedServingCluster:
@@ -26,6 +38,13 @@ class ShardedServingCluster:
         ``"recnmp-opt-4ch"`` for the paper's four-channel server).
     sharder:
         A :class:`TableSharder`; defaults to round-robin over the nodes.
+    num_frontends:
+        Concurrent dispatch servers draining the batch queue.  Every
+        engine models the queue as ``num_frontends`` identical servers
+        (Erlang-C analytically, actual concurrent service in the event
+        engine).
+    service_cache_entries:
+        LRU bound on the memoised per-batch service times.
     node_overrides:
         Keyword overrides forwarded to ``build_system`` for every node.
         ``compare_baseline`` defaults to False here: serving only needs the
@@ -33,19 +52,24 @@ class ShardedServingCluster:
     """
 
     def __init__(self, num_nodes=2, node_system="recnmp-opt-4ch",
-                 sharder=None, **node_overrides):
+                 sharder=None, num_frontends=1,
+                 service_cache_entries=DEFAULT_SERVICE_CACHE_ENTRIES,
+                 **node_overrides):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
+        if num_frontends <= 0:
+            raise ValueError("num_frontends must be positive")
         node_overrides.setdefault("compare_baseline", False)
         self.num_nodes = int(num_nodes)
         self.node_system = node_system
+        self.num_frontends = int(num_frontends)
         self.sharder = sharder or TableSharder(num_nodes)
         if self.sharder.num_nodes != self.num_nodes:
             raise ValueError("sharder is sized for %d nodes, cluster has %d"
                              % (self.sharder.num_nodes, self.num_nodes))
         self.nodes = [build_system(node_system, **node_overrides)
                       for _ in range(self.num_nodes)]
-        self._service_cache = {}
+        self._service_cache = LRUCache(max_entries=service_cache_entries)
 
     # ------------------------------------------------------------------ #
     def service_time_us(self, batch):
@@ -54,25 +78,28 @@ class ShardedServingCluster:
         The batch's SLS requests are partitioned by table placement; every
         node executes its shard and the batch completes when the slowest
         shard does.  Results are memoised by batch *content* (the queries'
-        lookup fingerprints, not their ids or arrival times), so QPS sweeps
-        that re-batch the same queries only simulate new compositions while
-        different workloads never collide.
+        lookup fingerprints, not their ids or arrival times) in a bounded
+        LRU, so QPS sweeps that re-batch the same queries only simulate
+        new compositions while different workloads never collide.
         """
         key = tuple(query.fingerprint() for query in batch.queries)
-        if key in self._service_cache:
-            return self._service_cache[key]
+        cached = self._service_cache.get(key)
+        if cached is not None:
+            return cached
         partitions = self.sharder.partition_requests(batch.requests())
-        latency_ns = 0.0
+        latency_us = 0.0
         for node, shard in zip(self.nodes, partitions):
             if not shard:
                 continue
-            result = node.run(shard)
-            latency_ns = max(latency_ns, result.latency_ns)
-        if latency_ns <= 0.0:
+            latency_us = max(latency_us, node.service_time_us(shard))
+        if latency_us <= 0.0:
             raise ValueError("batch dispatched no requests to any node")
-        service_us = latency_ns / 1e3
-        self._service_cache[key] = service_us
-        return service_us
+        self._service_cache.put(key, latency_us)
+        return latency_us
+
+    def service_cache_stats(self):
+        """Hit/miss/occupancy snapshot of the service-time cache."""
+        return self._service_cache.stats()
 
     def reset(self):
         """Reset every node and drop the memoised batch service times."""
@@ -81,32 +108,53 @@ class ShardedServingCluster:
         self._service_cache.clear()
 
     # ------------------------------------------------------------------ #
-    def simulate(self, queries, frontend=None):
+    def simulate(self, queries, frontend=None, engine=None,
+                 service_model=None):
         """Serve a query stream; returns a
-        :class:`~repro.serving.queueing.ServingReport`."""
+        :class:`~repro.serving.queueing.ServingReport`.
+
+        ``engine`` selects the queueing model (``"analytic"`` /
+        ``"event"`` / a :class:`ServingEngine` instance; default
+        analytic).  ``service_model`` selects how per-batch service times
+        are obtained (``"exact"`` / a
+        :class:`~repro.perf.service_model.ServiceTimeModel` instance;
+        default exact).
+        """
+        from repro.perf.service_model import resolve_service_model
+
         frontend = frontend or BatchingFrontend()
+        engine = resolve_engine(engine)
+        model = resolve_service_model(service_model)
         batches = frontend.form_batches(queries)
-        services = [self.service_time_us(batch) for batch in batches]
-        return summarize_serving(
+        services = model.service_times_us(self, batches)
+        return engine.summarize(
             self.describe(), batches, services,
+            num_servers=self.num_frontends,
             trigger_counts=frontend.trigger_counts(batches),
             extras={"num_nodes": self.num_nodes,
                     "node_system": self.node_system,
-                    "shard_policy": self.sharder.policy})
+                    "shard_policy": self.sharder.policy,
+                    "service_model": model.name})
 
     def describe(self):
         return "%dx %s" % (self.num_nodes, self.node_system)
 
 
-def qps_sweep(cluster, make_queries, qps_points, frontend=None):
+def qps_sweep(cluster, make_queries, qps_points, frontend=None, engine=None,
+              service_model=None):
     """Latency/throughput curve over offered load.
 
     ``make_queries(qps)`` must return the query stream offered at that rate
-    (typically the same queries with arrival times rescaled).  Returns the
-    list of :class:`ServingReport`, one per point, in order.
+    (typically the same queries with arrival times rescaled).  ``engine``
+    and ``service_model`` are forwarded to every
+    :meth:`ShardedServingCluster.simulate` call (the engine is resolved
+    once so stateful engines see the whole sweep).  Returns the list of
+    :class:`ServingReport`, one per point, in order.
     """
+    engine = resolve_engine(engine)
     reports = []
     for qps in qps_points:
         reports.append(cluster.simulate(make_queries(qps),
-                                        frontend=frontend))
+                                        frontend=frontend, engine=engine,
+                                        service_model=service_model))
     return reports

@@ -1,0 +1,110 @@
+"""The pluggable serving-engine interface.
+
+A *serving engine* turns dispatched batches and their simulated service
+times into a :class:`~repro.serving.queueing.ServingReport` -- the step
+that models what the dispatch queue does to per-query latency.  Two
+interchangeable implementations exist:
+
+* :class:`AnalyticEngine` -- the closed-form M/G/c model from
+  :mod:`repro.serving.queueing` (Erlang-C waiting probability,
+  Lee-Longton mean wait, exponential-tail quantiles).  One pass over the
+  service times; exact only in its assumptions.
+* :class:`~repro.serving.events.EventEngine` -- a discrete-event
+  simulation of the FIFO dispatch queue across ``num_frontends``
+  concurrent servers that *measures* per-query latency percentiles
+  instead of approximating them.  The reference at high utilisation,
+  where the exponential-tail approximation is unvalidated.
+
+Engines are resolved by name (``"analytic"`` / ``"event"``) or passed as
+instances; :meth:`ShardedServingCluster.simulate` and ``qps_sweep`` accept
+either through their ``engine=`` parameter, with the analytic engine as
+the backward-compatible default.
+"""
+
+import abc
+
+from repro.serving.queueing import summarize_serving
+
+
+class ServingEngine(abc.ABC):
+    """Strategy interface: batches + service times -> ServingReport."""
+
+    #: Registry name of the engine (also recorded in report extras).
+    name = "engine"
+
+    @abc.abstractmethod
+    def summarize(self, system_name, batches, service_times_us,
+                  num_servers=1, trigger_counts=None, extras=None):
+        """Produce a :class:`ServingReport` for one serving run.
+
+        ``batches`` are the dispatched
+        :class:`~repro.serving.batcher.QueryBatch` objects in dispatch
+        order, ``service_times_us`` the per-batch execution times on the
+        cluster, and ``num_servers`` the number of concurrent dispatch
+        frontends draining the batch queue.
+        """
+
+    def describe(self):
+        """Human-readable one-line description of the engine."""
+        return self.name
+
+    def _tag_extras(self, extras):
+        """Engine-stamped copy of the caller's extras dict."""
+        tagged = dict(extras or {})
+        tagged.setdefault("engine", self.name)
+        return tagged
+
+
+class AnalyticEngine(ServingEngine):
+    """Closed-form M/G/c engine (the PR-1 model, now multi-server aware).
+
+    Wraps :func:`repro.serving.queueing.summarize_serving`: waiting times
+    from the first two moments of the service distribution, quantiles from
+    the Erlang-C exponential-tail approximation.  Cheap (one vectorised
+    pass) but approximate -- validate against the event engine near
+    saturation (``benchmarks/bench_queue_validation.py`` does exactly
+    that).
+    """
+
+    name = "analytic"
+
+    def summarize(self, system_name, batches, service_times_us,
+                  num_servers=1, trigger_counts=None, extras=None):
+        return summarize_serving(
+            system_name, batches, service_times_us,
+            trigger_counts=trigger_counts,
+            extras=self._tag_extras(extras),
+            num_servers=num_servers)
+
+
+#: Engine registry: name -> zero-argument factory.
+ENGINES = {"analytic": AnalyticEngine}
+
+
+def available_engines():
+    """Sorted names of the registered serving engines."""
+    return sorted(ENGINES)
+
+
+def resolve_engine(engine):
+    """Normalise an ``engine=`` argument into a :class:`ServingEngine`.
+
+    Accepts ``None`` (the default analytic engine), a registered engine
+    name, an engine class, or a ready instance.
+    """
+    # Imported for the side effect of registering "event" (kept out of
+    # module scope to avoid a cycle: events.py imports this interface).
+    from repro.serving import events  # noqa: F401
+
+    if engine is None:
+        return AnalyticEngine()
+    if isinstance(engine, ServingEngine):
+        return engine
+    if isinstance(engine, type) and issubclass(engine, ServingEngine):
+        return engine()
+    try:
+        factory = ENGINES[engine]
+    except (KeyError, TypeError):
+        raise ValueError("unknown serving engine %r; available: %s"
+                         % (engine, ", ".join(available_engines())))
+    return factory()

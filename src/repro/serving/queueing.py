@@ -2,12 +2,19 @@
 
 The serving simulator produces one *service time* per batch (the simulated
 execution time on the sharded cluster).  Rather than event-driven simulation
-of the dispatch queue, the frontend is modelled as an M/G/1 queue in steady
-state, which yields closed-form waiting times from the first two moments of
-the service distribution (the Pollaczek-Khinchine formula) and an
-exponential-tail approximation for the waiting-time quantiles.  Combined
-with the exact per-query batching delays this turns one pass of batch
-simulations into p50/p95/p99 latency and a sustainable-QPS number.
+of the dispatch queue, the frontend is modelled as an M/G/c queue in steady
+state: ``c`` identical dispatch servers (frontends) drain a single FIFO
+batch queue.  The waiting-time mean comes from the Lee-Longton
+approximation ``W(M/G/c) = (1 + CV^2)/2 * W(M/M/c)`` -- which reduces
+*exactly* to the Pollaczek-Khinchine formula at ``c = 1`` -- and the
+waiting-time quantiles from the matching Erlang-C exponential-tail
+approximation.  Combined with the exact per-query batching delays this
+turns one pass of batch simulations into p50/p95/p99 latency and a
+sustainable-QPS number.
+
+The event-driven alternative that *measures* these quantities instead of
+approximating them lives in :mod:`repro.serving.events`; both are exposed
+behind the :class:`~repro.serving.engine.ServingEngine` interface.
 """
 
 import math
@@ -32,11 +39,43 @@ def latency_percentiles(samples, ps=(50.0, 95.0, 99.0)):
 
 
 def mg1_utilization(arrival_rate_per_us, service_times_us):
-    """Offered load rho = lambda * E[S] of the batch queue."""
+    """Offered load rho = lambda * E[S] of a single-server batch queue."""
+    return mgc_utilization(arrival_rate_per_us, service_times_us, 1)
+
+
+def mgc_utilization(arrival_rate_per_us, service_times_us, num_servers):
+    """Per-server utilisation ``rho = lambda * E[S] / c`` of the queue."""
+    if num_servers < 1:
+        raise ValueError("num_servers must be >= 1")
     services = np.asarray(service_times_us, dtype=np.float64)
     if services.size == 0:
         raise ValueError("need at least one service time")
-    return float(arrival_rate_per_us * services.mean())
+    return float(arrival_rate_per_us * services.mean() / num_servers)
+
+
+def erlang_c(num_servers, offered_load):
+    """Erlang-C probability that an arrival waits (M/M/c queue).
+
+    ``offered_load`` is ``a = lambda * E[S]`` in erlangs; the queue is
+    stable only for ``a < num_servers``.  For one server this is simply
+    ``a`` (the utilisation), which is why the ``c = 1`` specialisations
+    below match the classic M/G/1 formulas term for term.
+    """
+    if num_servers < 1:
+        raise ValueError("num_servers must be >= 1")
+    if offered_load < 0:
+        raise ValueError("offered_load must be non-negative")
+    if offered_load >= num_servers:
+        return 1.0
+    if offered_load == 0.0:
+        return 0.0
+    # Iterative Erlang-B, then convert to Erlang-C: numerically stable for
+    # any server count (no explicit factorials).
+    erlang_b = 1.0
+    for k in range(1, num_servers + 1):
+        erlang_b = offered_load * erlang_b / (k + offered_load * erlang_b)
+    rho = offered_load / num_servers
+    return erlang_b / (1.0 - rho + rho * erlang_b)
 
 
 def mg1_mean_wait_us(arrival_rate_per_us, service_times_us):
@@ -45,34 +84,98 @@ def mg1_mean_wait_us(arrival_rate_per_us, service_times_us):
     ``W = lambda * E[S^2] / (2 * (1 - rho))``; returns ``inf`` when the
     queue is unstable (rho >= 1).
     """
+    return mgc_mean_wait_us(arrival_rate_per_us, service_times_us, 1)
+
+
+def mgc_mean_wait_us(arrival_rate_per_us, service_times_us, num_servers):
+    """Mean queueing delay of an M/G/c queue (Lee-Longton approximation).
+
+    ``W = (1 + CV^2) / 2 * ErlangC(c, a) * E[S] / (c * (1 - rho))``.  At
+    ``c = 1`` the Erlang-C term is ``rho`` and the expression reduces
+    exactly to Pollaczek-Khinchine.  Returns ``inf`` when the queue is
+    unstable (rho >= 1).
+    """
     services = np.asarray(service_times_us, dtype=np.float64)
-    rho = mg1_utilization(arrival_rate_per_us, services)
+    rho = mgc_utilization(arrival_rate_per_us, services, num_servers)
     if rho >= 1.0:
         return float("inf")
+    mean_service = float(services.mean())
+    if mean_service <= 0.0 or arrival_rate_per_us <= 0.0:
+        return 0.0
     second_moment = float((services ** 2).mean())
-    return arrival_rate_per_us * second_moment / (2.0 * (1.0 - rho))
+    cv_squared = second_moment / mean_service ** 2 - 1.0
+    offered = arrival_rate_per_us * mean_service
+    wait_mmc = erlang_c(num_servers, offered) * mean_service \
+        / (num_servers * (1.0 - rho))
+    return (1.0 + cv_squared) / 2.0 * wait_mmc
 
 
-def wait_quantile_us(arrival_rate_per_us, service_times_us, p):
+def wait_quantile_us(arrival_rate_per_us, service_times_us, p,
+                     num_servers=1):
     """Approximate ``p``-th percentile of the queueing delay.
 
-    Uses the classic exponential-tail approximation
-    ``P(W > t) = rho * exp(-(1 - rho) * t / E[S])`` (exact for M/M/1, a
-    good heavy-traffic approximation for M/G/1).  Returns 0 for quantiles
-    below the probability mass of not waiting at all, ``inf`` when the
-    queue is unstable.
+    Uses the Erlang-C exponential-tail approximation
+    ``P(W > t) = C(c, a) * exp(-c * (1 - rho) * t / E[S])`` (exact for
+    M/M/c, a good heavy-traffic approximation for M/G/c).  At ``c = 1``
+    the waiting probability ``C(1, a)`` equals ``rho`` and the formula is
+    the classic ``rho * exp(-(1 - rho) * t / E[S])``.  Returns 0 for
+    quantiles below the probability mass of not waiting at all, ``inf``
+    when the queue is unstable.
     """
     if not 0 <= p <= 100:
         raise ValueError("p must be in [0, 100]")
     services = np.asarray(service_times_us, dtype=np.float64)
-    rho = mg1_utilization(arrival_rate_per_us, services)
+    rho = mgc_utilization(arrival_rate_per_us, services, num_servers)
     if rho >= 1.0:
         return float("inf")
-    tail = 1.0 - p / 100.0
-    if tail >= rho:
-        return 0.0
     mean_service = float(services.mean())
-    return -math.log(tail / rho) * mean_service / (1.0 - rho)
+    if mean_service <= 0.0 or arrival_rate_per_us <= 0.0:
+        return 0.0
+    wait_probability = erlang_c(num_servers,
+                                arrival_rate_per_us * mean_service)
+    tail = 1.0 - p / 100.0
+    if tail >= wait_probability:
+        return 0.0
+    return -math.log(tail / wait_probability) * mean_service \
+        / (num_servers * (1.0 - rho))
+
+
+def traffic_stats(batches):
+    """Shared offered-load bookkeeping for the serving engines.
+
+    Returns ``(queries, delays_us, offered_qps, batch_rate_per_us)``:
+    the flattened query list, per-query batching delays, the offered
+    query rate over the arrival span, and the batch arrival rate from
+    the inter-dispatch intervals (0 for a single batch, which never
+    queues behind anything).
+    """
+    if not len(batches):
+        raise ValueError("need at least one batch")
+    queries = [query for batch in batches for query in batch.queries]
+    first_arrival = min(query.arrival_us for query in queries)
+    last_arrival = max(query.arrival_us for query in queries)
+    span_us = max(last_arrival - first_arrival, 1e-9)
+    offered_qps = len(queries) / span_us * 1e6
+    if len(batches) > 1:
+        formed = [batch.formed_us for batch in batches]
+        batch_span_us = max(max(formed) - min(formed), 1e-9)
+        batch_rate_per_us = (len(batches) - 1) / batch_span_us
+    else:
+        batch_rate_per_us = 0.0
+    delays = [batch.batching_delay_us(query)
+              for batch in batches for query in batch.queries]
+    return queries, delays, offered_qps, batch_rate_per_us
+
+
+def saturation_qps(num_queries, num_batches, mean_service_us, num_servers):
+    """Query rate at which ``num_servers`` frontends saturate.
+
+    The cluster saturates when batches arrive as fast as its frontends
+    serve them: ``c / E[S]`` batches per microsecond, each carrying
+    E[queries-per-batch].
+    """
+    return num_servers * (num_queries / num_batches) \
+        / mean_service_us * 1e6
 
 
 @dataclass
@@ -92,6 +195,7 @@ class ServingReport:
     p95_us: float
     p99_us: float
     sustainable_qps: float
+    num_servers: int = 1
     trigger_counts: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
 
@@ -114,6 +218,7 @@ class ServingReport:
             "p95_us": self.p95_us,
             "p99_us": self.p99_us,
             "sustainable_qps": self.sustainable_qps,
+            "num_servers": self.num_servers,
             "stable": self.stable,
             "trigger_counts": dict(self.trigger_counts),
             "extras": dict(self.extras),
@@ -121,36 +226,27 @@ class ServingReport:
 
 
 def summarize_serving(system_name, batches, service_times_us,
-                      trigger_counts=None, extras=None):
+                      trigger_counts=None, extras=None, num_servers=1):
     """Turn per-batch service times into a :class:`ServingReport`.
 
     ``batches`` are the dispatched :class:`~repro.serving.batcher.QueryBatch`
     objects; ``service_times_us`` the simulated execution time of each.  A
     per-query latency percentile combines the exact batching-delay-plus-
-    service distribution with the M/G/1 waiting-time quantile at the same
+    service distribution with the M/G/c waiting-time quantile at the same
     percentile (:func:`wait_quantile_us`), so the tail reflects queueing
-    variance, not just the mean wait.
+    variance, not just the mean wait.  ``num_servers`` is the number of
+    concurrent dispatch frontends draining the batch queue.
     """
+    if num_servers < 1:
+        raise ValueError("num_servers must be >= 1")
     services = np.asarray(service_times_us, dtype=np.float64)
     if len(batches) != services.size:
         raise ValueError("need one service time per batch")
     if not len(batches):
         raise ValueError("need at least one batch")
-    queries = [query for batch in batches for query in batch.queries]
-    first_arrival = min(query.arrival_us for query in queries)
-    last_arrival = max(query.arrival_us for query in queries)
-    span_us = max(last_arrival - first_arrival, 1e-9)
-    offered_qps = len(queries) / span_us * 1e6
-    # Batch arrival rate from the inter-dispatch intervals; a single batch
-    # never queues behind anything, so it contributes no waiting.
-    if len(batches) > 1:
-        formed = [batch.formed_us for batch in batches]
-        batch_span_us = max(max(formed) - min(formed), 1e-9)
-        batch_rate_per_us = (len(batches) - 1) / batch_span_us
-    else:
-        batch_rate_per_us = 0.0
-    rho = mg1_utilization(batch_rate_per_us, services)
-    mean_wait = mg1_mean_wait_us(batch_rate_per_us, services)
+    queries, delays, offered_qps, batch_rate_per_us = traffic_stats(batches)
+    rho = mgc_utilization(batch_rate_per_us, services, num_servers)
+    mean_wait = mgc_mean_wait_us(batch_rate_per_us, services, num_servers)
     base_samples = []
     for batch, service in zip(batches, services):
         for query in batch.queries:
@@ -158,17 +254,14 @@ def summarize_serving(system_name, batches, service_times_us,
                                 + float(service))
     percentiles = {
         "p%g" % p: percentile(base_samples, p)
-        + wait_quantile_us(batch_rate_per_us, services, p)
+        + wait_quantile_us(batch_rate_per_us, services, p,
+                           num_servers=num_servers)
         for p in (50.0, 95.0, 99.0)
     }
     samples = [base + mean_wait for base in base_samples]
     mean_service = float(services.mean())
-    queries_per_batch = len(queries) / len(batches)
-    # The cluster saturates when batches arrive as fast as they are served:
-    # 1/E[S] batches per microsecond, each carrying E[queries-per-batch].
-    sustainable_qps = queries_per_batch / mean_service * 1e6
-    delays = [batch.batching_delay_us(query)
-              for batch in batches for query in batch.queries]
+    sustainable_qps = saturation_qps(len(queries), len(batches),
+                                     mean_service, num_servers)
     return ServingReport(
         system=system_name,
         num_queries=len(queries),
@@ -183,6 +276,7 @@ def summarize_serving(system_name, batches, service_times_us,
         p95_us=percentiles["p95"],
         p99_us=percentiles["p99"],
         sustainable_qps=sustainable_qps,
+        num_servers=num_servers,
         trigger_counts=dict(trigger_counts or {}),
         extras=dict(extras or {}),
     )

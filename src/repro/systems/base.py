@@ -137,6 +137,17 @@ class EmbeddingSystem(abc.ABC):
         """Human-readable one-line description of the configuration."""
         return self.name
 
+    def service_time_us(self, requests):
+        """Execution time of a request batch in microseconds.
+
+        The narrow hook the serving layer drives: it needs only the
+        latency of a batch, not the full :class:`SystemResult`.  The
+        default executes ``run()`` and reads the latency; systems with a
+        cheaper latency-only path (analytical models, calibrated
+        interpolators) may override it without touching ``run()``.
+        """
+        return self.run(requests).latency_ns / 1e3
+
     # ------------------------------------------------------------------ #
     def run_trace(self, trace, batch_size=8, pooling_factor=40,
                   max_requests=None):

@@ -1,5 +1,6 @@
 """Shared utilities: random distributions, statistics, and unit helpers."""
 
+from repro.utils.lru import LRUCache
 from repro.utils.distributions import (
     ZipfGenerator,
     HotSetGenerator,
@@ -25,6 +26,7 @@ from repro.utils.units import (
 )
 
 __all__ = [
+    "LRUCache",
     "ZipfGenerator",
     "HotSetGenerator",
     "UniformGenerator",

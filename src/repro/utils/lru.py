@@ -1,0 +1,77 @@
+"""A small thread-safe LRU mapping with hit/miss accounting.
+
+Factored out of the memoisation pattern in
+:mod:`repro.perf.baseline_cache`: an :class:`collections.OrderedDict`
+bounded to ``max_entries``, least-recently-used eviction, and hit/miss
+counters for diagnostics.  Used to bound the serving cluster's per-batch
+service-time cache and the interpolating service model's calibration
+grids, both of which would otherwise grow without limit on long trace
+replays.
+"""
+
+import threading
+from collections import OrderedDict
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity bound; inserting beyond it evicts the least recently
+        used entry.  Must be positive.
+    """
+
+    def __init__(self, max_entries=1024):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key, default=None):
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key, value):
+        """Insert or refresh ``key``, evicting LRU entries over capacity."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self):
+        """Drop every entry and zero the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self):
+        """``{"entries", "max_entries", "hits", "misses"}`` snapshot."""
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "max_entries": self.max_entries,
+                    "hits": self._hits,
+                    "misses": self._misses}
