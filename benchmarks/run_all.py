@@ -18,6 +18,7 @@ is how CI executes the whole suite on every push.
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 import time
@@ -25,6 +26,33 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
+
+#: Machine-readable report lines printed by benchmarks (e.g.
+#: ``QUEUE_VALIDATION_JSON: {...}`` / ``SHARDING_JSON: {...}``).
+JSON_RECORD = re.compile(r"^([A-Z][A-Z0-9_]*_JSON): (.*)$", re.MULTILINE)
+
+
+def non_finite_records(output):
+    """Names of JSON report lines carrying non-finite fields.
+
+    A NaN or Infinity in a report means a degenerate-input bug upstream
+    (a rate estimator exploding on a zero span, an unstable queue leaking
+    into a summary): the smoke run must fail on it, not archive it.
+    ``json.dumps`` happily emits those constants, so scan every captured
+    record with a ``parse_constant`` hook.
+    """
+    bad = []
+    for match in JSON_RECORD.finditer(output):
+        constants = []
+        try:
+            json.loads(match.group(2),
+                       parse_constant=lambda name: constants.append(name))
+        except ValueError:
+            continue          # truncated/invalid line: not a report
+        if constants:
+            bad.append("%s: %s" % (match.group(1),
+                                   ", ".join(sorted(set(constants)))))
+    return bad
 
 
 def discover(match=None):
@@ -62,13 +90,19 @@ def run_one(name, timeout_seconds, smoke=False):
             if isinstance(error.stdout, bytes) else (error.stdout or "")
         returncode = -1
     duration = time.perf_counter() - start
-    return {
+    non_finite = non_finite_records(output)
+    if non_finite and status == "passed":
+        status = "failed"
+    record = {
         "benchmark": name,
         "status": status,
         "returncode": returncode,
         "duration_seconds": round(duration, 3),
         "output_tail": output[-8000:],
     }
+    if non_finite:
+        record["non_finite_fields"] = non_finite
+    return record
 
 
 def main(argv=None):

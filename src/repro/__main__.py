@@ -13,7 +13,9 @@ Subcommands
     M/G/c or event-driven simulation), ``--frontends`` the number of
     concurrent dispatch servers, and ``--service-model`` how per-batch
     service times are obtained (exact cycle simulation or grid
-    interpolation).
+    interpolation).  ``--shard-policy`` / ``--replicas`` /
+    ``--hot-fraction`` control table placement: load-aware bin-packing
+    and hot-table replication fed by the measured per-table loads.
 """
 
 import argparse
@@ -27,6 +29,7 @@ from repro.perf.service_model import InterpolatingServiceModel
 from repro.serving import (
     BatchingFrontend,
     PoissonArrivalProcess,
+    ReplicatedTableSharder,
     ShardedServingCluster,
     queries_from_traces,
 )
@@ -118,12 +121,21 @@ def cmd_serve(args):
         traces, args.queries,
         PoissonArrivalProcess(rate_qps=args.qps, seed=args.seed),
         batch_size=args.batch, pooling_factor=args.pooling)
+    if args.shard_policy == "load-aware" or args.replicas > 1:
+        # Replication and load-aware placement are fed by the measured
+        # per-table lookup loads of the offered stream.
+        sharding = {"sharder": ReplicatedTableSharder.from_queries(
+            args.nodes, queries, policy=args.shard_policy,
+            max_replicas=args.replicas, hot_fraction=args.hot_fraction,
+            seed=args.seed)}
+    else:
+        sharding = {"shard_policy": args.shard_policy}
     try:
         cluster = ShardedServingCluster(
             num_nodes=args.nodes, node_system=args.system,
             num_frontends=args.frontends,
             table_rows=args.num_rows,
-            vector_size_bytes=args.vector_bytes)
+            vector_size_bytes=args.vector_bytes, **sharding)
     except KeyError as error:     # unknown registry name from build_system
         raise SystemExit("error: %s" % error.args[0])
     if args.service_model == "interp":
@@ -144,6 +156,7 @@ def cmd_serve(args):
           % (args.engine, report.num_servers,
              "s" if report.num_servers != 1 else "",
              args.service_model))
+    print("  sharding       : %s" % cluster.sharder.describe())
     print("  batches        : %d (%s)"
           % (report.num_batches,
              ", ".join("%s=%d" % kv
@@ -197,6 +210,19 @@ def build_parser():
                             "event-driven dispatch simulation")
     serve.add_argument("--frontends", type=int, default=1,
                        help="concurrent dispatch servers on the batch queue")
+    serve.add_argument("--shard-policy",
+                       choices=("round-robin", "hash", "load-aware"),
+                       default="round-robin",
+                       help="table placement: round-robin/hash over table "
+                            "ids, or load-aware bin-packing by measured "
+                            "per-table lookup load")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="max replicas per hot table (>1 replicates "
+                            "hot tables across nodes and routes to the "
+                            "least-loaded replica)")
+    serve.add_argument("--hot-fraction", type=float, default=0.1,
+                       help="load share above which a table counts as hot "
+                            "and is replicated")
     serve.add_argument("--service-model", choices=("exact", "interp"),
                        default="exact",
                        help="per-batch service times: exact cycle "

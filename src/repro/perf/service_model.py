@@ -111,6 +111,10 @@ class InterpolatingServiceModel(ServiceTimeModel):
     def _query_shape(batch):
         """Observed per-request poolings and per-pooling lookups."""
         num_requests = sum(len(query.requests) for query in batch.queries)
+        if num_requests == 0:
+            raise ValueError(
+                "batch carries no SLS requests; cannot derive a "
+                "calibration shape for the interpolating service model")
         poolings = max(int(round(batch.total_poolings / num_requests)), 1)
         pooling_factor = max(int(round(batch.mean_pooling_factor)), 1)
         return poolings, pooling_factor

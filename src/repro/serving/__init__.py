@@ -3,7 +3,8 @@
 Models what sits between user traffic and the memory systems the paper
 studies: arrival processes (Poisson / trace replay), a size- and
 deadline-triggered batching frontend, deterministic table sharding across
-serving nodes, and a pluggable serving *engine* that turns per-batch
+serving nodes (single placement or replication-aware with load-aware
+placement), and a pluggable serving *engine* that turns per-batch
 simulated cycles into p50/p95/p99 latency and sustainable QPS -- the
 closed-form M/G/c model (``engine="analytic"``, default) or a
 discrete-event simulation of the multi-frontend dispatch queue
@@ -28,7 +29,15 @@ from repro.serving.arrival import (
     queries_from_traces,
 )
 from repro.serving.batcher import BatchingFrontend, QueryBatch
-from repro.serving.sharding import TableSharder
+from repro.serving.sharding import (
+    PLACEMENT_POLICIES,
+    ReplicatedTableSharder,
+    TableSharder,
+    compute_table_loads,
+    load_imbalance,
+    place_tables,
+    table_loads_from_queries,
+)
 from repro.serving.queueing import (
     ServingReport,
     erlang_c,
@@ -57,7 +66,13 @@ __all__ = [
     "queries_from_traces",
     "BatchingFrontend",
     "QueryBatch",
+    "PLACEMENT_POLICIES",
+    "ReplicatedTableSharder",
     "TableSharder",
+    "compute_table_loads",
+    "load_imbalance",
+    "place_tables",
+    "table_loads_from_queries",
     "ServingReport",
     "erlang_c",
     "latency_percentiles",

@@ -109,6 +109,17 @@ class TraceReplayArrivalProcess:
         return np.cumsum(gaps)
 
 
+def _per_table(value, num_tables, name):
+    """Broadcast a scalar (or validate a sequence of) per-table values."""
+    if np.ndim(value) == 0:
+        return [int(value)] * num_tables
+    values = [int(v) for v in value]
+    if len(values) != num_tables:
+        raise ValueError("need one %s per trace (%d traces, %d values)"
+                         % (name, num_tables, len(values)))
+    return values
+
+
 def queries_from_traces(traces, num_queries, arrivals, batch_size=4,
                         pooling_factor=20, start_id=0):
     """Materialise serving queries from per-table embedding traces.
@@ -116,8 +127,11 @@ def queries_from_traces(traces, num_queries, arrivals, batch_size=4,
     Each query carries one SLS request per trace (``batch_size`` poolings of
     ``pooling_factor`` lookups), sliced from that table's trace in order and
     cycled when the trace runs out -- so the query stream preserves each
-    table's locality structure.  ``arrivals`` is an arrival process or a
-    precomputed array of arrival times in microseconds.
+    table's locality structure.  ``batch_size`` and ``pooling_factor``
+    accept a per-trace sequence as well as a scalar: differently sized
+    requests per table produce the skewed table loads that
+    replication-aware sharding targets.  ``arrivals`` is an arrival
+    process or a precomputed array of arrival times in microseconds.
     """
     if num_queries <= 0:
         raise ValueError("num_queries must be positive")
@@ -127,13 +141,17 @@ def queries_from_traces(traces, num_queries, arrivals, batch_size=4,
         arrival_times = np.asarray(arrivals, dtype=np.float64)
         if arrival_times.size != num_queries:
             raise ValueError("need one arrival time per query")
+    batch_sizes = _per_table(batch_size, len(traces), "batch size")
+    pooling_factors = _per_table(pooling_factor, len(traces),
+                                 "pooling factor")
     per_table_requests = []
-    for trace in traces:
-        requests = batched_requests_from_trace(trace, batch_size,
-                                               pooling_factor)
+    for trace, table_batch, table_pooling in zip(traces, batch_sizes,
+                                                 pooling_factors):
+        requests = batched_requests_from_trace(trace, table_batch,
+                                               table_pooling)
         if not requests:
             raise ValueError("trace %r too short for one %dx%d request"
-                             % (trace.name, batch_size, pooling_factor))
+                             % (trace.name, table_batch, table_pooling))
         per_table_requests.append(requests)
     queries = []
     for i in range(num_queries):

@@ -91,8 +91,12 @@ class BatchingFrontend:
         batches = []
         open_batch = None
         for query in ordered:
+            # >=: a batch expires *at* open + max_delay, so a query
+            # arriving exactly then must open the next batch -- it cannot
+            # join a batch that dispatched the instant it arrived.
             if open_batch is not None and \
-                    query.arrival_us > open_batch.open_us + self.max_delay_us:
+                    query.arrival_us >= open_batch.open_us \
+                    + self.max_delay_us:
                 open_batch.formed_us = open_batch.open_us + self.max_delay_us
                 open_batch.trigger = "deadline"
                 batches.append(open_batch)

@@ -16,7 +16,7 @@ grid for long event-driven runs.
 
 from repro.serving.batcher import BatchingFrontend
 from repro.serving.engine import resolve_engine
-from repro.serving.sharding import TableSharder
+from repro.serving.sharding import TableSharder, partition_by_assignment
 from repro.systems.registry import build_system
 from repro.utils.lru import LRUCache
 
@@ -37,7 +37,15 @@ class ShardedServingCluster:
         Registry name of the per-node embedding system (e.g.
         ``"recnmp-opt-4ch"`` for the paper's four-channel server).
     sharder:
-        A :class:`TableSharder`; defaults to round-robin over the nodes.
+        A :class:`TableSharder` or
+        :class:`~repro.serving.sharding.ReplicatedTableSharder`; defaults
+        to round-robin over the nodes.
+    shard_policy:
+        Convenience alternative to ``sharder``: build a default
+        :class:`TableSharder` with this policy (``"round-robin"`` /
+        ``"hash"``).  ``"load-aware"`` placement and replication need
+        trace statistics, so they must come in as a ready
+        ``ReplicatedTableSharder`` via ``sharder=``.
     num_frontends:
         Concurrent dispatch servers draining the batch queue.  Every
         engine models the queue as ``num_frontends`` identical servers
@@ -52,18 +60,29 @@ class ShardedServingCluster:
     """
 
     def __init__(self, num_nodes=2, node_system="recnmp-opt-4ch",
-                 sharder=None, num_frontends=1,
+                 sharder=None, shard_policy=None, num_frontends=1,
                  service_cache_entries=DEFAULT_SERVICE_CACHE_ENTRIES,
                  **node_overrides):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         if num_frontends <= 0:
             raise ValueError("num_frontends must be positive")
+        if sharder is not None and shard_policy is not None:
+            raise ValueError("pass either sharder or shard_policy, "
+                             "not both")
+        if sharder is None:
+            policy = shard_policy or "round-robin"
+            if policy not in TableSharder.POLICIES:
+                raise ValueError(
+                    "shard policy %r needs table-load statistics; build a "
+                    "ReplicatedTableSharder (e.g. from_traces/from_queries)"
+                    " and pass it via sharder=" % (policy,))
+            sharder = TableSharder(num_nodes, policy=policy)
         node_overrides.setdefault("compare_baseline", False)
         self.num_nodes = int(num_nodes)
         self.node_system = node_system
         self.num_frontends = int(num_frontends)
-        self.sharder = sharder or TableSharder(num_nodes)
+        self.sharder = sharder
         if self.sharder.num_nodes != self.num_nodes:
             raise ValueError("sharder is sized for %d nodes, cluster has %d"
                              % (self.sharder.num_nodes, self.num_nodes))
@@ -80,13 +99,22 @@ class ShardedServingCluster:
         shard does.  Results are memoised by batch *content* (the queries'
         lookup fingerprints, not their ids or arrival times) in a bounded
         LRU, so QPS sweeps that re-batch the same queries only simulate
-        new compositions while different workloads never collide.
+        new compositions while different workloads never collide.  With a
+        *stateful* sharder (replication routes by running load counters)
+        the same content can land on different nodes over time, so the
+        cache key also carries the per-request node assignment -- routing
+        state always advances, cached or not.
         """
+        requests = batch.requests()
         key = tuple(query.fingerprint() for query in batch.queries)
+        assignment = self.sharder.assign_requests(requests)
+        if self.sharder.stateful:
+            key = (key, tuple(assignment))
         cached = self._service_cache.get(key)
         if cached is not None:
             return cached
-        partitions = self.sharder.partition_requests(batch.requests())
+        partitions = partition_by_assignment(requests, assignment,
+                                             self.num_nodes)
         latency_us = 0.0
         for node, shard in zip(self.nodes, partitions):
             if not shard:
@@ -102,9 +130,11 @@ class ShardedServingCluster:
         return self._service_cache.stats()
 
     def reset(self):
-        """Reset every node and drop the memoised batch service times."""
+        """Reset every node, the memoised service times and the routing."""
         for node in self.nodes:
             node.reset()
+        if self.sharder.stateful:
+            self.sharder.reset_routing()
         self._service_cache.clear()
 
     # ------------------------------------------------------------------ #
@@ -118,10 +148,15 @@ class ShardedServingCluster:
         analytic).  ``service_model`` selects how per-batch service times
         are obtained (``"exact"`` / a
         :class:`~repro.perf.service_model.ServiceTimeModel` instance;
-        default exact).
+        default exact).  Every run starts from fresh routing state
+        (stateful sharders reset their replica counters), so a report is
+        a pure function of the query stream -- repeated ``simulate``
+        calls and reordered ``qps_sweep`` points agree.
         """
         from repro.perf.service_model import resolve_service_model
 
+        if self.sharder.stateful:
+            self.sharder.reset_routing()
         frontend = frontend or BatchingFrontend()
         engine = resolve_engine(engine)
         model = resolve_service_model(service_model)
@@ -134,6 +169,7 @@ class ShardedServingCluster:
             extras={"num_nodes": self.num_nodes,
                     "node_system": self.node_system,
                     "shard_policy": self.sharder.policy,
+                    "sharder": self.sharder.describe(),
                     "service_model": model.name})
 
     def describe(self):
@@ -147,11 +183,15 @@ def qps_sweep(cluster, make_queries, qps_points, frontend=None, engine=None,
     ``make_queries(qps)`` must return the query stream offered at that rate
     (typically the same queries with arrival times rescaled).  ``engine``
     and ``service_model`` are forwarded to every
-    :meth:`ShardedServingCluster.simulate` call (the engine is resolved
-    once so stateful engines see the whole sweep).  Returns the list of
-    :class:`ServingReport`, one per point, in order.
+    :meth:`ShardedServingCluster.simulate` call; both are resolved *once*
+    -- stateful engines see the whole sweep, and a string-specified
+    service model is not re-instantiated at every QPS point.  Returns the
+    list of :class:`ServingReport`, one per point, in order.
     """
+    from repro.perf.service_model import resolve_service_model
+
     engine = resolve_engine(engine)
+    service_model = resolve_service_model(service_model)
     reports = []
     for qps in qps_points:
         reports.append(cluster.simulate(make_queries(qps),

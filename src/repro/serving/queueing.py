@@ -146,20 +146,27 @@ def traffic_stats(batches):
     Returns ``(queries, delays_us, offered_qps, batch_rate_per_us)``:
     the flattened query list, per-query batching delays, the offered
     query rate over the arrival span, and the batch arrival rate from
-    the inter-dispatch intervals (0 for a single batch, which never
-    queues behind anything).
+    the inter-dispatch intervals.  Both rates use the interval form
+    ``(N - 1) / span`` -- the maximum-likelihood rate estimate from N
+    arrivals, and the only form that stays finite when the span
+    degenerates.  A single query (or a single batch), and identical
+    arrival (or dispatch) times, carry no rate information at all, so
+    those degenerate spans report a rate of 0 rather than exploding on
+    an epsilon floor.
     """
     if not len(batches):
         raise ValueError("need at least one batch")
     queries = [query for batch in batches for query in batch.queries]
     first_arrival = min(query.arrival_us for query in queries)
     last_arrival = max(query.arrival_us for query in queries)
-    span_us = max(last_arrival - first_arrival, 1e-9)
-    offered_qps = len(queries) / span_us * 1e6
+    span_us = last_arrival - first_arrival
+    offered_qps = ((len(queries) - 1) / span_us * 1e6
+                   if len(queries) > 1 and span_us > 0.0 else 0.0)
     if len(batches) > 1:
         formed = [batch.formed_us for batch in batches]
-        batch_span_us = max(max(formed) - min(formed), 1e-9)
-        batch_rate_per_us = (len(batches) - 1) / batch_span_us
+        batch_span_us = max(formed) - min(formed)
+        batch_rate_per_us = ((len(batches) - 1) / batch_span_us
+                             if batch_span_us > 0.0 else 0.0)
     else:
         batch_rate_per_us = 0.0
     delays = [batch.batching_delay_us(query)

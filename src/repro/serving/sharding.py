@@ -3,13 +3,147 @@
 Embedding models are far larger than one node's memory, so tables are
 sharded across N nodes and a query fans out to every node that holds one of
 its tables.  Placement must be *deterministic* (every frontend replica must
-agree where a table lives) -- both policies here are pure functions of the
-table id and node count.
+agree where a table lives).
+
+Two sharders implement the same interface
+(``assign_requests`` / ``partition_requests`` / ``shard_load``):
+
+* :class:`TableSharder` -- the single-placement sharder: every table lives
+  on exactly one node, chosen as a pure function of the table id
+  (``"round-robin"`` / ``"hash"``).  Stateless and content-addressed, so
+  the cluster can memoise batch service times by content alone.
+* :class:`ReplicatedTableSharder` -- replication-aware sharding fed by
+  trace statistics.  A *placement policy* (``"round-robin"`` / ``"hash"``
+  / ``"load-aware"``) first bin-packs tables onto nodes by expected lookup
+  load; tables whose load share exceeds ``hot_fraction`` are then
+  replicated onto several nodes (factor proportional to their share,
+  capped by ``max_replicas``), and per-request routing picks the
+  least-loaded replica by a seeded running counter -- deterministic, so
+  every frontend that sees the same request stream routes it identically.
+
+On skewed production traces a handful of hot tables dominate per-node
+load; with single placement the slowest shard sets every batch's service
+time.  Replication divides the hot tables' load across nodes, and
+load-aware placement keeps the cold remainder bin-packed -- which is what
+:mod:`benchmarks.bench_sharding` measures.
 """
 
+import math
 
+
+def _knuth_hash(value):
+    """Knuth multiplicative hash: spread clustered ids uniformly without
+    any per-process randomisation (unlike Python's ``hash()``)."""
+    return ((int(value) * 2654435761) & 0xFFFFFFFF) >> 8
+
+
+# --------------------------------------------------------------------- #
+# Trace statistics feeding load-aware placement and replication.
+# --------------------------------------------------------------------- #
+def compute_table_loads(traces):
+    """``{table_id: lookup count}`` from per-table embedding traces.
+
+    The trace length is the expected per-table lookup volume -- the
+    statistic load-aware placement bin-packs on and replication factors
+    derive from.
+    """
+    return {int(trace.table_id): float(len(trace)) for trace in traces}
+
+
+def table_loads_from_queries(queries, request_overhead_lookups=0.0):
+    """``{table_id: load}`` measured from a serving-query sample.
+
+    More faithful than trace lengths when queries carry differently sized
+    requests per table (the skewed regimes replication exists for).
+    ``request_overhead_lookups`` charges each request a fixed cost in
+    lookup-equivalents on top of its lookups: embedding nodes pay a
+    per-request dispatch overhead (instruction issue, packet headers)
+    that dominates small requests, so balancing raw lookups alone
+    over-packs nodes with many small-table requests.
+    """
+    if request_overhead_lookups < 0:
+        raise ValueError("request_overhead_lookups must be non-negative")
+    loads = {}
+    for query in queries:
+        for request in query.requests:
+            table = int(request.table_id)
+            loads[table] = loads.get(table, 0.0) \
+                + float(request.total_lookups) + request_overhead_lookups
+    return loads
+
+
+def load_imbalance(shard_loads):
+    """Max/mean per-node load ratio (1.0 = perfectly balanced)."""
+    loads = [float(load) for load in shard_loads]
+    if not loads:
+        raise ValueError("need at least one shard load")
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean if mean > 0.0 else 1.0
+
+
+# --------------------------------------------------------------------- #
+# Placement policies: {table_id: load} -> {table_id: node}.
+# --------------------------------------------------------------------- #
+def _place_round_robin(table_loads, num_nodes):
+    return {table: table % num_nodes for table in table_loads}
+
+
+def _place_hash(table_loads, num_nodes):
+    return {table: _knuth_hash(table) % num_nodes for table in table_loads}
+
+
+def _place_load_aware(table_loads, num_nodes):
+    # Greedy LPT bin-packing: heaviest table first onto the least-loaded
+    # node.  Ties break on (load, node, table) so the packing is a pure
+    # function of the load map -- every frontend computes the same one.
+    node_load = [0.0] * num_nodes
+    placement = {}
+    for table in sorted(table_loads,
+                        key=lambda t: (-table_loads[t], t)):
+        node = min(range(num_nodes), key=lambda n: (node_load[n], n))
+        placement[table] = node
+        node_load[node] += table_loads[table]
+    return placement
+
+
+#: Placement-policy registry: name -> ({table: load}, num_nodes) -> {table:
+#: node}.  ``"load-aware"`` is the only one that reads the loads; the other
+#: two exist so replication composes with the legacy placements.
+PLACEMENT_POLICIES = {
+    "round-robin": _place_round_robin,
+    "hash": _place_hash,
+    "load-aware": _place_load_aware,
+}
+
+
+def place_tables(table_loads, num_nodes, policy="load-aware"):
+    """Deterministic primary placement of tables onto nodes.
+
+    ``table_loads`` maps table id to expected lookup load (from
+    :func:`compute_table_loads` or :func:`table_loads_from_queries`).
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    try:
+        place = PLACEMENT_POLICIES[policy]
+    except (KeyError, TypeError):
+        raise ValueError("unknown placement policy %r; available: %s"
+                         % (policy, ", ".join(sorted(PLACEMENT_POLICIES))))
+    return place({int(t): float(load) for t, load in table_loads.items()},
+                 int(num_nodes))
+
+
+def partition_by_assignment(requests, assignment, num_nodes):
+    """Split requests into per-node lists given one node per request."""
+    partitions = [[] for _ in range(num_nodes)]
+    for request, node in zip(requests, assignment):
+        partitions[node].append(request)
+    return partitions
+
+
+# --------------------------------------------------------------------- #
 class TableSharder:
-    """Deterministic table -> node placement.
+    """Deterministic single-placement table -> node sharding.
 
     Parameters
     ----------
@@ -23,6 +157,10 @@ class TableSharder:
     """
 
     POLICIES = ("round-robin", "hash")
+
+    #: Stateless: assignments are a pure function of request content, so
+    #: the cluster may memoise service times by batch content alone.
+    stateful = False
 
     def __init__(self, num_nodes, policy="round-robin"):
         if num_nodes <= 0:
@@ -40,21 +178,21 @@ class TableSharder:
             raise ValueError("table_id must be non-negative")
         if self.policy == "round-robin":
             return table_id % self.num_nodes
-        # Knuth multiplicative hashing: spread clustered ids uniformly
-        # without any per-process randomisation (unlike Python's hash()).
-        mixed = (table_id * 2654435761) & 0xFFFFFFFF
-        return (mixed >> 8) % self.num_nodes
+        return _knuth_hash(table_id) % self.num_nodes
 
     def placement(self, table_ids):
         """``{table_id: node}`` for a collection of tables."""
         return {int(t): self.node_of_table(t) for t in table_ids}
 
+    def assign_requests(self, requests, commit=True):
+        """One node index per request (``commit`` is a no-op here)."""
+        return [self.node_of_table(request.table_id)
+                for request in requests]
+
     def partition_requests(self, requests):
         """Split SLS requests into per-node lists by table placement."""
-        partitions = [[] for _ in range(self.num_nodes)]
-        for request in requests:
-            partitions[self.node_of_table(request.table_id)].append(request)
-        return partitions
+        return partition_by_assignment(
+            requests, self.assign_requests(requests), self.num_nodes)
 
     def shard_load(self, requests):
         """Per-node lookup counts for a request list (balance diagnostics)."""
@@ -63,3 +201,242 @@ class TableSharder:
             load[self.node_of_table(request.table_id)] += \
                 request.total_lookups
         return load
+
+    def describe(self):
+        """Human-readable one-line description of the sharder."""
+        return "%s over %d nodes" % (self.policy, self.num_nodes)
+
+
+class ReplicatedTableSharder:
+    """Replication-aware sharding with load-aware placement.
+
+    Every table gets a replication factor derived from its share of the
+    expected lookup load: tables at or below ``hot_fraction`` of the total
+    keep a single replica, a table carrying ``k`` times the hot threshold
+    gets ``ceil(k)`` replicas (capped by ``max_replicas`` and the node
+    count).  Replicas are placed by the selected policy -- ``"load-aware"``
+    bin-packs per-replica loads greedily (heaviest first, least-loaded
+    nodes), ``"round-robin"`` / ``"hash"`` place the primary like
+    :class:`TableSharder` and the extra replicas on the following nodes.
+
+    Per-request routing picks the least-loaded replica by a running
+    lookup counter, with a seeded rotation breaking ties -- a pure
+    function of ``(seed, placement, request stream)``, so every frontend
+    that replays the same stream routes it identically, with no
+    coordination.  Routing is *stateful*: the cluster includes the
+    assignment in its service-time cache key (see
+    :meth:`ShardedServingCluster.service_time_us`).
+
+    Parameters
+    ----------
+    num_nodes:
+        Serving nodes in the cluster.
+    table_loads:
+        ``{table_id: expected lookups}`` from trace statistics
+        (:func:`compute_table_loads` / :func:`table_loads_from_queries`).
+    policy:
+        Placement policy (:data:`PLACEMENT_POLICIES`).
+    max_replicas:
+        Upper bound on replicas per table (1 disables replication and
+        leaves pure placement).
+    hot_fraction:
+        Load share above which a table counts as hot and is replicated.
+    seed:
+        Tie-breaking seed shared by every frontend.
+    request_overhead_lookups:
+        Fixed per-request routing cost in lookup-equivalents, matching
+        the same parameter of :func:`table_loads_from_queries` -- keeps
+        the running replica-selection counters in the same cost unit the
+        placement was computed in.
+    """
+
+    POLICIES = tuple(sorted(PLACEMENT_POLICIES))
+
+    stateful = True
+
+    def __init__(self, num_nodes, table_loads, policy="load-aware",
+                 max_replicas=2, hot_fraction=0.1, seed=0,
+                 request_overhead_lookups=0.0):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError("unknown placement policy %r; available: %s"
+                             % (policy,
+                                ", ".join(sorted(PLACEMENT_POLICIES))))
+        if max_replicas < 1:
+            raise ValueError("max_replicas must be >= 1")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not table_loads:
+            raise ValueError("need at least one table load")
+        if request_overhead_lookups < 0:
+            raise ValueError("request_overhead_lookups must be "
+                             "non-negative")
+        self.num_nodes = int(num_nodes)
+        self.policy = policy
+        self.max_replicas = int(max_replicas)
+        self.hot_fraction = float(hot_fraction)
+        self.seed = int(seed)
+        self.request_overhead_lookups = float(request_overhead_lookups)
+        self.table_loads = {int(t): float(load)
+                            for t, load in table_loads.items()}
+        if any(load < 0 for load in self.table_loads.values()):
+            raise ValueError("table loads must be non-negative")
+        self.replicas = self._replicate_and_place()
+        # Tables the load map never saw fall back to stateless hashing
+        # (a single replica on a stable node).
+        self._fallback = TableSharder(self.num_nodes, policy="hash")
+        self.reset_routing()
+
+    @classmethod
+    def from_traces(cls, num_nodes, traces, **kwargs):
+        """Build from per-table embedding traces (loads = trace lengths)."""
+        return cls(num_nodes, compute_table_loads(traces), **kwargs)
+
+    @classmethod
+    def from_queries(cls, num_nodes, queries, request_overhead_lookups=0.0,
+                     **kwargs):
+        """Build from a serving-query sample (loads = measured cost).
+
+        ``request_overhead_lookups`` feeds both the measured table loads
+        and the sharder's routing counters, so placement and routing
+        agree on what one request costs.
+        """
+        return cls(num_nodes,
+                   table_loads_from_queries(queries,
+                                            request_overhead_lookups),
+                   request_overhead_lookups=request_overhead_lookups,
+                   **kwargs)
+
+    # ------------------------------------------------------------------ #
+    def replication_factor(self, table_id):
+        """Replicas assigned to a table (1 for cold or unknown tables)."""
+        nodes = self.replicas.get(int(table_id))
+        return len(nodes) if nodes is not None else 1
+
+    def _factor_for(self, load, total):
+        if total <= 0.0 or load <= 0.0:
+            return 1
+        share = load / total
+        if share <= self.hot_fraction:
+            return 1
+        return min(self.max_replicas, self.num_nodes,
+                   int(math.ceil(share / self.hot_fraction)))
+
+    def _replicate_and_place(self):
+        total = sum(self.table_loads.values())
+        factors = {table: self._factor_for(load, total)
+                   for table, load in self.table_loads.items()}
+        replicas = {}
+        if self.policy == "load-aware":
+            # Bin-pack per-replica loads: heaviest share first, each
+            # table's replicas on its r least-loaded distinct nodes.
+            node_load = [0.0] * self.num_nodes
+            order = sorted(
+                self.table_loads,
+                key=lambda t: (-self.table_loads[t] / factors[t], t))
+            for table in order:
+                factor = factors[table]
+                share = self.table_loads[table] / factor
+                nodes = sorted(range(self.num_nodes),
+                               key=lambda n: (node_load[n], n))[:factor]
+                for node in nodes:
+                    node_load[node] += share
+                replicas[table] = tuple(sorted(nodes))
+        else:
+            primary = place_tables(self.table_loads, self.num_nodes,
+                                   self.policy)
+            for table, node in primary.items():
+                replicas[table] = tuple(sorted(
+                    (node + offset) % self.num_nodes
+                    for offset in range(factors[table])))
+        return replicas
+
+    def placement(self, table_ids):
+        """``{table_id: primary node}`` (first replica) for compatibility."""
+        return {int(t): self.replica_nodes(t)[0] for t in table_ids}
+
+    def replica_nodes(self, table_id):
+        """All nodes holding a table, sorted (one for unknown tables)."""
+        table_id = int(table_id)
+        if table_id < 0:
+            raise ValueError("table_id must be non-negative")
+        nodes = self.replicas.get(table_id)
+        if nodes is None:
+            return (self._fallback.node_of_table(table_id),)
+        return nodes
+
+    # ------------------------------------------------------------------ #
+    # Routing: deterministic least-loaded-of-k by a running counter.
+    # ------------------------------------------------------------------ #
+    def reset_routing(self):
+        """Forget routed load (a fresh frontend's view of the cluster)."""
+        self._routed_load = [0.0] * self.num_nodes
+        self._route_counts = {}
+
+    def routing_state(self):
+        """Snapshot of the per-node routed-lookup counters."""
+        return tuple(self._routed_load)
+
+    def _pick_replica(self, table_id, routed_load, route_counts):
+        nodes = self.replica_nodes(table_id)
+        if len(nodes) == 1:
+            return nodes[0]
+        count = route_counts.get(table_id, 0)
+        # Seeded rotation so ties do not all collapse onto the lowest
+        # node index; pure function of (seed, table, per-table count),
+        # hence identical on every frontend replaying the same stream.
+        rotation = _knuth_hash(self.seed * 1000003 + table_id * 8191
+                               + count)
+        return min(nodes, key=lambda n: (routed_load[n],
+                                         (n + rotation) % self.num_nodes,
+                                         n))
+
+    def assign_requests(self, requests, commit=True):
+        """One node per request, least-loaded replica first.
+
+        With ``commit=True`` (the default) the routing counters advance;
+        ``commit=False`` answers "where would these go from the current
+        state" without perturbing it (used for load diagnostics).
+        """
+        if commit:
+            routed_load, route_counts = self._routed_load, \
+                self._route_counts
+        else:
+            routed_load = list(self._routed_load)
+            route_counts = dict(self._route_counts)
+        assignment = []
+        for request in requests:
+            table = int(request.table_id)
+            node = self._pick_replica(table, routed_load, route_counts)
+            routed_load[node] += float(request.total_lookups) \
+                + self.request_overhead_lookups
+            route_counts[table] = route_counts.get(table, 0) + 1
+            assignment.append(node)
+        return assignment
+
+    def partition_requests(self, requests):
+        """Split SLS requests into per-node lists (advances routing)."""
+        return partition_by_assignment(
+            requests, self.assign_requests(requests), self.num_nodes)
+
+    def shard_load(self, requests):
+        """Per-node lookup counts a request list *would* route to.
+
+        Diagnostic: routes from the current counters without committing,
+        so inspecting balance never changes subsequent routing.
+        """
+        load = [0.0] * self.num_nodes
+        for request, node in zip(requests,
+                                 self.assign_requests(requests,
+                                                      commit=False)):
+            load[node] += request.total_lookups
+        return load
+
+    def describe(self):
+        """Human-readable one-line description of the sharder."""
+        replicated = sum(1 for nodes in self.replicas.values()
+                         if len(nodes) > 1)
+        return ("%s over %d nodes, %d/%d tables replicated (<=%d replicas)"
+                % (self.policy, self.num_nodes, replicated,
+                   len(self.replicas), self.max_replicas))

@@ -11,9 +11,12 @@ from repro.perf.service_model import (
 from repro.serving import (
     BatchingFrontend,
     PoissonArrivalProcess,
+    ServingQuery,
     ShardedServingCluster,
+    qps_sweep,
     queries_from_traces,
 )
+from repro.serving.batcher import QueryBatch
 from repro.traces import make_production_table_traces
 from repro.utils.lru import LRUCache
 
@@ -217,6 +220,40 @@ class TestInterpolatingModel:
             traces, batch_sizes=(1, 2, 4), pooling_factors=(16,))
         assert clamped.service_time_us(cluster, high_batch) == \
             pytest.approx(top_only.service_time_us(cluster, high_batch))
+
+    def test_empty_request_batch_raises_value_error(self):
+        """Regression: a batch whose queries carry no requests raised a
+        bare ZeroDivisionError from the shape derivation."""
+        batch = QueryBatch(
+            queries=[ServingQuery(query_id=0, arrival_us=0.0,
+                                  requests=[])],
+            open_us=0.0, formed_us=1.0)
+        model = InterpolatingServiceModel(make_traces())
+        with pytest.raises(ValueError, match="no SLS requests"):
+            model.service_time_us(make_cluster(), batch)
+
+    def test_qps_sweep_resolves_model_once(self):
+        """A model passed by name/class is instantiated once per sweep,
+        mirroring the engine handling."""
+        instances = []
+
+        class CountingModel(ExactServiceModel):
+            def __init__(self):
+                instances.append(self)
+
+        cluster = make_cluster()
+        traces = make_traces()
+
+        def make_queries(qps):
+            return queries_from_traces(
+                traces, 4, PoissonArrivalProcess(rate_qps=qps, seed=3),
+                batch_size=2, pooling_factor=4)
+
+        reports = qps_sweep(cluster, make_queries,
+                            [20_000.0, 30_000.0, 40_000.0],
+                            service_model=CountingModel)
+        assert len(reports) == 3
+        assert len(instances) == 1
 
     def test_through_cluster_simulate(self):
         traces = make_traces()

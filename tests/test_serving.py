@@ -115,6 +115,24 @@ class TestBatcher:
         counts = frontend.trigger_counts(batches)
         assert counts == {"size": 1, "deadline": 1}
 
+    def test_deadline_boundary_starts_a_new_batch(self):
+        """Regression: a query arriving exactly at ``open + max_delay``
+        joined the already-expired batch, landing in a batch whose
+        ``formed_us`` equalled its own arrival yet was tagged deadline."""
+        queries = [make_query(0, arrival_us=0.0),
+                   make_query(1, arrival_us=100.0)]
+        frontend = BatchingFrontend(max_queries=8, max_delay_us=100.0)
+        batches = frontend.form_batches(queries)
+        assert [b.size for b in batches] == [1, 1]
+        assert batches[0].formed_us == pytest.approx(100.0)
+        assert batches[0].queries[0].query_id == 0
+        # The boundary query opens the next batch instead of riding a
+        # batch that dispatched the instant it arrived.
+        assert batches[1].open_us == pytest.approx(100.0)
+        assert batches[1].formed_us == pytest.approx(200.0)
+        assert batches[1].batching_delay_us(queries[1]) == \
+            pytest.approx(100.0)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             BatchingFrontend(max_queries=0)
@@ -224,6 +242,37 @@ class TestQueueingMath:
         payload = report.as_dict()
         assert payload["system"] == "unit"
         assert payload["stable"] is True
+
+    def test_degenerate_spans_report_zero_rates(self):
+        """Regression: the 1e-9 span floor exploded ``offered_qps`` to
+        ~1e15 for a single query or identical arrival times."""
+        # One query: no interval to estimate a rate from.
+        lone = QueryBatch(queries=[make_query(0, 5.0)], open_us=5.0,
+                          formed_us=10.0)
+        report = summarize_serving("unit", [lone], [10.0])
+        assert report.offered_qps == 0.0
+        assert math.isfinite(report.p99_us)
+        # Many queries at one instant: still no arrival span.
+        burst = QueryBatch(queries=[make_query(i, 5.0) for i in range(4)],
+                           open_us=5.0, formed_us=10.0)
+        report = summarize_serving("unit", [burst], [10.0])
+        assert report.offered_qps == 0.0
+        # Batches all formed at one instant: no dispatch span either.
+        twins = [QueryBatch(queries=[make_query(i, 5.0)], open_us=5.0,
+                            formed_us=10.0) for i in range(2)]
+        report = summarize_serving("unit", twins, [10.0, 10.0])
+        assert report.utilization == 0.0
+        assert math.isfinite(report.p99_us)
+
+    def test_offered_rate_uses_interval_form(self):
+        """``offered_qps`` matches the batch-rate estimator: (N-1)/span."""
+        queries = [make_query(i, arrival_us=100.0 * i) for i in range(4)]
+        batches = [QueryBatch(queries=[q], open_us=q.arrival_us,
+                              formed_us=q.arrival_us + 5.0)
+                   for q in queries]
+        report = summarize_serving("unit", batches, [10.0] * 4)
+        # 3 inter-arrival gaps over 300us -> 0.01 queries/us.
+        assert report.offered_qps == pytest.approx(0.01 * 1e6)
 
     def test_single_batch_never_queues(self):
         """One batch has nothing to queue behind: finite latencies."""

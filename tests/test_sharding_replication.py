@@ -1,0 +1,396 @@
+"""Tests for replication-aware sharding and load-aware placement."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm.operators import SLSRequest
+from repro.serving import (
+    PLACEMENT_POLICIES,
+    BatchingFrontend,
+    PoissonArrivalProcess,
+    ReplicatedTableSharder,
+    ShardedServingCluster,
+    TableSharder,
+    compute_table_loads,
+    load_imbalance,
+    place_tables,
+    queries_from_traces,
+    table_loads_from_queries,
+)
+from repro.traces import make_production_table_traces
+
+NUM_ROWS = 512
+VECTOR_BYTES = 64
+
+#: One hot table (~57% of the lookups) over four nodes: the skewed regime
+#: replication-aware sharding exists for.
+SKEWED_LOADS = {0: 800, 1: 200, 2: 100, 3: 100, 4: 50, 5: 50, 6: 50,
+                7: 50}
+SKEWED_POOLINGS = [64, 16, 8, 8, 4, 4, 4, 4]
+
+
+def address_of(table_id, row):
+    return (table_id * NUM_ROWS + row) * VECTOR_BYTES
+
+
+def make_requests(pattern, lookups_per_request=8, seed=0):
+    """One SLS request per entry of ``pattern`` (a table-id sequence)."""
+    rng = np.random.default_rng(seed)
+    return [SLSRequest(table_id=t,
+                       indices=rng.integers(0, NUM_ROWS,
+                                            size=lookups_per_request),
+                       lengths=np.asarray([lookups_per_request]))
+            for t in pattern]
+
+
+def make_skewed_queries(num_queries=16, qps=50_000.0, seed=1):
+    traces = make_production_table_traces(
+        num_lookups_per_table=4_000, num_rows=NUM_ROWS,
+        num_tables=len(SKEWED_POOLINGS), seed=0)
+    return queries_from_traces(
+        traces, num_queries, PoissonArrivalProcess(rate_qps=qps, seed=seed),
+        batch_size=2, pooling_factor=SKEWED_POOLINGS)
+
+
+class TestTableLoads:
+    def test_compute_table_loads_is_trace_length(self):
+        traces = make_production_table_traces(
+            num_lookups_per_table=300, num_rows=NUM_ROWS, num_tables=3,
+            seed=0)
+        assert compute_table_loads(traces) == {0: 300, 1: 300, 2: 300}
+
+    def test_loads_from_queries_measure_lookups(self):
+        queries = make_skewed_queries(num_queries=4)
+        loads = table_loads_from_queries(queries)
+        # 4 queries x 2 poolings x per-table factor.
+        assert loads[0] == pytest.approx(4 * 2 * 64)
+        assert loads[7] == pytest.approx(4 * 2 * 4)
+        with_overhead = table_loads_from_queries(
+            queries, request_overhead_lookups=10.0)
+        # One request per query per table: +10 lookup-equivalents each.
+        assert with_overhead[0] == pytest.approx(loads[0] + 4 * 10.0)
+        with pytest.raises(ValueError):
+            table_loads_from_queries(queries, request_overhead_lookups=-1)
+
+    def test_load_imbalance(self):
+        assert load_imbalance([10.0, 10.0]) == pytest.approx(1.0)
+        assert load_imbalance([30.0, 10.0]) == pytest.approx(1.5)
+        assert load_imbalance([0.0, 0.0]) == 1.0
+        with pytest.raises(ValueError):
+            load_imbalance([])
+
+
+class TestPlacementPolicies:
+    def test_registry_names(self):
+        assert sorted(PLACEMENT_POLICIES) == ["hash", "load-aware",
+                                              "round-robin"]
+
+    def test_round_robin_and_hash_match_table_sharder(self):
+        sharder = TableSharder(4, policy="hash")
+        placement = place_tables(SKEWED_LOADS, 4, policy="hash")
+        assert placement == sharder.placement(SKEWED_LOADS)
+        placement = place_tables(SKEWED_LOADS, 4, policy="round-robin")
+        assert placement == TableSharder(4).placement(SKEWED_LOADS)
+
+    def test_load_aware_beats_round_robin_on_skew(self):
+        for num_nodes in (2, 3, 4):
+            nodes_rr = [0.0] * num_nodes
+            nodes_la = [0.0] * num_nodes
+            la = place_tables(SKEWED_LOADS, num_nodes, "load-aware")
+            rr = place_tables(SKEWED_LOADS, num_nodes, "round-robin")
+            for table, load in SKEWED_LOADS.items():
+                nodes_rr[rr[table]] += load
+                nodes_la[la[table]] += load
+            assert load_imbalance(nodes_la) <= load_imbalance(nodes_rr)
+
+    def test_load_aware_is_deterministic(self):
+        first = place_tables(SKEWED_LOADS, 4, "load-aware")
+        second = place_tables(dict(reversed(list(SKEWED_LOADS.items()))),
+                              4, "load-aware")
+        assert first == second
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            place_tables(SKEWED_LOADS, 4, "nope")
+
+
+class TestReplicationFactors:
+    def test_uniform_loads_do_not_replicate(self):
+        sharder = ReplicatedTableSharder(
+            4, {t: 100 for t in range(8)}, max_replicas=3,
+            hot_fraction=0.2)
+        assert all(sharder.replication_factor(t) == 1 for t in range(8))
+
+    def test_hot_table_replicates_proportionally(self):
+        sharder = ReplicatedTableSharder(4, SKEWED_LOADS, max_replicas=4,
+                                         hot_fraction=0.2)
+        # Table 0 carries ~57% of the load: ceil(0.57 / 0.2) = 3 replicas.
+        assert sharder.replication_factor(0) == 3
+        assert sharder.replication_factor(1) == 1
+        nodes = sharder.replica_nodes(0)
+        assert len(nodes) == len(set(nodes)) == 3
+
+    def test_factor_caps(self):
+        capped = ReplicatedTableSharder(4, SKEWED_LOADS, max_replicas=2,
+                                        hot_fraction=0.2)
+        assert capped.replication_factor(0) == 2
+        few_nodes = ReplicatedTableSharder(2, SKEWED_LOADS, max_replicas=8,
+                                           hot_fraction=0.05)
+        assert few_nodes.replication_factor(0) == 2    # <= num_nodes
+
+    def test_max_replicas_one_is_pure_placement(self):
+        sharder = ReplicatedTableSharder(4, SKEWED_LOADS, max_replicas=1,
+                                         hot_fraction=0.1)
+        assert all(len(nodes) == 1
+                   for nodes in sharder.replicas.values())
+
+    def test_replication_composes_with_static_policies(self):
+        for policy in ("round-robin", "hash"):
+            sharder = ReplicatedTableSharder(4, SKEWED_LOADS,
+                                             policy=policy,
+                                             max_replicas=3,
+                                             hot_fraction=0.2)
+            assert len(sharder.replica_nodes(0)) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicatedTableSharder(0, SKEWED_LOADS)
+        with pytest.raises(ValueError):
+            ReplicatedTableSharder(4, SKEWED_LOADS, policy="nope")
+        with pytest.raises(ValueError):
+            ReplicatedTableSharder(4, SKEWED_LOADS, max_replicas=0)
+        with pytest.raises(ValueError):
+            ReplicatedTableSharder(4, SKEWED_LOADS, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            ReplicatedTableSharder(4, {})
+        with pytest.raises(ValueError):
+            ReplicatedTableSharder(4, SKEWED_LOADS,
+                                   request_overhead_lookups=-1.0)
+        with pytest.raises(ValueError):
+            ReplicatedTableSharder(4, SKEWED_LOADS).replica_nodes(-1)
+
+
+class TestRouting:
+    def test_routing_is_deterministic_across_frontends(self):
+        """Two frontends replaying one stream must route identically."""
+        queries = make_skewed_queries(num_queries=12)
+        frontends = [
+            ReplicatedTableSharder.from_queries(
+                4, queries, policy="load-aware", max_replicas=3,
+                hot_fraction=0.15, seed=7)
+            for _ in range(2)]
+        for query in queries:
+            assignments = [frontend.assign_requests(query.requests)
+                           for frontend in frontends]
+            assert assignments[0] == assignments[1]
+
+    def test_seed_changes_tie_breaking(self):
+        """The rotation is seeded: equal-load replicas are broken
+        differently under different seeds, identically under the same."""
+        loads = {0: 100, 1: 100, 2: 100, 3: 100}
+        requests = make_requests([0, 1, 2, 3])
+
+        def first_picks(seed):
+            # Each 25%-share table replicates onto both nodes
+            # (0.25 > hot_fraction); a fresh sharder has all counters
+            # zero, so the first pick is a pure tie among the replicas.
+            sharder = ReplicatedTableSharder(2, loads, max_replicas=2,
+                                             hot_fraction=0.2, seed=seed)
+            assert sharder.replication_factor(0) == 2
+            return sharder.assign_requests(requests, commit=False)
+
+        assert first_picks(0) == first_picks(0)
+        assert any(first_picks(seed) != first_picks(0)
+                   for seed in range(1, 8))
+        # Tie-breaking never routes outside the replica set.
+        sharder = ReplicatedTableSharder(2, loads, max_replicas=2,
+                                         hot_fraction=0.2, seed=3)
+        assert sum(sharder.shard_load(requests)) == \
+            sum(r.total_lookups for r in requests)
+
+    def test_replicated_table_spreads_across_nodes(self):
+        sharder = ReplicatedTableSharder(4, SKEWED_LOADS, max_replicas=3,
+                                         hot_fraction=0.2)
+        requests = make_requests([0] * 12)
+        assignment = sharder.assign_requests(requests)
+        assert set(assignment) == set(sharder.replica_nodes(0))
+        # Least-loaded-of-k: even spread over the three replicas.
+        counts = [assignment.count(n) for n in sharder.replica_nodes(0)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_unknown_table_falls_back_deterministically(self):
+        sharder = ReplicatedTableSharder(4, SKEWED_LOADS)
+        requests = make_requests([99, 99])
+        assignment = sharder.assign_requests(requests)
+        assert assignment[0] == assignment[1]
+        assert sharder.replica_nodes(99) == (assignment[0],)
+
+    def test_shard_load_does_not_commit(self):
+        sharder = ReplicatedTableSharder(4, SKEWED_LOADS, max_replicas=3,
+                                         hot_fraction=0.2)
+        requests = make_requests([0, 0, 1, 2])
+        before = sharder.routing_state()
+        sharder.shard_load(requests)
+        assert sharder.routing_state() == before
+        sharder.assign_requests(requests)
+        assert sharder.routing_state() != before
+        sharder.reset_routing()
+        assert sharder.routing_state() == before
+
+    def test_partition_preserves_requests(self):
+        sharder = ReplicatedTableSharder(4, SKEWED_LOADS, max_replicas=3,
+                                         hot_fraction=0.2)
+        requests = make_requests([0, 0, 1, 2, 3, 4, 5, 6, 7])
+        partitions = sharder.partition_requests(requests)
+        flattened = [r for part in partitions for r in part]
+        assert sorted(r.table_id for r in flattened) == \
+            sorted(r.table_id for r in requests)
+
+
+class TestSkewedPlacementProperty:
+    def test_load_aware_reduces_imbalance_on_skewed_trace(self):
+        """Property: on a skewed stream, load-aware placement strictly
+        reduces the max/mean shard-load imbalance vs round-robin, and
+        replication tightens it further."""
+        queries = make_skewed_queries(num_queries=24)
+        requests = [r for q in queries for r in q.requests]
+        round_robin = load_imbalance(
+            TableSharder(4).shard_load(requests))
+        placed = load_imbalance(
+            ReplicatedTableSharder.from_queries(
+                4, queries, policy="load-aware",
+                max_replicas=1).shard_load(requests))
+        replicated = load_imbalance(
+            ReplicatedTableSharder.from_queries(
+                4, queries, policy="load-aware", max_replicas=3,
+                hot_fraction=0.15).shard_load(requests))
+        assert placed < round_robin
+        assert replicated < placed
+        assert replicated < 1.5
+
+    def test_random_skews_never_worse_than_round_robin(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            loads = {t: float(load) for t, load in
+                     enumerate(rng.pareto(1.5, size=12) * 100 + 1)}
+            pattern = [t for t, load in loads.items()
+                       for _ in range(max(int(load) // 50, 1))]
+            requests = make_requests(pattern, seed=seed)
+            round_robin = load_imbalance(
+                TableSharder(4).shard_load(requests))
+            replicated = load_imbalance(ReplicatedTableSharder(
+                4, loads, policy="load-aware", max_replicas=4,
+                hot_fraction=0.1, seed=seed).shard_load(requests))
+            assert replicated <= round_robin + 1e-9
+
+
+class TestClusterIntegration:
+    def make_cluster(self, sharder=None, **overrides):
+        return ShardedServingCluster(
+            num_nodes=4, node_system="recnmp-base", sharder=sharder,
+            address_of=address_of, vector_size_bytes=VECTOR_BYTES,
+            **overrides)
+
+    def make_replicated(self, queries, **kwargs):
+        kwargs.setdefault("policy", "load-aware")
+        kwargs.setdefault("max_replicas", 3)
+        kwargs.setdefault("hot_fraction", 0.15)
+        return ReplicatedTableSharder.from_queries(4, queries, **kwargs)
+
+    def test_simulate_with_replicated_sharder(self):
+        queries = make_skewed_queries(num_queries=8)
+        cluster = self.make_cluster(self.make_replicated(queries))
+        report = cluster.simulate(
+            queries, frontend=BatchingFrontend(max_queries=4,
+                                               max_delay_us=100.0))
+        assert report.extras["shard_policy"] == "load-aware"
+        assert "replicated" in report.extras["sharder"]
+        assert report.p50_us <= report.p95_us <= report.p99_us
+
+    def test_replicated_cluster_is_deterministic(self):
+        def run_once():
+            queries = make_skewed_queries(num_queries=8)
+            cluster = self.make_cluster(self.make_replicated(queries))
+            return cluster.simulate(queries).as_dict()
+
+        assert run_once() == run_once()
+
+    def test_repeated_simulate_is_idempotent(self):
+        """Regression: simulate() inherited the previous run's routing
+        counters, so identical streams produced different reports
+        depending on run order (and on sweep-point position)."""
+        queries = make_skewed_queries(num_queries=8)
+        cluster = self.make_cluster(self.make_replicated(queries))
+        first = cluster.simulate(queries).as_dict()
+        second = cluster.simulate(queries).as_dict()
+        assert first == second
+
+    def test_cache_key_includes_routing_state(self):
+        """The same batch content routed differently must not collide.
+
+        With a stateful sharder the replica chosen for a hot table depends
+        on the running load counters, so replaying one batch twice can
+        partition it differently -- a content-only cache key would replay
+        the first service time for the second routing.
+        """
+        queries = make_skewed_queries(num_queries=4)
+        sharder = self.make_replicated(queries)
+        cluster = self.make_cluster(sharder)
+        frontend = BatchingFrontend(max_queries=4, max_delay_us=1000.0)
+        batch = frontend.form_batches(queries)[0]
+        first_assignment = sharder.assign_requests(batch.requests(),
+                                                   commit=False)
+        cluster.service_time_us(batch)
+        second_assignment = sharder.assign_requests(batch.requests(),
+                                                    commit=False)
+        cluster.service_time_us(batch)
+        # The hot table's replica choice shifted with the counters ...
+        assert first_assignment != second_assignment
+        # ... so the second pass must be a distinct cache entry.
+        assert cluster.service_cache_stats()["misses"] == 2
+
+    def test_reset_clears_routing_state(self):
+        queries = make_skewed_queries(num_queries=8)
+        sharder = self.make_replicated(queries)
+        cluster = self.make_cluster(sharder)
+        cluster.simulate(queries)
+        assert sharder.routing_state() != (0.0,) * 4
+        cluster.reset()
+        assert sharder.routing_state() == (0.0,) * 4
+
+    def test_shard_policy_constructor_parameter(self):
+        cluster = self.make_cluster(shard_policy="hash")
+        assert cluster.sharder.policy == "hash"
+        with pytest.raises(ValueError):
+            self.make_cluster(shard_policy="load-aware")
+        with pytest.raises(ValueError):
+            self.make_cluster(sharder=TableSharder(4),
+                              shard_policy="hash")
+
+    def test_sharder_size_mismatch(self):
+        with pytest.raises(ValueError):
+            ShardedServingCluster(
+                num_nodes=2, node_system="recnmp-base",
+                sharder=ReplicatedTableSharder(4, SKEWED_LOADS),
+                address_of=address_of, vector_size_bytes=VECTOR_BYTES)
+
+
+class TestPerTableQueryShapes:
+    def test_per_table_pooling_factors(self):
+        queries = make_skewed_queries(num_queries=2)
+        for query in queries:
+            lookups = {r.table_id: r.total_lookups
+                       for r in query.requests}
+            assert lookups[0] == 2 * 64
+            assert lookups[7] == 2 * 4
+
+    def test_shape_length_mismatch_raises(self):
+        traces = make_production_table_traces(
+            num_lookups_per_table=400, num_rows=NUM_ROWS, num_tables=3,
+            seed=0)
+        with pytest.raises(ValueError):
+            queries_from_traces(traces, 2, [0.0, 1.0],
+                                batch_size=2, pooling_factor=[4, 4])
+        with pytest.raises(ValueError):
+            queries_from_traces(traces, 2, [0.0, 1.0],
+                                batch_size=[2, 2], pooling_factor=4)
