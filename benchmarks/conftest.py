@@ -1,0 +1,50 @@
+"""Shared pytest hooks for the benchmark suites.
+
+Each ``bench_*.py`` file runs as its own pytest session (see
+``run_all.py``), so per-session hooks give per-benchmark accounting:
+
+* the memoised DDR4 baseline cache is cleared at session start, making
+  every benchmark's cache numbers attributable to that benchmark alone
+  (process isolation already guarantees this when driven by
+  ``run_all.py``; the explicit clear keeps the guarantee when a suite is
+  run in an already-warm interpreter), and
+* a machine-readable ``BASELINE_CACHE_JSON:`` record with the session's
+  entries/hits/misses is printed at session finish, which ``run_all.py``
+  surfaces after each benchmark and archives in ``BENCH_results.json``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf.baseline_cache import (            # noqa: E402
+    baseline_cache_stats,
+    clear_baseline_cache,
+)
+
+
+def _is_bench_session(session):
+    """True only for benchmark sessions (run_all.py passes the bench
+    collection overrides).  Plain repo-root pytest runs also import this
+    conftest while walking the tree; they must not have their baseline
+    cache flushed or their output decorated."""
+    patterns = session.config.getini("python_files")
+    return any("bench" in pattern for pattern in patterns)
+
+
+def pytest_sessionstart(session):
+    if _is_bench_session(session):
+        clear_baseline_cache()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _is_bench_session(session):
+        return
+    stats = baseline_cache_stats()
+    # -s is always passed by run_all.py, so this reaches the captured
+    # output; print a trailing newline first in case a benchmark table
+    # did not end its line.
+    print()
+    print("BASELINE_CACHE_JSON: %s" % json.dumps(stats))

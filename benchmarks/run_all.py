@@ -3,7 +3,11 @@
 Each benchmark file is executed as its own pytest session (they are
 pytest-benchmark suites), so one failing figure never blocks the others.
 The driver records pass/fail, duration and captured output per file and
-writes a single JSON summary for trajectory tracking across PRs.
+writes a single JSON summary for trajectory tracking across PRs.  The
+memoised DDR4 baseline cache is cleared between benchmarks and each
+benchmark's cache effectiveness (entries/hits/misses, printed by
+``conftest.py`` at session end) is surfaced after its run and archived
+in the summary.
 
 Usage::
 
@@ -27,9 +31,45 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 
+
+def clear_parent_baseline_cache():
+    """Clear the driver-process baseline cache between benchmarks.
+
+    Benchmarks run as subprocesses (fresh caches by construction) and
+    ``conftest.py`` clears again at session start, so this guards the
+    attribution guarantee only if the driver ever executes a benchmark
+    in-process.  The import is lazy and failure-tolerant so the driver
+    itself stays dependency-free: a broken library module must fail the
+    affected benchmark's record, never the whole run.
+    """
+    try:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.perf.baseline_cache import clear_baseline_cache
+    except Exception:
+        return
+    finally:
+        sys.path.pop(0)
+    clear_baseline_cache()
+
+
 #: Machine-readable report lines printed by benchmarks (e.g.
 #: ``QUEUE_VALIDATION_JSON: {...}`` / ``SHARDING_JSON: {...}``).
 JSON_RECORD = re.compile(r"^([A-Z][A-Z0-9_]*_JSON): (.*)$", re.MULTILINE)
+
+#: Per-benchmark baseline-cache accounting printed by ``conftest.py``.
+BASELINE_CACHE_RECORD = re.compile(r"^BASELINE_CACHE_JSON: (.*)$",
+                                   re.MULTILINE)
+
+
+def baseline_cache_record(output):
+    """The benchmark session's baseline-cache stats, or None."""
+    match = BASELINE_CACHE_RECORD.search(output)
+    if not match:
+        return None
+    try:
+        return json.loads(match.group(1))
+    except ValueError:
+        return None
 
 
 def non_finite_records(output):
@@ -102,6 +142,9 @@ def run_one(name, timeout_seconds, smoke=False):
     }
     if non_finite:
         record["non_finite_fields"] = non_finite
+    cache_stats = baseline_cache_record(output)
+    if cache_stats is not None:
+        record["baseline_cache"] = cache_stats
     return record
 
 
@@ -126,10 +169,17 @@ def main(argv=None):
         return 2
     results = []
     for name in names:
+        clear_parent_baseline_cache()
         print("running %s ..." % name, flush=True)
         record = run_one(name, args.timeout, smoke=args.smoke)
         print("  %s in %.1fs" % (record["status"],
                                  record["duration_seconds"]), flush=True)
+        cache_stats = record.get("baseline_cache")
+        if cache_stats is not None:
+            print("  baseline cache: %d entries, %d hits, %d misses"
+                  % (cache_stats.get("entries", 0),
+                     cache_stats.get("hits", 0),
+                     cache_stats.get("misses", 0)), flush=True)
         results.append(record)
 
     summary = {

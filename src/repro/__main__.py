@@ -16,6 +16,11 @@ Subcommands
     interpolation).  ``--shard-policy`` / ``--replicas`` /
     ``--hot-fraction`` control table placement: load-aware bin-packing
     and hot-table replication fed by the measured per-table loads.
+
+Both ``run`` and ``serve`` accept ``--backend {serial,thread,process}``
+and ``--jobs N`` to pick the execution backend for multi-channel cycle
+simulations (``process`` puts N channels on N cores), and ``run`` prints
+the memoised DDR4 baseline-cache effectiveness after the workload.
 """
 
 import argparse
@@ -25,6 +30,7 @@ import sys
 import numpy as np
 
 from repro.dlrm.operators import SLSRequest
+from repro.perf.baseline_cache import baseline_cache_stats
 from repro.perf.service_model import InterpolatingServiceModel
 from repro.serving import (
     BatchingFrontend,
@@ -64,12 +70,33 @@ def _build_requests(traces, batch, pooling):
     return requests
 
 
-def _build_system_or_exit(name, **overrides):
-    """Build a registry system; unknown names exit with the candidates."""
+def _backend_overrides(args):
+    """``build_system`` overrides for ``--backend``/``--jobs`` (when set)."""
+    overrides = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.jobs is not None:
+        overrides["max_workers"] = args.jobs
+    return overrides
+
+
+def _build_system_or_exit(name, had_backend_overrides=False, **overrides):
+    """Build a registry system; unknown names exit with the candidates.
+
+    A ``TypeError`` is translated into a friendly message only when
+    ``--backend``/``--jobs`` overrides were actually passed (the one way
+    a user can feed a system a keyword it rejects); otherwise it is a
+    real bug and the traceback must surface.
+    """
     try:
         return build_system(name, **overrides)
     except KeyError as error:
         raise SystemExit("error: %s" % error.args[0])
+    except TypeError as error:
+        if had_backend_overrides:
+            raise SystemExit("error: system %r rejected an override: %s"
+                             % (name, error))
+        raise
 
 
 def cmd_list_systems(args):
@@ -86,12 +113,21 @@ def cmd_run(args):
     requests = _build_requests(traces, args.batch, args.pooling)
     # No explicit address map: the adapters build the dense TableLayout
     # from table_rows/vector_size_bytes, matching the generated traces.
+    backend_overrides = _backend_overrides(args)
     system = _build_system_or_exit(
-        args.system, table_rows=args.num_rows,
-        vector_size_bytes=args.vector_bytes)
-    result = system.run(requests)
+        args.system, had_backend_overrides=bool(backend_overrides),
+        table_rows=args.num_rows,
+        vector_size_bytes=args.vector_bytes, **backend_overrides)
+    try:
+        result = system.run(requests)
+    finally:
+        close = getattr(system, "close", None)
+        if close is not None:  # release pooled backend workers cleanly
+            close()
+    cache_stats = baseline_cache_stats()
     payload = result.as_dict()
     payload["description"] = system.describe()
+    payload["baseline_cache"] = cache_stats
     if args.json:
         json.dump(payload, sys.stdout, indent=2)
         print()
@@ -110,6 +146,9 @@ def cmd_run(args):
         print("  memory energy  : %.1f nJ (savings %.1f%%)"
               % (result.energy_nj,
                  100 * result.energy_savings_fraction))
+    print("  baseline cache : %d entries, %d hits, %d misses"
+          % (cache_stats["entries"], cache_stats["hits"],
+             cache_stats["misses"]))
     return 0
 
 
@@ -135,17 +174,27 @@ def cmd_serve(args):
             num_nodes=args.nodes, node_system=args.system,
             num_frontends=args.frontends,
             table_rows=args.num_rows,
+            backend=args.backend, jobs=args.jobs,
             vector_size_bytes=args.vector_bytes, **sharding)
     except KeyError as error:     # unknown registry name from build_system
         raise SystemExit("error: %s" % error.args[0])
+    except TypeError as error:    # node system rejected backend override
+        if args.backend is not None or args.jobs is not None:
+            raise SystemExit("error: system %r rejected an override: %s"
+                             % (args.system, error))
+        raise
     if args.service_model == "interp":
         service_model = InterpolatingServiceModel(traces)
     else:
         service_model = None
-    report = cluster.simulate(
-        queries, frontend=BatchingFrontend(max_queries=args.max_batch,
-                                           max_delay_us=args.max_delay_us),
-        engine=args.engine, service_model=service_model)
+    try:
+        report = cluster.simulate(
+            queries,
+            frontend=BatchingFrontend(max_queries=args.max_batch,
+                                      max_delay_us=args.max_delay_us),
+            engine=args.engine, service_model=service_model)
+    finally:
+        cluster.close()        # release pooled backend workers cleanly
     if args.json:
         json.dump(report.as_dict(), sys.stdout, indent=2)
         print()
@@ -190,6 +239,13 @@ def build_parser():
         p.add_argument("--num-rows", type=int, default=20_000)
         p.add_argument("--vector-bytes", type=int, default=128)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--backend", choices=("serial", "thread", "process"),
+                       default=None,
+                       help="execution backend for multi-channel cycle "
+                            "simulations (process = one core per channel)")
+        p.add_argument("--jobs", type=int, default=None,
+                       help="max concurrent backend workers (default: one "
+                            "per busy channel)")
         p.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
 

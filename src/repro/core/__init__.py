@@ -8,6 +8,8 @@ This package contains the near-memory processing architecture itself:
   profiling),
 * the rank-NMP and DIMM-NMP hardware modules and the RecNMP processing unit,
 * the cycle-level RecNMP simulator and the NMP-extended memory controller,
+* the execution backends (serial / thread / process) running multi-channel
+  simulations in parallel,
 * the C/A-bandwidth expansion analysis,
 * the energy and area/power models.
 """
@@ -36,6 +38,14 @@ from repro.core.simulator import (
     RecNMPResult,
 )
 from repro.core.memory_controller import NMPMemoryController
+from repro.core.backend import (
+    BACKENDS,
+    ParallelBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.core.multi_channel import MultiChannelRecNMP, MultiChannelResult
 from repro.core.host_interface import (
     MemoryRegion,
@@ -71,6 +81,12 @@ __all__ = [
     "RecNMPConfig",
     "RecNMPResult",
     "NMPMemoryController",
+    "BACKENDS",
+    "ParallelBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
     "MultiChannelRecNMP",
     "MultiChannelResult",
     "MemoryRegion",

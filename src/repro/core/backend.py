@@ -1,0 +1,238 @@
+"""Execution backends for multi-channel RecNMP simulation.
+
+The per-channel cycle simulations of
+:class:`~repro.core.multi_channel.MultiChannelRecNMP` are independent
+(disjoint table partitions, per-channel simulators), so *how* they are
+executed is a policy separate from *what* they compute.  This module
+provides that policy layer:
+
+``serial``
+    One channel after another on the calling thread.  The reference
+    backend: zero coordination overhead, deterministic, and what every
+    other backend must match bit for bit.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`, one worker per
+    busy channel.  The cycle loops are pure Python, so threads buy
+    nothing for compute (the GIL serialises them) -- this backend exists
+    for API continuity and for timing models that release the GIL.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` with picklable
+    ``(config, address_of, requests)`` work units, so N channels use N
+    cores.  Worker-side baseline-cache entries are exported as
+    ``(key, result)`` pairs and merged back into the parent's cache
+    (:func:`repro.perf.baseline_cache.merge_baseline_entries`), so a
+    baseline simulated in a worker is a cache hit for every later
+    dispatch on any backend.
+
+Every backend returns per-channel
+:class:`~repro.core.simulator.RecNMPResult` objects in job order;
+cross-backend equivalence is pinned by ``tests/test_core_backend.py``.
+"""
+
+import abc
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.core.simulator import RecNMPSimulator
+from repro.perf.baseline_cache import (
+    baseline_cache_stats,
+    export_baseline_entries,
+    merge_baseline_entries,
+)
+
+
+def _run_channel_job(job):
+    """Simulate one channel's request partition (process-pool worker).
+
+    The work unit is fully picklable: the channel :class:`RecNMPConfig`,
+    the ``(table_id, row) -> physical address`` callable (a plain function
+    or bound method of a picklable object; ``None`` selects the
+    simulator's default dense layout), the channel's requests and the
+    baseline flag.  Returns the result plus the *new* baseline-cache
+    entries this job produced and the worker's hit/miss deltas, so the
+    parent can merge them.
+    """
+    slot, config, address_of, requests, compare_baseline = job
+    before_keys = {key for key, _ in export_baseline_entries()}
+    stats_before = baseline_cache_stats()
+    simulator = RecNMPSimulator(config, address_of=address_of)
+    result = simulator.run_requests(requests,
+                                    compare_baseline=compare_baseline)
+    new_entries = [(key, value) for key, value in export_baseline_entries()
+                   if key not in before_keys]
+    stats_after = baseline_cache_stats()
+    return (slot, result, new_entries,
+            stats_after["hits"] - stats_before["hits"],
+            stats_after["misses"] - stats_before["misses"])
+
+
+class ParallelBackend(abc.ABC):
+    """How the independent per-channel simulations are executed.
+
+    Parameters
+    ----------
+    max_workers:
+        Upper bound on concurrent workers; ``None`` defaults to one per
+        busy channel.
+    """
+
+    #: Registry name (``"serial"`` / ``"thread"`` / ``"process"``).
+    name = "parallel-backend"
+
+    def __init__(self, max_workers=None):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    @abc.abstractmethod
+    def run_channels(self, coordinator, jobs, compare_baseline):
+        """Execute ``jobs`` (``(slot, simulator, requests)`` triples).
+
+        Returns the per-channel results in job order.
+        """
+
+    def shutdown(self):
+        """Release any pooled workers (idempotent)."""
+
+    def describe(self):
+        if self.max_workers is None:
+            return self.name
+        return "%s(max_workers=%d)" % (self.name, self.max_workers)
+
+
+class SerialBackend(ParallelBackend):
+    """Run the channels one after another on the calling thread."""
+
+    name = "serial"
+
+    def run_channels(self, coordinator, jobs, compare_baseline):
+        return [simulator.run_requests(requests,
+                                       compare_baseline=compare_baseline)
+                for _, simulator, requests in jobs]
+
+
+class ThreadBackend(ParallelBackend):
+    """Run the channels on a thread pool (one worker per busy channel).
+
+    Pure-Python cycle loops hold the GIL, so this backend's value is
+    overlap of any GIL-releasing work plus API continuity; use
+    ``process`` for actual multi-core scaling.
+    """
+
+    name = "thread"
+
+    def run_channels(self, coordinator, jobs, compare_baseline):
+        if len(jobs) <= 1 or self.max_workers == 1:
+            return SerialBackend.run_channels(self, coordinator, jobs,
+                                              compare_baseline)
+        workers = len(jobs) if self.max_workers is None else \
+            min(self.max_workers, len(jobs))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(simulator.run_requests, requests,
+                                   compare_baseline=compare_baseline)
+                       for _, simulator, requests in jobs]
+            return [future.result() for future in futures]
+
+
+class ProcessBackend(ParallelBackend):
+    """Run the channels on a process pool (true multi-core execution).
+
+    Work units are rebuilt in the workers from the picklable channel
+    config and address map, so each dispatch runs on *fresh* channel
+    simulators -- the contract of the registry systems, which reset
+    per run; a coordinator that relies on channel state accumulating
+    across ``run_requests`` calls must use ``serial``/``thread``.  The
+    pool is created lazily and kept alive across dispatches (amortising
+    worker start-up); call :meth:`shutdown` (or
+    ``MultiChannelRecNMP.close``) for deterministic cleanup.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers=None):
+        super().__init__(max_workers=max_workers)
+        self._pool = None
+        self._pool_workers = 0
+
+    def _ensure_pool(self, wanted):
+        if self.max_workers is not None:
+            wanted = min(wanted, self.max_workers)
+        wanted = max(1, wanted)
+        if self._pool is not None and self._pool_workers < wanted:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=wanted)
+            self._pool_workers = wanted
+        return self._pool
+
+    def run_channels(self, coordinator, jobs, compare_baseline):
+        config = coordinator.channel_config
+        address_of = coordinator.address_of
+        try:
+            pickle.dumps((config, address_of))
+        except Exception as error:
+            raise ValueError(
+                "the process backend needs a picklable channel config and "
+                "address_of callable (module-level function or bound method "
+                "of a picklable object, not a lambda/closure); got: %s -- "
+                "use backend='serial' or 'thread' instead" % (error,)
+            ) from error
+        pool = self._ensure_pool(len(jobs))
+        futures = [pool.submit(_run_channel_job,
+                               (slot, config, address_of, requests,
+                                compare_baseline))
+                   for slot, _, requests in jobs]
+        results = [None] * len(jobs)
+        merged = {}
+        hits = 0
+        misses = 0
+        for position, future in enumerate(futures):
+            _, result, entries, job_hits, job_misses = future.result()
+            results[position] = result
+            merged.update(entries)
+            hits += job_hits
+            misses += job_misses
+        if merged or hits or misses:
+            merge_baseline_entries(merged.items(), hits=hits, misses=misses)
+        return results
+
+    def shutdown(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+
+#: Backend registry: name -> class.
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def resolve_backend(backend, max_workers=None):
+    """Normalise a ``backend=`` argument into a backend instance.
+
+    Accepts ``None`` (the serial default -- fastest for the GIL-bound
+    cycle loops and bit-identical to every other backend), a registry
+    name, a :class:`ParallelBackend` subclass, or a ready instance
+    (returned as-is; ``max_workers`` must then be unset -- the instance
+    already carries its bound).
+    """
+    if isinstance(backend, ParallelBackend):
+        if max_workers is not None:
+            raise ValueError("pass max_workers to the backend constructor, "
+                             "not alongside a ready backend instance")
+        return backend
+    if backend is None:
+        return SerialBackend(max_workers=max_workers)
+    if isinstance(backend, type) and issubclass(backend, ParallelBackend):
+        return backend(max_workers=max_workers)
+    try:
+        cls = BACKENDS[backend]
+    except (KeyError, TypeError):
+        raise ValueError("unknown backend %r; available: %s"
+                         % (backend, ", ".join(sorted(BACKENDS)))) from None
+    return cls(max_workers=max_workers)

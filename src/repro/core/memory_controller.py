@@ -11,6 +11,8 @@ counters stay consistent.
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.instruction import NMPInstruction
 from repro.core.scheduler import PacketScheduler
 
@@ -43,10 +45,19 @@ class NMPMemoryController:
         same DRAM row within the window are grouped to increase row-buffer
         hits (the host-side controller does the heavy lifting of request
         reordering per the paper).
+    ranks_of_addresses:
+        Optional vectorised counterpart of ``rank_of_address``: a callable
+        mapping a numpy array of physical byte addresses to a numpy array
+        of rank indices.  When given, the per-packet rank computation runs
+        as one array operation instead of one Python call per instruction.
+        Only valid for *stateless* mappings (a stateful mapping such as
+        first-touch page colouring depends on call order and must come in
+        as the scalar ``rank_of_address``).
     """
 
     def __init__(self, num_ranks=8, scheduling_policy="table-aware",
-                 rank_of_address=None, reorder_window=16):
+                 rank_of_address=None, reorder_window=16,
+                 ranks_of_addresses=None):
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         if reorder_window < 1:
@@ -57,6 +68,7 @@ class NMPMemoryController:
             rank_of_address = lambda address: \
                 (address // 64) % self.num_ranks  # noqa: E731
         self.rank_of_address = rank_of_address
+        self.ranks_of_addresses = ranks_of_addresses
         self.reorder_window = int(reorder_window)
         self.stats = NMPControllerStats()
 
@@ -71,34 +83,61 @@ class NMPMemoryController:
         """Channel-wide rank index an NMP-Inst is routed to."""
         return self.rank_of_address(instruction.daddr * 64)
 
-    def _reorder_within_packet(self, packet):
-        """FR-FCFS-style reordering of instructions inside one packet.
+    def _packet_ranks(self, instructions):
+        """Per-instruction rank indices, computed once per packet.
+
+        Uses the vectorised ``ranks_of_addresses`` hook when available;
+        otherwise falls back to one scalar ``rank_of_address`` call per
+        instruction *in packet order* -- which is exactly the first-touch
+        order a stateful mapping (page colouring) observed when the rank
+        used to be recomputed inside every reorder scan, so assignments
+        are unchanged.
+        """
+        if self.ranks_of_addresses is not None:
+            daddrs = np.fromiter((inst.daddr for inst in instructions),
+                                 dtype=np.int64, count=len(instructions))
+            return self.ranks_of_addresses(daddrs * 64).tolist()
+        rank_of_address = self.rank_of_address
+        return [rank_of_address(inst.daddr * 64) for inst in instructions]
+
+    def _reorder_indices(self, instructions, ranks):
+        """FR-FCFS reorder as an index permutation (see dispatch).
 
         Within a sliding window, instructions that target an already-open
         row (same row as the previous instruction to that rank) are hoisted
         to issue consecutively.  Ordering across PsumTags is irrelevant for
         correctness because each accumulates into its own register.
         """
+        count = len(instructions)
+        if count <= 2:
+            return list(range(count))
+        rows = [inst.daddr // 128 for inst in instructions]  # 128 cols/row
+        window = list(range(min(self.reorder_window, count)))
+        next_index = len(window)
+        last_row_per_rank = {}
+        order = []
+        while window:
+            chosen_pos = 0
+            for pos, index in enumerate(window):
+                if last_row_per_rank.get(ranks[index]) == rows[index]:
+                    chosen_pos = pos
+                    break
+            index = window.pop(chosen_pos)
+            if next_index < count:
+                window.append(next_index)
+                next_index += 1
+            last_row_per_rank[ranks[index]] = rows[index]
+            order.append(index)
+        return order
+
+    def _reorder_within_packet(self, packet):
+        """FR-FCFS-style reordering of instructions inside one packet."""
         instructions = list(packet.instructions)
         if len(instructions) <= 2:
             return instructions
-        reordered = []
-        window = instructions[:]
-        last_row_per_rank = {}
-        while window:
-            horizon = window[:self.reorder_window]
-            chosen_index = 0
-            for index, inst in enumerate(horizon):
-                rank = self.rank_of_instruction(inst)
-                row = inst.daddr // 128      # 128 x 64 B columns per row
-                if last_row_per_rank.get(rank) == row:
-                    chosen_index = index
-                    break
-            chosen = window.pop(chosen_index)
-            rank = self.rank_of_instruction(chosen)
-            last_row_per_rank[rank] = chosen.daddr // 128
-            reordered.append(chosen)
-        return reordered
+        ranks = self._packet_ranks(instructions)
+        return [instructions[i]
+                for i in self._reorder_indices(instructions, ranks)]
 
     # ------------------------------------------------------------------ #
     def dispatch(self, channel, reorder=True):
@@ -108,23 +147,32 @@ class NMPMemoryController:
         are measured relative to each packet's own start (latency), and the
         packets are issued back to back (the channel pipeline overlaps the
         rank work of consecutive packets through the rank-NMP state).
+
+        Per packet, the instruction->rank mapping is computed exactly once
+        and threaded through the reorder pass, the per-rank statistics and
+        ``channel.execute_packet`` (instead of re-deriving it per window
+        scan and then again for the stats).
         """
         order = self.scheduler.schedule()
         per_packet = []
         current_cycle = 0
+        per_rank_counts = self.stats.per_rank_instructions
         for packet in order:
-            instructions = (self._reorder_within_packet(packet) if reorder
-                            else list(packet.instructions))
+            instructions = list(packet.instructions)
+            ranks = self._packet_ranks(instructions)
+            if reorder and len(instructions) > 2:
+                permutation = self._reorder_indices(instructions, ranks)
+                instructions = [instructions[i] for i in permutation]
+                ranks = [ranks[i] for i in permutation]
             issue_packet = _ReorderedPacketView(packet, instructions)
             self.stats.counter_configurations += 1
             completion = channel.execute_packet(
                 issue_packet, start_cycle=current_cycle,
-                rank_of_instruction=self.rank_of_instruction)
+                rank_of_instruction=self.rank_of_instruction,
+                ranks=ranks)
             per_packet.append(completion - current_cycle)
-            for instruction in instructions:
-                rank = self.rank_of_instruction(instruction)
-                self.stats.per_rank_instructions[rank] = \
-                    self.stats.per_rank_instructions.get(rank, 0) + 1
+            for rank in ranks:
+                per_rank_counts[rank] = per_rank_counts.get(rank, 0) + 1
             self.stats.instructions_issued += len(instructions)
             self.stats.packets_issued += 1
             current_cycle = completion
@@ -137,18 +185,25 @@ class NMPMemoryController:
 
 
 class _ReorderedPacketView:
-    """A lightweight packet proxy exposing reordered instructions."""
+    """A lightweight packet proxy exposing reordered instructions.
+
+    ``__slots__`` keeps the proxy explicit: its own state is exactly
+    ``(_packet, instructions, num_poolings)``, a mistyped assignment
+    raises instead of silently creating an attribute that the
+    ``__getattr__`` delegation would then mask, and ``num_poolings`` is
+    computed once at construction instead of rebuilding a set of PsumTags
+    on every access (the channel reads it per packet completion).
+    """
+
+    __slots__ = ("_packet", "instructions", "num_poolings")
 
     def __init__(self, packet, instructions):
         self._packet = packet
         self.instructions = instructions
+        self.num_poolings = len({inst.psum_tag for inst in instructions})
 
     def __len__(self):
         return len(self.instructions)
 
     def __getattr__(self, name):
         return getattr(self._packet, name)
-
-    @property
-    def num_poolings(self):
-        return len({inst.psum_tag for inst in self.instructions})

@@ -15,9 +15,9 @@ software coordination".  This module provides that coordination layer:
   across channels.
 """
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.core.backend import resolve_backend
 from repro.core.simulator import RecNMPConfig, RecNMPSimulator
 
 
@@ -62,12 +62,21 @@ class MultiChannelRecNMP:
         channels (the channel selection is by table, not by address bits,
         so one SLS operator never straddles channels).
     max_workers:
-        Worker threads used to simulate the channels concurrently; defaults
-        to one per channel.  Pass 1 to force sequential execution.
+        Upper bound on concurrent workers; defaults to one per busy
+        channel.  Pass 1 to force sequential execution.
+    backend:
+        Execution backend for the per-channel simulations: ``"serial"``
+        (default: fastest for the GIL-bound cycle loops), ``"thread"``,
+        ``"process"`` (true multi-core; needs a picklable
+        ``address_of``), or a ready
+        :class:`~repro.core.backend.ParallelBackend` instance.  The
+        process backend rebuilds fresh channel simulators per dispatch in
+        its workers (the per-run-reset contract of the registry systems);
+        serial/thread reuse the coordinator's persistent simulators.
     """
 
     def __init__(self, num_channels=4, channel_config=None, address_of=None,
-                 max_workers=None):
+                 max_workers=None, backend=None):
         if num_channels <= 0:
             raise ValueError("num_channels must be positive")
         if max_workers is not None and max_workers <= 0:
@@ -75,6 +84,8 @@ class MultiChannelRecNMP:
         self.num_channels = int(num_channels)
         self.channel_config = channel_config or RecNMPConfig()
         self.max_workers = max_workers
+        self.address_of = address_of
+        self.backend = resolve_backend(backend, max_workers=max_workers)
         self.simulators = [
             RecNMPSimulator(self.channel_config, address_of=address_of)
             for _ in range(self.num_channels)
@@ -99,11 +110,12 @@ class MultiChannelRecNMP:
         """Dispatch a batch of SLS requests across all channels.
 
         Channels are independent (per-channel simulators, disjoint table
-        partitions), so they are simulated concurrently on a thread pool.
-        The dominant saving for sweeps comes from the process-wide memoised
-        baseline cache the per-channel DDR4 comparisons hit; the thread
-        pool overlaps whatever work releases the GIL and keeps the
-        coordination layer ready for process-based execution (ROADMAP).
+        partitions), so their simulation is delegated to the configured
+        :class:`~repro.core.backend.ParallelBackend`: serial/thread run
+        the coordinator's own simulators, the process backend ships
+        picklable ``(config, requests)`` work units to a process pool so
+        N channels use N cores, and merges worker-side baseline-cache
+        entries back into this process.
         """
         partitions = self.partition_requests(requests)
         channel_results = [None] * self.num_channels
@@ -111,25 +123,11 @@ class MultiChannelRecNMP:
                 for slot, (simulator, channel_requests)
                 in enumerate(zip(self.simulators, partitions))
                 if channel_requests]
-
-        def run_channel(simulator, channel_requests):
-            return simulator.run_requests(channel_requests,
-                                          compare_baseline=compare_baseline)
-
-        if len(jobs) > 1 and (self.max_workers is None
-                              or self.max_workers > 1):
-            workers = len(jobs) if self.max_workers is None else \
-                min(self.max_workers, len(jobs))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = [(slot, pool.submit(run_channel, simulator,
-                                              channel_requests))
-                           for slot, simulator, channel_requests in jobs]
-                for slot, future in futures:
-                    channel_results[slot] = future.result()
-        else:
-            for slot, simulator, channel_requests in jobs:
-                channel_results[slot] = run_channel(simulator,
-                                                    channel_requests)
+        if jobs:
+            results = self.backend.run_channels(self, jobs,
+                                                compare_baseline)
+            for (slot, _, _), result in zip(jobs, results):
+                channel_results[slot] = result
         per_channel_cycles = [r.total_cycles if r else 0
                               for r in channel_results]
         per_channel_instructions = [r.num_instructions if r else 0
@@ -166,3 +164,7 @@ class MultiChannelRecNMP:
         """Reset every channel's simulator state."""
         for simulator in self.simulators:
             simulator.reset()
+
+    def close(self):
+        """Release pooled backend workers (idempotent)."""
+        self.backend.shutdown()

@@ -11,6 +11,8 @@ over all PUs/ranks of the channel and accounts for the shared C/A interface
 through which the compressed NMP-Insts are delivered.
 """
 
+import numpy as np
+
 from repro.core.dimm_nmp import DimmNMP
 from repro.core.rank_nmp import RankNMPConfig
 
@@ -89,35 +91,65 @@ class RecNMPChannel:
         return [self.rank_nmp(r) for r in range(self.num_ranks)]
 
     # ------------------------------------------------------------------ #
-    def execute_packet(self, packet, start_cycle=0, rank_of_instruction=None):
+    def execute_packet(self, packet, start_cycle=0, rank_of_instruction=None,
+                       ranks=None):
         """Execute one packet across all ranks of the channel.
 
         ``rank_of_instruction`` maps an instruction to a channel-wide rank
-        index (default: Daddr modulo rank count).  Returns the packet
-        completion cycle.
+        index (default: Daddr modulo rank count); ``ranks`` optionally
+        carries the precomputed per-instruction rank indices (aligned with
+        ``packet.instructions``) so the memory controller's once-per-packet
+        mapping is not re-derived here.  Returns the packet completion
+        cycle.
         """
-        if rank_of_instruction is None:
-            rank_of_instruction = \
-                lambda inst: int(inst.daddr) % self.num_ranks  # noqa: E731
+        instructions = packet.instructions
+        count = len(instructions)
+        if ranks is None:
+            if rank_of_instruction is None:
+                num_ranks = self.num_ranks
+                ranks = [int(inst.daddr) % num_ranks
+                         for inst in instructions]
+            else:
+                ranks = [rank_of_instruction(inst)
+                         for inst in instructions]
+        # Decode every instruction's (bank group, bank, row) once for the
+        # whole packet -- the rank config is shared by all rank-NMPs, so
+        # one vectorised pass replaces a per-instruction decode in each
+        # rank's scheduler.
+        config = self.rank_config
+        blocks = np.fromiter((inst.daddr for inst in instructions),
+                             dtype=np.int64,
+                             count=count) // config.columns_per_row
+        bank_groups = (blocks % config.num_bank_groups).tolist()
+        blocks //= config.num_bank_groups
+        bank_indices = (blocks % config.banks_per_group).tolist()
+        rows = (blocks // config.banks_per_group).tolist()
         # Group instructions per rank, preserving order; arrival times model
         # the shared C/A interface delivering instructions sequentially.
-        per_rank = {r: ([], []) for r in range(self.num_ranks)}
-        for position, instruction in enumerate(packet.instructions):
-            rank = rank_of_instruction(instruction)
-            if not 0 <= rank < self.num_ranks:
+        rate = self.instruction_rate_per_cycle
+        num_ranks = self.num_ranks
+        per_rank = {}
+        for position, instruction in enumerate(instructions):
+            rank = ranks[position]
+            if not 0 <= rank < num_ranks:
                 raise ValueError("invalid rank %d for instruction" % rank)
-            arrival = start_cycle + int(
-                position / self.instruction_rate_per_cycle)
-            per_rank[rank][0].append(instruction)
-            per_rank[rank][1].append(arrival)
+            entry = per_rank.get(rank)
+            if entry is None:
+                entry = ([], [], ([], [], []))
+                per_rank[rank] = entry
+            entry[0].append(instruction)
+            entry[1].append(start_cycle + int(position / rate))
+            decoded = entry[2]
+            decoded[0].append(bank_groups[position])
+            decoded[1].append(bank_indices[position])
+            decoded[2].append(rows[position])
         per_rank_last = []
-        for rank_index in range(self.num_ranks):
-            instructions, arrivals = per_rank[rank_index]
-            if not instructions:
-                continue
+        for rank_index in sorted(per_rank):
+            rank_instructions, arrivals, decoded = per_rank[rank_index]
             rank_nmp = self.rank_nmp(rank_index)
             per_rank_last.append(rank_nmp.execute_instructions(
-                instructions, arrival_cycles=arrivals))
+                rank_instructions, arrival_cycles=arrivals,
+                decoded=decoded))
         if not per_rank_last:
             return start_cycle
         slowest = max(per_rank_last)

@@ -19,6 +19,8 @@ with memory reads, so it only contributes when it is the bottleneck.
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cache.rank_cache import RankCache
 from repro.dram.commands import CommandType
 from repro.dram.rank import Rank
@@ -129,10 +131,26 @@ class RankNMP:
         row = block
         return bank_group, bank, row, column
 
+    def decode_bank_rows(self, daddrs):
+        """Vectorised :meth:`decode_bank_row` over many Daddrs.
+
+        Returns ``(bank_groups, banks, rows)`` as plain Python lists (the
+        column is not needed by the timing model).  Used to decode a whole
+        packet once instead of re-decoding per instruction per scheduler
+        scan.
+        """
+        config = self.config
+        blocks = np.asarray(daddrs, dtype=np.int64) // config.columns_per_row
+        bank_groups = blocks % config.num_bank_groups
+        blocks = blocks // config.num_bank_groups
+        banks = blocks % config.banks_per_group
+        rows = blocks // config.banks_per_group
+        return bank_groups.tolist(), banks.tolist(), rows.tolist()
+
     # ------------------------------------------------------------------ #
     # Execution                                                          #
     # ------------------------------------------------------------------ #
-    def _dram_read(self, instruction, earliest_cycle):
+    def _dram_read(self, instruction, earliest_cycle, decoded=None):
         """Issue the DDR commands of one instruction.
 
         Returns ``(data_done, next_slot)`` where ``data_done`` is the cycle
@@ -142,48 +160,129 @@ class RankNMP:
         waits for the local C/A slots this one consumed, not for its
         tRP/tRCD/tCL latency chain, while the bank and rank state machines
         keep every later command legal (tCCD, tRRD, tFAW, data bus).
+
+        The bank/rank state machine of :class:`~repro.dram.rank.Rank` /
+        :class:`~repro.dram.bank.Bank` is inlined here (this is the
+        simulator's hottest function): every command is issued at its
+        ``earliest_issue_cycle``, so the legality re-checks of the generic
+        ``issue`` path are redundant by construction.  ``decoded`` carries
+        a precomputed ``(bank_group, bank_index, row)`` from
+        :meth:`decode_bank_rows`.
         """
-        bank_group, bank_index, row, _ = self.decode_bank_row(
-            instruction.daddr)
-        bank = self.dram_rank.bank(bank_group, bank_index)
-        cycle = max(self.current_cycle, earliest_cycle)
+        if decoded is None:
+            bank_group, bank_index, row, _ = self.decode_bank_row(
+                instruction.daddr)
+        else:
+            bank_group, bank_index, row = decoded
+        rank = self.dram_rank
+        timing = rank.timing
+        bank = rank.banks[bank_group * rank.banks_per_group + bank_index]
+        current = self.current_cycle
+        start = current if current > earliest_cycle else earliest_cycle
+        cycle = start
         commands_issued = 0
         first_issue = None
         # The rank command decoder replays the compressed DDR cmd field; a
         # conflicting open row forces PRE+ACT even if the tag omitted them
         # (the host-side tags are hints based on consecutive addresses).
-        if not bank.is_row_hit(row):
-            if not bank.is_row_closed():
-                cycle = self.dram_rank.earliest_issue_cycle(
-                    CommandType.PRE, bank_group, bank_index, cycle)
-                self.dram_rank.issue(CommandType.PRE, bank_group, bank_index,
-                                     row, cycle)
-                commands_issued += 1
-                first_issue = cycle if first_issue is None else first_issue
-            cycle = self.dram_rank.earliest_issue_cycle(
-                CommandType.ACT, bank_group, bank_index, cycle)
-            self.dram_rank.issue(CommandType.ACT, bank_group, bank_index,
-                                 row, cycle)
+        if bank.open_row != row:
+            if bank.open_row is not None:
+                ready = bank.next_pre
+                if ready > cycle:
+                    cycle = ready
+                bank.open_row = None
+                bank.precharges += 1
+                value = cycle + timing.tRP
+                if value > bank.next_act:
+                    bank.next_act = value
+                commands_issued = 1
+                first_issue = cycle
+            ready = bank.next_act
+            history = rank._act_history
+            if len(history) >= 4:
+                faw = history[-4] + timing.tFAW
+                if faw > ready:
+                    ready = faw
+            last_act = rank._last_act_cycle
+            if last_act is not None:
+                rrd = last_act + (timing.tRRD_L
+                                  if bank_group == rank._last_act_bank_group
+                                  else timing.tRRD_S)
+                if rrd > ready:
+                    ready = rrd
+            if ready > cycle:
+                cycle = ready
+            bank.open_row = row
+            bank.activations += 1
+            value = cycle + timing.tRCD
+            if value > bank.next_read:
+                bank.next_read = value
+            value = cycle + timing.tRAS
+            if value > bank.next_pre:
+                bank.next_pre = value
+            value = cycle + timing.tRC
+            if value > bank.next_act:
+                bank.next_act = value
+            history.append(cycle)
+            while len(history) > 4:
+                history.popleft()
+            rank._last_act_cycle = cycle
+            rank._last_act_bank_group = bank_group
             commands_issued += 1
-            first_issue = cycle if first_issue is None else first_issue
+            if first_issue is None:
+                first_issue = cycle
             self.stats.activations += 1
         finish = cycle
-        bursts = max(1, instruction.vsize)
+        bursts = instruction.vsize
+        if bursts < 1:
+            bursts = 1
+        tCL = timing.tCL
+        tCCD_L = timing.tCCD_L
+        tCCD_S = timing.tCCD_S
+        tBL = timing.tBL
+        tRTP = timing.tRTP
         for _ in range(bursts):
-            cycle = self.dram_rank.earliest_issue_cycle(
-                CommandType.RD, bank_group, bank_index, cycle)
-            finish = self.dram_rank.issue(CommandType.RD, bank_group,
-                                          bank_index, row, cycle)
+            ready = bank.next_read
+            last_col = rank._last_col_cycle
+            if last_col is not None:
+                ccd = last_col + (tCCD_L
+                                  if bank_group == rank._last_col_bank_group
+                                  else tCCD_S)
+                if ccd > ready:
+                    ready = ccd
+            bus = rank.next_data_bus_free - tCL
+            if bus > ready:
+                ready = bus
+            if ready > cycle:
+                cycle = ready
+            bank.reads += 1
+            finish = cycle + tCL + tBL
+            value = cycle + tCCD_L
+            if value > bank.next_read:
+                bank.next_read = value
+            value = cycle + tRTP
+            if value > bank.next_pre:
+                bank.next_pre = value
+            rank._last_col_cycle = cycle
+            rank._last_col_bank_group = bank_group
+            if finish > rank.next_data_bus_free:
+                rank.next_data_bus_free = finish
             commands_issued += 1
-            first_issue = cycle if first_issue is None else first_issue
+            if first_issue is None:
+                first_issue = cycle
             self.stats.dram_reads += 1
         self.stats.bytes_from_dram += instruction.vector_bytes
-        start = max(self.current_cycle, earliest_cycle)
-        next_slot = max(start, first_issue) + commands_issued
+        next_slot = (start if start > first_issue else first_issue) \
+            + commands_issued
         return finish, next_slot
 
-    def execute_instruction(self, instruction, arrival_cycle=0):
-        """Execute one NMP-Inst; returns the cycle its Psum update completes."""
+    def execute_instruction(self, instruction, arrival_cycle=0,
+                            decoded=None):
+        """Execute one NMP-Inst; returns the cycle its Psum update completes.
+
+        ``decoded`` optionally carries the precomputed ``(bank_group,
+        bank_index, row)`` of the instruction (see :meth:`decode_bank_rows`).
+        """
         self.stats.instructions += 1
         start = max(self.current_cycle, arrival_cycle)
         if self.cache is not None:
@@ -199,9 +298,11 @@ class RankNMP:
                     self.stats.cache_misses += 1
                 else:
                     self.stats.cache_bypasses += 1
-                data_ready, next_free = self._dram_read(instruction, start)
+                data_ready, next_free = self._dram_read(instruction, start,
+                                                        decoded=decoded)
         else:
-            data_ready, next_free = self._dram_read(instruction, start)
+            data_ready, next_free = self._dram_read(instruction, start,
+                                                    decoded=decoded)
         # Datapath: weighted multiply (if any) then accumulate.  The pipeline
         # overlaps with the next memory access, so only the final add depth
         # shows up in the completion time of this instruction.
@@ -243,7 +344,7 @@ class RankNMP:
             command, bank_group, bank_index, start)
 
     def execute_instructions(self, instructions, arrival_cycles=None,
-                             reorder_window=16):
+                             reorder_window=16, decoded=None):
         """Execute a list of instructions; returns the last completion cycle.
 
         Instructions are issued FR-FCFS-style within a small reorder window
@@ -252,26 +353,127 @@ class RankNMP:
         instructions, the one whose bank can accept a command earliest goes
         first.  Correctness is unaffected because each pooling accumulates
         into its own PsumTag register.
+
+        The selection is cycle-identical to evaluating
+        :meth:`_estimated_start` for every window member on every
+        iteration, but avoids that quadratic re-computation: per-bank
+        command/readiness is read once per member from the live bank state,
+        the rank-level ACT/RD components are memoised per bank group and
+        invalidated lazily (only an instruction that touched DRAM can
+        change them), and members whose earliest possible start already
+        matches or exceeds the best estimate are skipped outright.
+        ``decoded`` optionally carries ``(bank_groups, banks, rows)`` lists
+        from :meth:`decode_bank_rows`, so callers that already decoded the
+        packet (the channel does) don't pay for it twice.
         """
+        count = len(instructions)
         if arrival_cycles is None:
-            arrival_cycles = [0] * len(instructions)
-        if len(arrival_cycles) != len(instructions):
+            arrival_cycles = [0] * count
+        if len(arrival_cycles) != count:
             raise ValueError("arrival_cycles must match instructions")
-        pending = list(zip(instructions, arrival_cycles))
         last_completion = self.current_cycle
-        while pending:
-            window = pending[:max(1, reorder_window)]
-            best_index = 0
-            best_start = None
-            for index, (instruction, arrival) in enumerate(window):
-                estimate = self._estimated_start(instruction, arrival)
-                if best_start is None or estimate < best_start:
-                    best_start = estimate
-                    best_index = index
-            instruction, arrival = pending.pop(best_index)
-            last_completion = max(
-                last_completion,
-                self.execute_instruction(instruction, arrival_cycle=arrival))
+        if not count:
+            return last_completion
+        if decoded is None:
+            decoded = self.decode_bank_rows(
+                [inst.daddr for inst in instructions])
+        bank_groups, bank_indices, rows = decoded
+        banks_per_group = self.config.banks_per_group
+        rank = self.dram_rank
+        banks = rank.banks
+        timing = rank.timing
+        cache = self.cache
+        entries = cache._entries if cache is not None else None
+        daddrs = [inst.daddr for inst in instructions]
+        localities = [inst.locality_bit for inst in instructions]
+        flats = [bank_groups[i] * banks_per_group + bank_indices[i]
+                 for i in range(count)]
+        tCL = timing.tCL
+        tCCD_L = timing.tCCD_L
+        tCCD_S = timing.tCCD_S
+        tRRD_L = timing.tRRD_L
+        tRRD_S = timing.tRRD_S
+        tFAW = timing.tFAW
+        window_size = reorder_window if reorder_window > 1 else 1
+        window = list(range(window_size if window_size < count else count))
+        next_index = len(window)
+        # Rank-level earliest-issue components, memoised per bank group and
+        # cleared whenever an executed instruction touched DRAM (cache hits
+        # leave both the rank and every bank untouched).
+        act_part = {}
+        rd_part = {}
+        execute = self.execute_instruction
+        while window:
+            current = self.current_cycle
+            best_pos = 0
+            best_estimate = None
+            for pos, index in enumerate(window):
+                arrival = arrival_cycles[index]
+                start = arrival if arrival > current else current
+                if best_estimate is not None and start >= best_estimate:
+                    # estimate >= start, so this member cannot win (ties
+                    # keep the earliest window position, as before).
+                    continue
+                if entries is not None and localities[index] and \
+                        daddrs[index] in entries:
+                    estimate = start
+                else:
+                    bank = banks[flats[index]]
+                    open_row = bank.open_row
+                    bank_group = bank_groups[index]
+                    if open_row == rows[index]:
+                        ready = bank.next_read
+                        part = rd_part.get(bank_group)
+                        if part is None:
+                            part = rank.next_data_bus_free - tCL
+                            last_col = rank._last_col_cycle
+                            if last_col is not None:
+                                ccd = last_col + (
+                                    tCCD_L if bank_group ==
+                                    rank._last_col_bank_group else tCCD_S)
+                                if ccd > part:
+                                    part = ccd
+                            rd_part[bank_group] = part
+                        if part > ready:
+                            ready = part
+                    elif open_row is None:
+                        ready = bank.next_act
+                        part = act_part.get(bank_group)
+                        if part is None:
+                            part = 0
+                            history = rank._act_history
+                            if len(history) >= 4:
+                                part = history[-4] + tFAW
+                            last_act = rank._last_act_cycle
+                            if last_act is not None:
+                                rrd = last_act + (
+                                    tRRD_L if bank_group ==
+                                    rank._last_act_bank_group else tRRD_S)
+                                if rrd > part:
+                                    part = rrd
+                            act_part[bank_group] = part
+                        if part > ready:
+                            ready = part
+                    else:
+                        ready = bank.next_pre
+                    estimate = start if start > ready else ready
+                if best_estimate is None or estimate < best_estimate:
+                    best_estimate = estimate
+                    best_pos = pos
+            index = window.pop(best_pos)
+            if next_index < count:
+                window.append(next_index)
+                next_index += 1
+            resident = entries is not None and daddrs[index] in entries
+            completion = execute(
+                instructions[index], arrival_cycle=arrival_cycles[index],
+                decoded=(bank_groups[index], bank_indices[index],
+                         rows[index]))
+            if completion > last_completion:
+                last_completion = completion
+            if not resident:
+                act_part.clear()
+                rd_part.clear()
         return last_completion
 
     # ------------------------------------------------------------------ #

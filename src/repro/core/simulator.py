@@ -182,6 +182,17 @@ class RecNMPSimulator:
         block = physical_address // 64
         return (block ^ (block >> 7) ^ (block >> 13)) % num_ranks
 
+    def _ranks_of_byte_addresses(self, addresses):
+        """Vectorised address-hash assignment over a numpy address array.
+
+        Only valid for ``rank_assignment="address"`` (stateless hash);
+        page colouring is first-touch-order dependent and keeps the scalar
+        path.
+        """
+        blocks = addresses // 64
+        return (blocks ^ (blocks >> 7) ^ (blocks >> 13)) \
+            % self.config.num_ranks
+
     # ------------------------------------------------------------------ #
     # Execution                                                          #
     # ------------------------------------------------------------------ #
@@ -197,6 +208,9 @@ class RecNMPSimulator:
             num_ranks=self.config.num_ranks,
             scheduling_policy=self.config.scheduling_policy,
             rank_of_address=self._rank_of_address,
+            ranks_of_addresses=(
+                self._ranks_of_byte_addresses
+                if self.config.rank_assignment == "address" else None),
         )
         if per_source_submission is None:
             per_source_submission = [[request] for request in requests]

@@ -103,6 +103,40 @@ def run_baseline_trace(config, physical_addresses, request_bytes=64,
     return result
 
 
+def export_baseline_entries():
+    """Snapshot the cache as a list of picklable ``(key, result)`` pairs.
+
+    Used by the process execution backend
+    (:mod:`repro.core.backend`): a worker process exports the entries its
+    channel simulation produced so the parent can merge them back and
+    later dispatches (on any backend) replay the stored baselines.
+    """
+    with _LOCK:
+        return list(_CACHE.items())
+
+
+def merge_baseline_entries(pairs, hits=0, misses=0):
+    """Merge worker-side ``(key, result)`` pairs into this process's cache.
+
+    Existing entries win (first simulation of a trace is authoritative;
+    re-merging an identical result is a no-op either way), merged entries
+    count as freshly used for LRU purposes, and the bound is enforced
+    after the merge.  ``hits``/``misses`` fold the workers' counter deltas
+    into the process-wide statistics so cache-effectiveness reports stay
+    meaningful under the process backend.
+    """
+    global _HITS, _MISSES
+    with _LOCK:
+        for key, result in pairs:
+            if key not in _CACHE:
+                _CACHE[key] = result
+            _CACHE.move_to_end(key)
+        while len(_CACHE) > _MAX_ENTRIES:
+            _CACHE.popitem(last=False)
+        _HITS += int(hits)
+        _MISSES += int(misses)
+
+
 def clear_baseline_cache():
     """Drop every memoised baseline result and zero the hit counters."""
     global _HITS, _MISSES

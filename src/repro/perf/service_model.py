@@ -49,7 +49,16 @@ class ServiceTimeModel(abc.ABC):
 
 
 class ExactServiceModel(ServiceTimeModel):
-    """Simulate every batch composition (the PR-1 behaviour)."""
+    """Simulate every batch composition (the PR-1 behaviour).
+
+    Exact mode's cost is one cycle simulation per distinct batch
+    composition, so it scales directly with the simulator hot path and
+    the cluster's execution backend
+    (``ShardedServingCluster(backend="process")`` puts each node's
+    channels on real cores): the vectorised rank hot path plus the
+    process backend is what makes exact (non-interpolated) service
+    times affordable for long event-engine runs.
+    """
 
     name = "exact"
 

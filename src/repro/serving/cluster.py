@@ -53,6 +53,13 @@ class ShardedServingCluster:
         engine).
     service_cache_entries:
         LRU bound on the memoised per-batch service times.
+    backend, jobs:
+        Execution backend for every node's cycle simulations
+        (``"serial"`` / ``"thread"`` / ``"process"``) and its worker
+        bound -- forwarded to ``build_system`` as
+        ``backend=``/``max_workers=``.  With the process backend a
+        node's channels use real cores, which is what makes exact
+        (non-interpolated) service times affordable for long event runs.
     node_overrides:
         Keyword overrides forwarded to ``build_system`` for every node.
         ``compare_baseline`` defaults to False here: serving only needs the
@@ -62,17 +69,28 @@ class ShardedServingCluster:
     def __init__(self, num_nodes=2, node_system="recnmp-opt-4ch",
                  sharder=None, shard_policy=None, num_frontends=1,
                  service_cache_entries=DEFAULT_SERVICE_CACHE_ENTRIES,
-                 **node_overrides):
+                 backend=None, jobs=None, **node_overrides):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         if num_frontends <= 0:
             raise ValueError("num_frontends must be positive")
+        if backend is not None:
+            node_overrides.setdefault("backend", backend)
+        if jobs is not None:
+            node_overrides.setdefault("max_workers", jobs)
         if sharder is not None and shard_policy is not None:
             raise ValueError("pass either sharder or shard_policy, "
                              "not both")
         if sharder is None:
             policy = shard_policy or "round-robin"
             if policy not in TableSharder.POLICIES:
+                from repro.serving.sharding import PLACEMENT_POLICIES
+
+                if policy not in PLACEMENT_POLICIES:
+                    raise ValueError(
+                        "unknown shard policy %r; available: %s"
+                        % (policy,
+                           ", ".join(sorted(PLACEMENT_POLICIES))))
                 raise ValueError(
                     "shard policy %r needs table-load statistics; build a "
                     "ReplicatedTableSharder (e.g. from_traces/from_queries)"
@@ -107,12 +125,20 @@ class ShardedServingCluster:
         """
         requests = batch.requests()
         key = tuple(query.fingerprint() for query in batch.queries)
-        assignment = self.sharder.assign_requests(requests)
         if self.sharder.stateful:
+            # Routing state must advance for every batch, cached or not,
+            # and the assignment is part of the key.
+            assignment = self.sharder.assign_requests(requests)
             key = (key, tuple(assignment))
+        else:
+            # Stateless sharders assign deterministically, so a cache hit
+            # needs no assignment pass at all.
+            assignment = None
         cached = self._service_cache.get(key)
         if cached is not None:
             return cached
+        if assignment is None:
+            assignment = self.sharder.assign_requests(requests)
         partitions = partition_by_assignment(requests, assignment,
                                              self.num_nodes)
         latency_us = 0.0
@@ -136,6 +162,13 @@ class ShardedServingCluster:
         if self.sharder.stateful:
             self.sharder.reset_routing()
         self._service_cache.clear()
+
+    def close(self):
+        """Release pooled execution-backend workers on every node."""
+        for node in self.nodes:
+            close = getattr(node, "close", None)
+            if close is not None:
+                close()
 
     # ------------------------------------------------------------------ #
     def simulate(self, queries, frontend=None, engine=None,

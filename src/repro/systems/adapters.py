@@ -226,10 +226,17 @@ def _recnmp_system_result(name, result, cycle_time_ns, num_requests,
 
 
 class RecNMPSystem(EmbeddingSystem):
-    """One RecNMP-equipped memory channel (cycle-level simulation)."""
+    """One RecNMP-equipped memory channel (cycle-level simulation).
+
+    ``backend``/``max_workers`` are accepted (and ignored) so callers can
+    pass one execution-backend configuration uniformly to single- and
+    multi-channel systems: a single channel has nothing to parallelise.
+    """
 
     def __init__(self, name="recnmp-opt", address_of=None, table_rows=100_000,
-                 compare_baseline=True, **config_overrides):
+                 compare_baseline=True, backend=None, max_workers=None,
+                 **config_overrides):
+        del backend, max_workers  # single channel: nothing to parallelise
         self.name = name
         self.compare_baseline = compare_baseline
         self.config = RecNMPConfig(**config_overrides)
@@ -258,11 +265,19 @@ class RecNMPSystem(EmbeddingSystem):
 
 
 class MultiChannelSystem(EmbeddingSystem):
-    """Software-coordinated RecNMP across several memory channels."""
+    """Software-coordinated RecNMP across several memory channels.
+
+    ``backend`` selects how the per-channel cycle simulations execute
+    (``"serial"`` / ``"thread"`` / ``"process"`` or a ready
+    :class:`~repro.core.backend.ParallelBackend`); ``max_workers`` bounds
+    the worker pool.  The default dense :class:`TableLayout` address map
+    is a bound method of a picklable dataclass, so the process backend
+    works out of the box.
+    """
 
     def __init__(self, name="recnmp-opt-4ch", num_channels=4,
                  address_of=None, table_rows=100_000, compare_baseline=True,
-                 max_workers=None, **config_overrides):
+                 max_workers=None, backend=None, **config_overrides):
         self.name = name
         self.compare_baseline = compare_baseline
         self.config = RecNMPConfig(**config_overrides)
@@ -271,7 +286,7 @@ class MultiChannelSystem(EmbeddingSystem):
                                        table_rows)
         self.coordinator = MultiChannelRecNMP(
             num_channels=num_channels, channel_config=self.config,
-            address_of=resolved, max_workers=max_workers)
+            address_of=resolved, max_workers=max_workers, backend=backend)
 
     def run(self, requests):
         self.coordinator.reset()
@@ -306,9 +321,14 @@ class MultiChannelSystem(EmbeddingSystem):
     def reset(self):
         self.coordinator.reset()
 
+    def close(self):
+        """Release pooled backend workers (idempotent)."""
+        self.coordinator.close()
+
     def describe(self):
-        return "%s: %d channels of %s" % (
-            self.name, self.coordinator.num_channels, self.config.label())
+        return "%s: %d channels of %s (%s backend)" % (
+            self.name, self.coordinator.num_channels, self.config.label(),
+            self.coordinator.backend.name)
 
 
 # --------------------------------------------------------------------- #

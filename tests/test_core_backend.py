@@ -1,0 +1,181 @@
+"""Tests for repro.core.backend (parallel execution backends)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    BACKENDS,
+    ParallelBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.core.multi_channel import MultiChannelRecNMP
+from repro.core.simulator import RecNMPConfig
+from repro.dlrm.operators import SLSRequest
+from repro.perf.baseline_cache import (
+    baseline_cache_stats,
+    clear_baseline_cache,
+    export_baseline_entries,
+    merge_baseline_entries,
+)
+from repro.systems.base import TableLayout
+
+NUM_ROWS = 8_000
+VECTOR_BYTES = 128
+LAYOUT = TableLayout(num_rows=NUM_ROWS, vector_bytes=VECTOR_BYTES)
+
+
+def _requests(num_tables=4, batch=4, pooling=12, seed=0):
+    rng = np.random.default_rng(seed)
+    return [SLSRequest(table_id=t,
+                       indices=rng.integers(0, NUM_ROWS,
+                                            size=batch * pooling),
+                       lengths=np.full(batch, pooling))
+            for t in range(num_tables)]
+
+
+def _coordinator(backend, num_channels=3, **config_overrides):
+    defaults = dict(num_dimms=1, ranks_per_dimm=2,
+                    vector_size_bytes=VECTOR_BYTES)
+    defaults.update(config_overrides)
+    return MultiChannelRecNMP(num_channels=num_channels,
+                              channel_config=RecNMPConfig(**defaults),
+                              address_of=LAYOUT.address_of,
+                              backend=backend)
+
+
+class TestResolveBackend:
+    def test_default_is_serial(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_names_resolve(self, name):
+        backend = resolve_backend(name, max_workers=2)
+        assert backend.name == name
+        assert backend.max_workers == 2
+
+    def test_class_resolves(self):
+        assert isinstance(resolve_backend(SerialBackend), SerialBackend)
+
+    def test_instance_passthrough(self):
+        instance = SerialBackend()
+        assert resolve_backend(instance) is instance
+
+    def test_instance_with_max_workers_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend(SerialBackend(), max_workers=2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu")
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(max_workers=0)
+
+    def test_describe(self):
+        assert ProcessBackend(max_workers=3).describe() == \
+            "process(max_workers=3)"
+        assert SerialBackend().describe() == "serial"
+
+
+class TestPickleRoundtrip:
+    """The process backend's work units must survive pickling unchanged."""
+
+    def test_config_roundtrip(self):
+        config = RecNMPConfig(num_dimms=2, ranks_per_dimm=2,
+                              vector_size_bytes=128,
+                              scheduling_policy="fcfs",
+                              rank_assignment="page-coloring")
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_request_roundtrip(self):
+        request = _requests(num_tables=1)[0]
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone.table_id == request.table_id
+        np.testing.assert_array_equal(clone.indices, request.indices)
+        np.testing.assert_array_equal(clone.lengths, request.lengths)
+
+    def test_address_of_roundtrip(self):
+        address_of = pickle.loads(pickle.dumps(LAYOUT.address_of))
+        assert address_of(3, 17) == LAYOUT.address_of(3, 17)
+
+    def test_unpicklable_address_of_rejected(self):
+        coordinator = MultiChannelRecNMP(
+            num_channels=2,
+            channel_config=RecNMPConfig(num_dimms=1, ranks_per_dimm=2),
+            address_of=lambda table_id, row: row * 64,
+            backend="process")
+        with pytest.raises(ValueError, match="picklable"):
+            coordinator.run_requests(_requests(num_tables=2, batch=1,
+                                               pooling=4),
+                                     compare_baseline=False)
+        coordinator.close()
+
+
+class TestBackendEquivalence:
+    """serial / thread / process must be byte-identical per dispatch."""
+
+    @classmethod
+    def setup_class(cls):
+        cls.requests = _requests(num_tables=6, batch=4, pooling=16, seed=3)
+        coordinator = _coordinator("serial")
+        cls.reference = coordinator.run_requests(cls.requests,
+                                                 compare_baseline=True)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_identical_results(self, backend):
+        coordinator = _coordinator(backend)
+        result = coordinator.run_requests(self.requests,
+                                          compare_baseline=True)
+        reference = self.reference
+        assert result.total_cycles == reference.total_cycles
+        assert result.per_channel_cycles == reference.per_channel_cycles
+        assert result.per_channel_instructions == \
+            reference.per_channel_instructions
+        assert result.energy_nj == reference.energy_nj
+        assert result.cache_hit_rate == reference.cache_hit_rate
+        assert result.baseline_cycles == reference.baseline_cycles
+        assert result.baseline_energy_nj == reference.baseline_energy_nj
+        assert result.speedup_vs_baseline == reference.speedup_vs_baseline
+        coordinator.close()
+
+    def test_jobs_bound_respected(self):
+        coordinator = _coordinator(ThreadBackend(max_workers=1))
+        result = coordinator.run_requests(self.requests,
+                                          compare_baseline=False)
+        assert result.total_cycles == self.reference.total_cycles
+
+    def test_process_merges_worker_baseline_entries(self):
+        clear_baseline_cache()
+        try:
+            coordinator = _coordinator("process", num_channels=2)
+            coordinator.run_requests(
+                _requests(num_tables=2, batch=2, pooling=8, seed=9),
+                compare_baseline=True)
+            stats = baseline_cache_stats()
+            # Both channels simulated their baseline in workers; the
+            # parent cache received the merged (key, result) pairs.
+            assert stats["entries"] == 2
+            assert stats["misses"] == 2
+            coordinator.close()
+        finally:
+            clear_baseline_cache()
+
+
+class TestBaselineCacheMerge:
+    def test_merge_entries_and_counters(self):
+        clear_baseline_cache()
+        try:
+            merge_baseline_entries([("key-a", "result-a")], hits=3, misses=1)
+            stats = baseline_cache_stats()
+            assert stats == {"entries": 1, "hits": 3, "misses": 1}
+            # Existing entries win on re-merge.
+            merge_baseline_entries([("key-a", "other")])
+            assert dict(export_baseline_entries())["key-a"] == "result-a"
+        finally:
+            clear_baseline_cache()

@@ -9,7 +9,10 @@ from repro.core.instruction import (
     NMPInstruction,
     NMPPacket,
 )
-from repro.core.memory_controller import NMPMemoryController
+from repro.core.memory_controller import (
+    NMPMemoryController,
+    _ReorderedPacketView,
+)
 from repro.core.processing_unit import RecNMPChannel
 from repro.core.rank_nmp import RankNMPConfig
 
@@ -110,3 +113,67 @@ class TestReordering:
         controller.submit([_packet(0, 0, 0)])
         total, _ = controller.dispatch(channel, reorder=False)
         assert total > 0
+
+
+class TestPerRankStats:
+    """Regression: the once-per-packet rank computation must produce the
+    same per-rank instruction statistics as re-deriving the rank per
+    instruction (the old second pass)."""
+
+    @pytest.mark.parametrize("reorder", [True, False])
+    def test_stats_match_per_instruction_recomputation(self, reorder):
+        controller = NMPMemoryController(num_ranks=4, reorder_window=4)
+        channel = RecNMPChannel(num_dimms=2, ranks_per_dimm=2)
+        packets = [_packet(t, 0, 10 * t + i, count=16, stride=641)
+                   for t in range(2) for i in range(2)]
+        controller.submit(packets)
+        controller.dispatch(channel, reorder=reorder)
+        expected = {}
+        for packet in packets:
+            for instruction in packet.instructions:
+                rank = controller.rank_of_instruction(instruction)
+                expected[rank] = expected.get(rank, 0) + 1
+        assert controller.stats.per_rank_instructions == expected
+        assert sum(expected.values()) == 64
+
+    def test_vectorised_rank_mapping_matches_scalar(self):
+        def ranks_of(addresses):
+            return (addresses // 64) % 4
+
+        scalar = NMPMemoryController(num_ranks=4)
+        vectorised = NMPMemoryController(num_ranks=4,
+                                         ranks_of_addresses=ranks_of)
+        packet = _packet(0, 0, 0, count=16)
+        instructions = list(packet.instructions)
+        assert vectorised._packet_ranks(instructions) == \
+            scalar._packet_ranks(instructions)
+        assert vectorised._reorder_within_packet(packet) == \
+            scalar._reorder_within_packet(packet)
+
+
+class TestReorderedPacketView:
+    def _view(self, count=8):
+        packet = _packet(3, 1, 7, count=count)
+        return packet, _ReorderedPacketView(packet,
+                                            list(packet.instructions))
+
+    def test_num_poolings_cached_and_correct(self):
+        packet, view = self._view()
+        assert view.num_poolings == packet.num_poolings == 4
+        # Computed once at construction: later mutation of the
+        # instruction list must not change the reported pooling count.
+        view.instructions.pop()
+        assert view.num_poolings == 4
+
+    def test_delegates_packet_attributes(self):
+        packet, view = self._view()
+        assert view.table_id == packet.table_id == 3
+        assert view.packet_id == packet.packet_id == 7
+        assert len(view) == len(packet.instructions)
+
+    def test_slots_reject_stray_attributes(self):
+        _, view = self._view()
+        with pytest.raises(AttributeError):
+            view.num_pooling = 1     # typo cannot silently attach
+        with pytest.raises(AttributeError):
+            _ = view.not_an_attribute

@@ -1,5 +1,6 @@
 """Tests for repro.core.rank_nmp, dimm_nmp and processing_unit."""
 
+import numpy as np
 import pytest
 
 from repro.core.dimm_nmp import DimmNMP
@@ -105,6 +106,75 @@ class TestRankNMP:
         completion = rank.execute_instruction(_instructions(1)[0],
                                               arrival_cycle=500)
         assert completion > 500
+
+
+def _reference_execute_instructions(rank, instructions, arrival_cycles,
+                                    reorder_window=16):
+    """The pre-optimisation windowed scheduler, verbatim.
+
+    ``_estimated_start`` is the readable specification of what the
+    memoised fast path in ``execute_instructions`` must compute; this
+    reference loop re-evaluates it for every window member on every
+    iteration exactly like the original code, so the randomized
+    equivalence test below keeps the two from silently diverging.
+    """
+    pending = list(zip(instructions, arrival_cycles))
+    last_completion = rank.current_cycle
+    while pending:
+        window = pending[:max(1, reorder_window)]
+        best_index = 0
+        best_start = None
+        for index, (instruction, arrival) in enumerate(window):
+            estimate = rank._estimated_start(instruction, arrival)
+            if best_start is None or estimate < best_start:
+                best_start = estimate
+                best_index = index
+        instruction, arrival = pending.pop(best_index)
+        last_completion = max(
+            last_completion,
+            rank.execute_instruction(instruction, arrival_cycle=arrival))
+    return last_completion
+
+
+class TestSchedulerEquivalence:
+    """The memoised window scheduler must match the _estimated_start spec."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("use_cache", [True, False])
+    def test_randomized_streams_cycle_identical(self, seed, use_cache):
+        rng = np.random.default_rng(seed)
+        config = RankNMPConfig(use_cache=use_cache,
+                               cache_capacity_bytes=4096)
+        count = 80
+        instructions = [
+            NMPInstruction(
+                ddr_cmd=FULL_CMD,
+                daddr=int(rng.integers(0, 4000)),
+                vsize=int(rng.choice([1, 2])),
+                weight=float(rng.choice([1.0, 0.5])),
+                locality_bit=bool(rng.integers(0, 2)),
+                psum_tag=int(rng.integers(0, 8)))
+            for _ in range(count)
+        ]
+        arrivals = np.sort(rng.integers(0, 40, size=count)).tolist()
+        window = int(rng.choice([1, 4, 16]))
+
+        fast = RankNMP(config)
+        fast_last = fast.execute_instructions(
+            list(instructions), arrival_cycles=list(arrivals),
+            reorder_window=window)
+        reference = RankNMP(config)
+        reference_last = _reference_execute_instructions(
+            reference, list(instructions), list(arrivals),
+            reorder_window=window)
+
+        assert fast_last == reference_last
+        assert fast.current_cycle == reference.current_cycle
+        assert fast.stats.as_dict() == reference.stats.as_dict()
+        assert fast._psum_counts == reference._psum_counts
+        if use_cache:
+            assert list(fast.cache._entries) == \
+                list(reference.cache._entries)
 
 
 class TestDimmNMP:
