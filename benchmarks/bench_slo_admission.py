@@ -1,0 +1,235 @@
+"""SLO/admission benchmark: goodput under overload, per controller.
+
+The serving layer's unconditional percentiles say nothing about what the
+cluster does when offered *more* than it can serve: a FIFO queue simply
+grows without bound and every query blows its deadline.  This benchmark
+assigns every query a fixed completion SLO, sweeps the offered load from
+0.3x to 2x the cluster's sustainable QPS under three arrival processes
+(memoryless Poisson, bursty two-state MMPP, and a trace replay of
+recorded MMPP gaps), and runs each point through the four admission
+controllers (``none`` / ``token-bucket`` / ``queue-depth`` /
+``deadline``), recording goodput, SLO attainment, shed rate and the
+admitted-stream p99 from the event engine.
+
+Claims checked:
+
+* at low load (rho <= 0.3) every controller sheds nothing and reports
+  *identical* percentiles -- admission is free when the cluster keeps up;
+* at overload (>= 1.2x sustainable, bursty arrivals) deadline-aware
+  shedding strictly beats open-loop ``none`` on goodput: dropping
+  queries that cannot meet their deadline anyway frees capacity for
+  queries that still can.
+
+The machine-readable summary is printed last (``SLO_ADMISSION_JSON:``)
+so ``run_all.py`` captures it into ``BENCH_results.json`` (its
+non-finite-field check covers the goodput/attainment records), along
+with one ``SLO_SUMMARY:`` line per arrival process.
+"""
+
+import json
+
+import numpy as np
+
+from repro.perf.service_model import InterpolatingServiceModel
+from repro.serving import (
+    BatchingFrontend,
+    MMPPArrivalProcess,
+    PoissonArrivalProcess,
+    ShardedServingCluster,
+    TraceReplayArrivalProcess,
+    queries_from_traces,
+)
+from repro.traces import make_production_table_traces
+
+from workloads import (
+    NUM_ROWS,
+    VECTOR_BYTES,
+    address_of,
+    format_table,
+    smoke_scaled,
+)
+
+SYSTEM = "recnmp-opt"
+NUM_NODES = 2
+NUM_FRONTENDS = 2
+NUM_TABLES = 8
+QUERY_BATCH = 8                 # fig16's SLS batch size per query
+QUERY_POOLING = 40              # fig16's pooling factor
+MAX_BATCH = 8
+MAX_DELAY_US = 200.0
+#: Long enough that a 1.2x-overloaded FIFO backlog outgrows the SLO well
+#: before the stream ends (the wait grows like 0.1x elapsed time at 1.2x
+#: load, so the collapse needs on the order of a thousand queries).
+NUM_QUERIES = smoke_scaled(4_000, 1_500)
+#: Offered load as multiples of the cluster's sustainable QPS.  The
+#: 0.3x point anchors the "admission is free at low load" claim; the
+#: >= 1.2x points are the overload regime the controllers exist for.
+LOAD_MULTIPLIERS = (0.3, 0.6, 0.9, 1.2, 1.5, 2.0)
+OVERLOAD_THRESHOLD = 1.2
+CONTROLLERS = ("none", "token-bucket", "queue-depth", "deadline")
+ARRIVALS = ("poisson", "mmpp", "trace")
+#: Per-query SLO as a multiple of the low-load p99: comfortably met by a
+#: lightly loaded cluster, hopeless once the queue outgrows it.
+SLO_P99_MULTIPLIER = 1.5
+CALIBRATION_BATCH_SIZES = smoke_scaled((1, 2, 4, 8, 16), (1, 2, 4, 8))
+REQUESTS_PER_TABLE = smoke_scaled(64, 16)
+
+
+def build_traces():
+    return make_production_table_traces(
+        num_lookups_per_table=QUERY_BATCH * QUERY_POOLING
+        * REQUESTS_PER_TABLE,
+        num_rows=NUM_ROWS, num_tables=NUM_TABLES, seed=0)
+
+
+def make_arrivals(kind, qps, num_queries):
+    """Arrival process of one sweep point (deterministic per kind)."""
+    if kind == "poisson":
+        return PoissonArrivalProcess(rate_qps=qps, seed=7)
+    if kind == "mmpp":
+        return MMPPArrivalProcess.from_mean(qps, seed=7)
+    # Trace replay: gaps recorded once from a reference MMPP sample and
+    # rate-scaled per point -- the same burst shape at every load.
+    return TraceReplayArrivalProcess.from_mmpp(qps, num_queries, seed=11)
+
+
+def compute_slo_sweep():
+    traces = build_traces()
+    cluster = ShardedServingCluster(
+        num_nodes=NUM_NODES, node_system=SYSTEM,
+        num_frontends=NUM_FRONTENDS, address_of=address_of,
+        vector_size_bytes=VECTOR_BYTES)
+    frontend = BatchingFrontend(max_queries=MAX_BATCH,
+                                max_delay_us=MAX_DELAY_US)
+    model = InterpolatingServiceModel(
+        traces, batch_sizes=CALIBRATION_BATCH_SIZES)
+
+    def build_queries(kind, qps):
+        return queries_from_traces(
+            traces, NUM_QUERIES, make_arrivals(kind, qps, NUM_QUERIES),
+            batch_size=QUERY_BATCH, pooling_factor=QUERY_POOLING)
+
+    # ---- calibrate sustainable QPS and the SLO at low load ----------- #
+    probe = cluster.simulate(build_queries("poisson", 50_000.0),
+                             frontend=frontend, engine="event",
+                             service_model=model)
+    sustainable_qps = probe.sustainable_qps
+    low_load = cluster.simulate(
+        build_queries("poisson", 0.2 * sustainable_qps),
+        frontend=frontend, engine="event", service_model=model)
+    slo_us = SLO_P99_MULTIPLIER * low_load.p99_us
+
+    # ---- offered-load sweep per arrival process and controller ------- #
+    sweep = []
+    for kind in ARRIVALS:
+        for multiplier in LOAD_MULTIPLIERS:
+            qps = multiplier * sustainable_qps
+            queries = build_queries(kind, qps)
+            for controller in CONTROLLERS:
+                report = cluster.simulate(
+                    queries, frontend=frontend, engine="event",
+                    service_model=model, slo_policy=slo_us,
+                    admission=controller)
+                slo = report.extras["slo"]
+                sweep.append({
+                    "arrival": kind,
+                    "multiplier": multiplier,
+                    "offered_qps": round(report.offered_qps, 1),
+                    "controller": controller,
+                    "rho": round(report.utilization, 4),
+                    "shed_rate": round(slo["shed_rate"], 4),
+                    "num_shed": slo["num_shed"],
+                    "attainment": None if slo["attainment"] is None
+                    else round(slo["attainment"], 4),
+                    "goodput_qps": round(slo["goodput_qps"], 1),
+                    "p50_us": round(report.p50_us, 2),
+                    "p95_us": round(report.p95_us, 2),
+                    "p99_us": round(report.p99_us, 2),
+                })
+    return {"workload": "fig16-serving-overload",
+            "system": cluster.describe(),
+            "num_frontends": NUM_FRONTENDS,
+            "num_queries": NUM_QUERIES,
+            "sustainable_qps": round(sustainable_qps, 1),
+            "slo_us": round(slo_us, 2),
+            "arrivals": list(ARRIVALS),
+            "controllers": list(CONTROLLERS),
+            "sweep": sweep}
+
+
+def _points(sweep, **filters):
+    return [point for point in sweep
+            if all(point[key] == value for key, value in filters.items())]
+
+
+def bench_slo_admission(benchmark):
+    payload = benchmark.pedantic(compute_slo_sweep, rounds=1, iterations=1)
+    sweep = payload["sweep"]
+    print()
+    for kind in payload["arrivals"]:
+        rows = [(point["multiplier"], point["controller"],
+                 round(point["rho"], 3),
+                 "%.1f%%" % (100 * point["shed_rate"]),
+                 "-" if point["attainment"] is None
+                 else "%.1f%%" % (100 * point["attainment"]),
+                 round(point["goodput_qps"]), point["p99_us"])
+                for point in _points(sweep, arrival=kind)]
+        print(format_table(
+            "SLO/admission sweep -- %s arrivals (%s, SLO %.0f us, "
+            "sustainable %.0f QPS)"
+            % (kind, payload["system"], payload["slo_us"],
+               payload["sustainable_qps"]),
+            ["load", "controller", "rho", "shed", "attainment",
+             "goodput QPS", "p99 (us)"], rows))
+        print()
+
+    # Every recorded field must be finite (run_all.py enforces the same
+    # on the captured JSON payload).
+    for point in sweep:
+        for field in ("rho", "shed_rate", "goodput_qps", "p50_us",
+                      "p95_us", "p99_us"):
+            assert np.isfinite(point[field]), (point, field)
+        assert point["attainment"] is None \
+            or np.isfinite(point["attainment"])
+
+    # At low load (rho <= 0.3) admission is free: nothing sheds and all
+    # controllers report byte-identical percentiles.
+    for kind in payload["arrivals"]:
+        low = _points(sweep, arrival=kind,
+                      multiplier=LOAD_MULTIPLIERS[0])
+        assert len(low) == len(CONTROLLERS)
+        baseline = low[0]
+        assert baseline["rho"] <= 0.35, baseline
+        for point in low:
+            assert point["shed_rate"] == 0.0, point
+            for field in ("p50_us", "p95_us", "p99_us", "goodput_qps"):
+                assert point[field] == baseline[field], (point, field)
+
+    # At overload on bursty traffic, deadline-aware shedding strictly
+    # beats the open-loop baseline on goodput.
+    for kind in ("mmpp", "trace"):
+        for multiplier in [m for m in LOAD_MULTIPLIERS
+                           if m >= OVERLOAD_THRESHOLD]:
+            none, = _points(sweep, arrival=kind, multiplier=multiplier,
+                            controller="none")
+            deadline, = _points(sweep, arrival=kind,
+                                multiplier=multiplier,
+                                controller="deadline")
+            assert deadline["goodput_qps"] > none["goodput_qps"], \
+                (kind, multiplier, none, deadline)
+            assert deadline["num_shed"] > 0, (kind, multiplier, deadline)
+
+    # One-line summaries run_all.py surfaces per serving benchmark.
+    for kind in payload["arrivals"]:
+        overload = _points(sweep, arrival=kind, multiplier=2.0)
+        by_controller = {point["controller"]: point for point in overload}
+        print("SLO_SUMMARY: %s@2.0x: goodput %s QPS; attainment %s"
+              % (kind,
+                 " / ".join("%s %d" % (c, by_controller[c]["goodput_qps"])
+                            for c in CONTROLLERS),
+                 " / ".join(
+                     "%s %.0f%%" % (c,
+                                    100 * by_controller[c]["attainment"])
+                     for c in CONTROLLERS)))
+    # Machine-readable record, captured into BENCH_results.json.
+    print("SLO_ADMISSION_JSON: %s" % json.dumps(payload))

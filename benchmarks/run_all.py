@@ -7,7 +7,8 @@ writes a single JSON summary for trajectory tracking across PRs.  The
 memoised DDR4 baseline cache is cleared between benchmarks and each
 benchmark's cache effectiveness (entries/hits/misses, printed by
 ``conftest.py`` at session end) is surfaced after its run and archived
-in the summary.
+in the summary, as is every serving benchmark's one-line SLO summary
+(``SLO_SUMMARY:`` lines -- goodput/attainment per admission controller).
 
 Usage::
 
@@ -60,6 +61,16 @@ JSON_RECORD = re.compile(r"^([A-Z][A-Z0-9_]*_JSON): (.*)$", re.MULTILINE)
 BASELINE_CACHE_RECORD = re.compile(r"^BASELINE_CACHE_JSON: (.*)$",
                                    re.MULTILINE)
 
+#: One-line SLO summaries printed by the serving benchmarks (goodput /
+#: attainment per admission controller); surfaced after each run and
+#: archived in the summary record.
+SLO_SUMMARY_RECORD = re.compile(r"^SLO_SUMMARY: (.*)$", re.MULTILINE)
+
+
+def slo_summaries(output):
+    """The benchmark's one-line SLO summaries, in print order."""
+    return [match.group(1) for match in SLO_SUMMARY_RECORD.finditer(output)]
+
 
 def baseline_cache_record(output):
     """The benchmark session's baseline-cache stats, or None."""
@@ -72,6 +83,22 @@ def baseline_cache_record(output):
         return None
 
 
+def json_records(output):
+    """Every machine-readable ``*_JSON`` report in the captured output.
+
+    Parsed from the *full* output, not the bounded ``output_tail`` --
+    large reports (the SLO/admission sweep exceeds the tail bound) stay
+    archived in ``BENCH_results.json`` intact.
+    """
+    records = {}
+    for match in JSON_RECORD.finditer(output):
+        try:
+            records[match.group(1)] = json.loads(match.group(2))
+        except ValueError:
+            continue          # truncated/invalid line: not a report
+    return records
+
+
 def non_finite_records(output):
     """Names of JSON report lines carrying non-finite fields.
 
@@ -79,7 +106,9 @@ def non_finite_records(output):
     (a rate estimator exploding on a zero span, an unstable queue leaking
     into a summary): the smoke run must fail on it, not archive it.
     ``json.dumps`` happily emits those constants, so scan every captured
-    record with a ``parse_constant`` hook.
+    record with a ``parse_constant`` hook -- the whole document, nested
+    fields included, which is how the goodput/attainment/shed records of
+    ``SLO_ADMISSION_JSON`` are covered alongside the older reports.
     """
     bad = []
     for match in JSON_RECORD.finditer(output):
@@ -145,6 +174,12 @@ def run_one(name, timeout_seconds, smoke=False):
     cache_stats = baseline_cache_record(output)
     if cache_stats is not None:
         record["baseline_cache"] = cache_stats
+    summaries = slo_summaries(output)
+    if summaries:
+        record["slo_summaries"] = summaries
+    reports = json_records(output)
+    if reports:
+        record["reports"] = reports
     return record
 
 
@@ -180,6 +215,8 @@ def main(argv=None):
                   % (cache_stats.get("entries", 0),
                      cache_stats.get("hits", 0),
                      cache_stats.get("misses", 0)), flush=True)
+        for summary in record.get("slo_summaries", ()):
+            print("  slo: %s" % summary, flush=True)
         results.append(record)
 
     summary = {

@@ -8,14 +8,23 @@ Subcommands
     Build a system by registry name, run a synthetic workload on it and
     print the canonical result.
 ``serve``
-    Drive a sharded serving cluster with Poisson traffic and print the
-    latency/QPS report.  ``--engine`` picks the queueing model (analytic
-    M/G/c or event-driven simulation), ``--frontends`` the number of
+    Drive a sharded serving cluster and print the latency/QPS report.
+    ``--arrival`` picks the traffic model (``poisson``, bursty two-state
+    ``mmpp``, or ``trace`` -- replay of a recorded bursty gap sequence
+    scaled to the offered rate), ``--engine`` the queueing model
+    (analytic M/G/c, event-driven FIFO simulation, or ``event-edf`` for
+    earliest-deadline-first dispatch), ``--frontends`` the number of
     concurrent dispatch servers, and ``--service-model`` how per-batch
     service times are obtained (exact cycle simulation or grid
     interpolation).  ``--shard-policy`` / ``--replicas`` /
     ``--hot-fraction`` control table placement: load-aware bin-packing
-    and hot-table replication fed by the measured per-table loads.
+    and hot-table replication fed by the measured per-table loads, with
+    the per-request dispatch cost calibrated from the node itself unless
+    ``--request-overhead`` overrides it.  ``--slo-us`` assigns every
+    query a completion deadline and reports SLO attainment and goodput;
+    ``--admission`` places an admission controller in front of the
+    batcher (``none`` / ``token-bucket`` / ``queue-depth`` /
+    ``deadline``) so overload sheds instead of queueing without bound.
 
 Both ``run`` and ``serve`` accept ``--backend {serial,thread,process}``
 and ``--jobs N`` to pick the execution backend for multi-channel cycle
@@ -34,9 +43,12 @@ from repro.perf.baseline_cache import baseline_cache_stats
 from repro.perf.service_model import InterpolatingServiceModel
 from repro.serving import (
     BatchingFrontend,
+    MMPPArrivalProcess,
     PoissonArrivalProcess,
     ReplicatedTableSharder,
     ShardedServingCluster,
+    TraceReplayArrivalProcess,
+    calibrate_request_overhead_from_queries,
     queries_from_traces,
 )
 from repro.systems import (
@@ -152,19 +164,54 @@ def cmd_run(args):
     return 0
 
 
+def _build_arrivals(args):
+    """Arrival process for ``serve`` from ``--arrival`` / ``--qps``."""
+    if args.arrival == "poisson":
+        return PoissonArrivalProcess(rate_qps=args.qps, seed=args.seed)
+    if args.arrival == "mmpp":
+        return MMPPArrivalProcess.from_mean(args.qps, seed=args.seed)
+    # "trace": replay a recorded bursty gap sequence rate-scaled to the
+    # offered load -- the same burst shape at every --qps.
+    return TraceReplayArrivalProcess.from_mmpp(args.qps, args.queries,
+                                               seed=args.seed)
+
+
 def cmd_serve(args):
+    if args.slo_us is not None and args.slo_us <= 0:
+        raise SystemExit("error: --slo-us must be positive")
+    if args.admission == "deadline" and args.slo_us is None:
+        raise SystemExit("error: --admission deadline sheds by deadline "
+                         "slack; pass --slo-us to assign one")
+    if args.request_overhead is not None and args.request_overhead < 0:
+        raise SystemExit("error: --request-overhead must be non-negative")
     traces = _build_traces(args.trace, args.tables, args.num_rows,
                            max(args.batch * args.pooling * 4, 2_000),
                            args.seed)
     queries = queries_from_traces(
-        traces, args.queries,
-        PoissonArrivalProcess(rate_qps=args.qps, seed=args.seed),
+        traces, args.queries, _build_arrivals(args),
         batch_size=args.batch, pooling_factor=args.pooling)
     if args.shard_policy == "load-aware" or args.replicas > 1:
         # Replication and load-aware placement are fed by the measured
-        # per-table lookup loads of the offered stream.
+        # per-table lookup loads of the offered stream, priced with the
+        # node's own per-request dispatch cost (calibrated from its
+        # measured service times unless --request-overhead overrides).
+        if args.request_overhead is None:
+            probe = _build_system_or_exit(
+                args.system, table_rows=args.num_rows,
+                vector_size_bytes=args.vector_bytes,
+                compare_baseline=False)
+            try:
+                overhead = calibrate_request_overhead_from_queries(
+                    probe, queries)
+            finally:
+                close = getattr(probe, "close", None)
+                if close is not None:
+                    close()
+        else:
+            overhead = args.request_overhead
         sharding = {"sharder": ReplicatedTableSharder.from_queries(
-            args.nodes, queries, policy=args.shard_policy,
+            args.nodes, queries, request_overhead_lookups=overhead,
+            policy=args.shard_policy,
             max_replicas=args.replicas, hot_fraction=args.hot_fraction,
             seed=args.seed)}
     else:
@@ -192,15 +239,17 @@ def cmd_serve(args):
             queries,
             frontend=BatchingFrontend(max_queries=args.max_batch,
                                       max_delay_us=args.max_delay_us),
-            engine=args.engine, service_model=service_model)
+            engine=args.engine, service_model=service_model,
+            slo_policy=args.slo_us, admission=args.admission)
     finally:
         cluster.close()        # release pooled backend workers cleanly
     if args.json:
         json.dump(report.as_dict(), sys.stdout, indent=2)
         print()
         return 0
-    print("%s serving %d queries at %.0f QPS offered" %
-          (cluster.describe(), report.num_queries, report.offered_qps))
+    print("%s serving %d queries at %.0f QPS offered (%s arrivals)" %
+          (cluster.describe(), report.num_queries, report.offered_qps,
+           args.arrival))
     print("  engine         : %s (%d frontend%s, %s service times)"
           % (args.engine, report.num_servers,
              "s" if report.num_servers != 1 else "",
@@ -215,6 +264,17 @@ def cmd_serve(args):
     print("  latency p95    : %.1f us" % report.p95_us)
     print("  latency p99    : %.1f us" % report.p99_us)
     print("  sustainable    : %.0f QPS" % report.sustainable_qps)
+    slo = report.extras.get("slo")
+    if slo is not None:
+        print("  slo            : %s" % (slo["slo_policy"] or "none"))
+        if slo["attainment"] is not None:
+            print("  attainment     : %.1f%% (%d/%d deadlines met)"
+                  % (100 * slo["attainment"], slo["deadlines_met"],
+                     slo["num_with_deadline"]))
+        print("  admission      : %s, shed %d/%d (%.1f%%)"
+              % (slo["admission"], slo["num_shed"], slo["num_offered"],
+                 100 * slo["shed_rate"]))
+        print("  goodput        : %.0f QPS" % slo["goodput_qps"])
     return 0
 
 
@@ -260,10 +320,33 @@ def build_parser():
     serve.add_argument("--queries", type=int, default=64)
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument("--max-delay-us", type=float, default=200.0)
-    serve.add_argument("--engine", choices=("analytic", "event"),
+    serve.add_argument("--arrival", choices=("poisson", "mmpp", "trace"),
+                       default="poisson",
+                       help="traffic model: memoryless Poisson, bursty "
+                            "two-state MMPP, or replay of a recorded "
+                            "bursty gap trace scaled to --qps")
+    serve.add_argument("--engine",
+                       choices=("analytic", "event", "event-edf"),
                        default="analytic",
-                       help="queueing model: closed-form M/G/c or "
-                            "event-driven dispatch simulation")
+                       help="queueing model: closed-form M/G/c, "
+                            "event-driven FIFO dispatch simulation, or "
+                            "event-driven earliest-deadline-first")
+    serve.add_argument("--slo-us", type=float, default=None,
+                       help="per-query completion deadline in "
+                            "microseconds; reports SLO attainment and "
+                            "goodput alongside the percentiles")
+    serve.add_argument("--admission",
+                       choices=("none", "token-bucket", "queue-depth",
+                                "deadline"),
+                       default=None,
+                       help="admission controller in front of the "
+                            "batcher (deadline-aware shedding needs "
+                            "--slo-us)")
+    serve.add_argument("--request-overhead", type=float, default=None,
+                       help="per-request dispatch cost in "
+                            "lookup-equivalents for load-aware "
+                            "placement/routing (default: calibrated "
+                            "from the node's measured service times)")
     serve.add_argument("--frontends", type=int, default=1,
                        help="concurrent dispatch servers on the batch queue")
     serve.add_argument("--shard-policy",

@@ -1,14 +1,20 @@
 """Request-level traffic serving on top of the unified system interface.
 
 Models what sits between user traffic and the memory systems the paper
-studies: arrival processes (Poisson / trace replay), a size- and
-deadline-triggered batching frontend, deterministic table sharding across
-serving nodes (single placement or replication-aware with load-aware
-placement), and a pluggable serving *engine* that turns per-batch
-simulated cycles into p50/p95/p99 latency and sustainable QPS -- the
+studies: arrival processes (Poisson / bursty two-state MMPP / trace
+replay), per-query SLO deadlines (:mod:`repro.serving.slo`) with
+pluggable admission control in front of the batcher
+(:mod:`repro.serving.admission`: token-bucket, queue-depth,
+deadline-aware shedding), a size- and deadline-triggered batching
+frontend, deterministic table sharding across serving nodes (single
+placement or replication-aware with load-aware placement and per-node
+capacity budgets), and a pluggable serving *engine* that turns per-batch
+simulated cycles into p50/p95/p99 latency, sustainable QPS and -- when
+deadlines are assigned -- goodput/attainment/shed accounting: the
 closed-form M/G/c model (``engine="analytic"``, default) or a
 discrete-event simulation of the multi-frontend dispatch queue
-(``engine="event"``)::
+(``engine="event"``, FIFO; ``engine="event-edf"``,
+earliest-deadline-first)::
 
     from repro.serving import (PoissonArrivalProcess, ShardedServingCluster,
                                queries_from_traces)
@@ -23,16 +29,40 @@ discrete-event simulation of the multi-frontend dispatch queue
 """
 
 from repro.serving.arrival import (
+    MMPPArrivalProcess,
     PoissonArrivalProcess,
     ServingQuery,
     TraceReplayArrivalProcess,
     queries_from_traces,
 )
 from repro.serving.batcher import BatchingFrontend, QueryBatch
+from repro.serving.slo import (
+    SLO_POLICIES,
+    FixedSLOPolicy,
+    PerTableSLOPolicy,
+    ServicePercentileSLOPolicy,
+    SLOPolicy,
+    available_slo_policies,
+    resolve_slo_policy,
+    summarize_slo,
+)
+from repro.serving.admission import (
+    ADMISSION_CONTROLLERS,
+    AdmissionController,
+    DeadlineAwareAdmission,
+    NoAdmission,
+    QueueDepthAdmission,
+    TokenBucketAdmission,
+    apply_admission,
+    available_admission_controllers,
+    resolve_admission,
+)
 from repro.serving.sharding import (
     PLACEMENT_POLICIES,
     ReplicatedTableSharder,
     TableSharder,
+    calibrate_request_overhead_from_queries,
+    calibrate_request_overhead_lookups,
     compute_table_loads,
     load_imbalance,
     place_tables,
@@ -56,19 +86,43 @@ from repro.serving.engine import (
     available_engines,
     resolve_engine,
 )
-from repro.serving.events import EventEngine, simulate_fifo_queue
+from repro.serving.events import (
+    EventEngine,
+    simulate_batch_queue,
+    simulate_fifo_queue,
+)
 from repro.serving.cluster import ShardedServingCluster, qps_sweep
 
 __all__ = [
+    "MMPPArrivalProcess",
     "PoissonArrivalProcess",
     "ServingQuery",
     "TraceReplayArrivalProcess",
     "queries_from_traces",
     "BatchingFrontend",
     "QueryBatch",
+    "SLO_POLICIES",
+    "SLOPolicy",
+    "FixedSLOPolicy",
+    "PerTableSLOPolicy",
+    "ServicePercentileSLOPolicy",
+    "available_slo_policies",
+    "resolve_slo_policy",
+    "summarize_slo",
+    "ADMISSION_CONTROLLERS",
+    "AdmissionController",
+    "NoAdmission",
+    "TokenBucketAdmission",
+    "QueueDepthAdmission",
+    "DeadlineAwareAdmission",
+    "apply_admission",
+    "available_admission_controllers",
+    "resolve_admission",
     "PLACEMENT_POLICIES",
     "ReplicatedTableSharder",
     "TableSharder",
+    "calibrate_request_overhead_from_queries",
+    "calibrate_request_overhead_lookups",
     "compute_table_loads",
     "load_imbalance",
     "place_tables",
@@ -88,6 +142,7 @@ __all__ = [
     "ServingEngine",
     "available_engines",
     "resolve_engine",
+    "simulate_batch_queue",
     "simulate_fifo_queue",
     "ShardedServingCluster",
     "qps_sweep",

@@ -27,11 +27,17 @@ class ServingQuery:
         Arrival time at the serving frontend, in microseconds.
     requests:
         The query's SLS requests (one per embedding table it touches).
+    deadline_us:
+        Optional *absolute* completion deadline (same clock as
+        ``arrival_us``).  ``None`` means the query carries no SLO;
+        deadlines are typically assigned by an
+        :class:`~repro.serving.slo.SLOPolicy` rather than set by hand.
     """
 
     query_id: int
     arrival_us: float
     requests: list = field(default_factory=list)
+    deadline_us: float = None
 
     @property
     def total_lookups(self):
@@ -40,6 +46,13 @@ class ServingQuery:
     @property
     def num_tables(self):
         return len(self.requests)
+
+    @property
+    def slack_us(self):
+        """Time budget from arrival to deadline (None without a deadline)."""
+        if self.deadline_us is None:
+            return None
+        return self.deadline_us - self.arrival_us
 
     def fingerprint(self):
         """Content digest of the query's lookups (arrival-independent).
@@ -95,6 +108,27 @@ class TraceReplayArrivalProcess:
             raise ValueError("rate_scale must be positive")
         self.gaps_us = gaps / rate_scale
 
+    @classmethod
+    def from_mmpp(cls, rate_qps, num_queries, seed=None, burstiness=4.0,
+                  high_fraction=0.25):
+        """Replay one recorded bursty (MMPP) gap sample at ``rate_qps``.
+
+        Records ``num_queries`` inter-arrival gaps from a reference
+        :class:`MMPPArrivalProcess` once and rate-scales them to the
+        offered load -- so a QPS sweep replays the *same* burst shape at
+        every point, unlike a re-drawn MMPP.  The shared recipe behind
+        ``--arrival trace`` and the overload benchmark's trace-replay
+        arm.  The first gap equals the first recorded arrival time, so
+        the replay starts from the recorded stream's initial lull.
+        """
+        reference_qps = 1_000.0
+        recorded = MMPPArrivalProcess.from_mean(
+            reference_qps, burstiness=burstiness,
+            high_fraction=high_fraction,
+            seed=seed).arrival_times_us(num_queries)
+        gaps = np.diff(recorded, prepend=0.0)
+        return cls(gaps, rate_scale=rate_qps / reference_qps)
+
     @property
     def mean_rate_qps(self):
         mean_gap = float(self.gaps_us.mean())
@@ -107,6 +141,97 @@ class TraceReplayArrivalProcess:
         repeats = -(-num_queries // self.gaps_us.size) if num_queries else 0
         gaps = np.tile(self.gaps_us, max(repeats, 1))[:num_queries]
         return np.cumsum(gaps)
+
+
+class MMPPArrivalProcess:
+    """Two-state Markov-modulated Poisson process (bursty arrivals).
+
+    The process alternates between a *low* and a *high* state; sojourn
+    times in each state are exponential (``mean_low_us`` /
+    ``mean_high_us``) and arrivals within a state are Poisson at that
+    state's rate.  The result is overdispersed traffic -- bursts at
+    ``rate_high_qps`` separated by lulls at ``rate_low_qps`` -- which is
+    the regime where FIFO queues build deep backlogs that unconditional
+    Poisson sweeps never exercise.  Deterministic for a fixed seed.
+    """
+
+    def __init__(self, rate_high_qps, rate_low_qps, mean_high_us,
+                 mean_low_us, seed=None):
+        if rate_high_qps <= 0 or rate_low_qps <= 0:
+            raise ValueError("state rates must be positive")
+        if rate_high_qps < rate_low_qps:
+            raise ValueError("rate_high_qps must be >= rate_low_qps")
+        if mean_high_us <= 0 or mean_low_us <= 0:
+            raise ValueError("mean state sojourns must be positive")
+        self.rate_high_qps = float(rate_high_qps)
+        self.rate_low_qps = float(rate_low_qps)
+        self.mean_high_us = float(mean_high_us)
+        self.mean_low_us = float(mean_low_us)
+        self.seed = seed
+
+    @classmethod
+    def from_mean(cls, mean_rate_qps, burstiness=4.0, high_fraction=0.25,
+                  cycle_arrivals=64, seed=None):
+        """Construct from a target mean rate and a burstiness shape.
+
+        ``burstiness`` is the high/low rate ratio, ``high_fraction`` the
+        fraction of time spent in the high state, and ``cycle_arrivals``
+        the expected arrivals per low+high cycle (sets the sojourn time
+        scale relative to the mean inter-arrival gap).  The time-averaged
+        rate equals ``mean_rate_qps`` exactly, so sweeps can scale the
+        offered load without changing the burst shape.
+        """
+        if mean_rate_qps <= 0:
+            raise ValueError("mean_rate_qps must be positive")
+        if burstiness < 1.0:
+            raise ValueError("burstiness must be >= 1")
+        if not 0.0 < high_fraction < 1.0:
+            raise ValueError("high_fraction must be in (0, 1)")
+        if cycle_arrivals <= 0:
+            raise ValueError("cycle_arrivals must be positive")
+        rate_low = mean_rate_qps / (high_fraction * burstiness
+                                    + (1.0 - high_fraction))
+        rate_high = burstiness * rate_low
+        cycle_us = cycle_arrivals * 1e6 / mean_rate_qps
+        return cls(rate_high_qps=rate_high, rate_low_qps=rate_low,
+                   mean_high_us=high_fraction * cycle_us,
+                   mean_low_us=(1.0 - high_fraction) * cycle_us,
+                   seed=seed)
+
+    @property
+    def mean_rate_qps(self):
+        """Time-averaged arrival rate of the modulated process."""
+        high_weight = self.mean_high_us
+        low_weight = self.mean_low_us
+        return (self.rate_high_qps * high_weight
+                + self.rate_low_qps * low_weight) \
+            / (high_weight + low_weight)
+
+    def arrival_times_us(self, num_queries):
+        """Cumulative arrival times (us) of ``num_queries`` queries."""
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        rng = np.random.default_rng(self.seed)
+        times = []
+        now_us = 0.0
+        high = False                    # start in the (longer) low state
+        while len(times) < num_queries:
+            rate_qps = self.rate_high_qps if high else self.rate_low_qps
+            mean_sojourn = self.mean_high_us if high else self.mean_low_us
+            sojourn_us = rng.exponential(mean_sojourn)
+            # Poisson arrivals inside the sojourn: draw exponential gaps
+            # until the state expires (the leftover gap is memoryless, so
+            # restarting in the next state is exact).
+            mean_gap_us = 1e6 / rate_qps
+            t = now_us
+            while len(times) < num_queries:
+                t += rng.exponential(mean_gap_us)
+                if t > now_us + sojourn_us:
+                    break
+                times.append(t)
+            now_us += sojourn_us
+            high = not high
+        return np.asarray(times[:num_queries], dtype=np.float64)
 
 
 def _per_table(value, num_tables, name):

@@ -51,6 +51,19 @@ class QueryBatch:
         poolings = self.total_poolings
         return self.total_lookups / poolings if poolings else 0.0
 
+    @property
+    def earliest_deadline_us(self):
+        """Tightest absolute deadline across the batch's queries.
+
+        The priority key for earliest-deadline-first dispatch
+        (:class:`~repro.serving.events.EventEngine` with
+        ``order="edf"``); ``None`` when no query carries a deadline, so
+        deadline-free batches sort after every constrained one.
+        """
+        deadlines = [query.deadline_us for query in self.queries
+                     if query.deadline_us is not None]
+        return min(deadlines) if deadlines else None
+
     def requests(self):
         """All SLS requests of the batch, in query order."""
         return [request for query in self.queries

@@ -8,13 +8,20 @@ slowest shard sets the batch service time, and a pluggable
 service times into p50/p95/p99 latency and a sustainable-QPS figure --
 either the closed-form M/G/c model (``engine="analytic"``, the default)
 or a discrete-event simulation of the dispatch queue
-(``engine="event"``).  Per-batch service times come from a
+(``engine="event"``, or ``"event-edf"`` for earliest-deadline-first
+dispatch).  Per-batch service times come from a
 :class:`~repro.perf.service_model.ServiceTimeModel`: exact cycle
 simulation per batch composition, or interpolation from a calibrated
 grid for long event-driven runs.
+
+The SLO layer threads through the same entry point: ``simulate(...,
+slo_policy=..., admission=...)`` assigns per-query deadlines
+(:mod:`repro.serving.slo`) and places an admission controller in front
+of the batcher (:mod:`repro.serving.admission`), reporting goodput, SLO
+attainment and shed rate in ``extras["slo"]``.
 """
 
-from repro.serving.batcher import BatchingFrontend
+from repro.serving.batcher import BatchingFrontend, QueryBatch
 from repro.serving.engine import resolve_engine
 from repro.serving.sharding import TableSharder, partition_by_assignment
 from repro.systems.registry import build_system
@@ -171,29 +178,110 @@ class ShardedServingCluster:
                 close()
 
     # ------------------------------------------------------------------ #
+    def estimate_query_service_us(self, queries, frontend=None,
+                                  service_model=None):
+        """Estimated marginal per-query service cost in a full batch.
+
+        Simulates one probe batch of the first ``frontend.max_queries``
+        queries (arrival order) through ``service_model`` and divides by
+        its size -- the per-query cost at the batch sizes the frontend
+        actually dispatches, which is the unit the admission layer's
+        fluid backlog model deposits per admitted query.  Memoised like
+        any other batch, so the probe is free when the same composition
+        recurs in the run.  Stateful sharders route the probe from
+        *fresh* routing state, so the estimate is a pure function of the
+        queries -- independent of whatever ran on the cluster before.
+        """
+        from repro.perf.service_model import resolve_service_model
+
+        if not len(queries):
+            raise ValueError("need at least one query to estimate from")
+        if self.sharder.stateful:
+            self.sharder.reset_routing()
+        frontend = frontend or BatchingFrontend()
+        model = resolve_service_model(service_model)
+        probe = sorted(queries,
+                       key=lambda q: (q.arrival_us, q.query_id))
+        probe = probe[:frontend.max_queries]
+        open_us = probe[0].arrival_us
+        batch = QueryBatch(queries=probe, open_us=open_us,
+                           formed_us=open_us)
+        return model.service_time_us(self, batch) / len(probe)
+
     def simulate(self, queries, frontend=None, engine=None,
-                 service_model=None):
+                 service_model=None, slo_policy=None, admission=None):
         """Serve a query stream; returns a
         :class:`~repro.serving.queueing.ServingReport`.
 
         ``engine`` selects the queueing model (``"analytic"`` /
-        ``"event"`` / a :class:`ServingEngine` instance; default
-        analytic).  ``service_model`` selects how per-batch service times
-        are obtained (``"exact"`` / a
+        ``"event"`` / ``"event-edf"`` / a :class:`ServingEngine`
+        instance; default analytic).  ``service_model`` selects how
+        per-batch service times are obtained (``"exact"`` / a
         :class:`~repro.perf.service_model.ServiceTimeModel` instance;
-        default exact).  Every run starts from fresh routing state
-        (stateful sharders reset their replica counters), so a report is
-        a pure function of the query stream -- repeated ``simulate``
-        calls and reordered ``qps_sweep`` points agree.
+        default exact).  ``slo_policy`` assigns per-query deadlines
+        before anything else runs (``None`` / a number of microseconds /
+        an :class:`~repro.serving.slo.SLOPolicy`), and ``admission``
+        places an admission controller in front of the batcher (``None``
+        for no admission stage, a registered name such as
+        ``"token-bucket"`` or ``"deadline"``, or an
+        :class:`~repro.serving.admission.AdmissionController`); shed
+        queries never enter a batch, and the report's percentiles are
+        conditioned on the admitted stream with the shed/goodput
+        accounting in ``extras["slo"]``.  Deadline assignment *mutates*
+        the query objects and persists across calls (deadlines set by
+        hand are honoured the same way): a later ``simulate`` without
+        ``slo_policy`` still reports SLO accounting against the
+        existing deadlines -- clear ``query.deadline_us`` for a
+        deadline-free rerun.  Every run starts from fresh
+        routing state (stateful sharders reset their replica counters),
+        so a report is a pure function of the query stream -- repeated
+        ``simulate`` calls and reordered ``qps_sweep`` points agree.
         """
         from repro.perf.service_model import resolve_service_model
+        from repro.serving.admission import (
+            apply_admission,
+            resolve_admission,
+        )
+        from repro.serving.slo import resolve_slo_policy
 
-        if self.sharder.stateful:
-            self.sharder.reset_routing()
+        queries = list(queries)
         frontend = frontend or BatchingFrontend()
         engine = resolve_engine(engine)
         model = resolve_service_model(service_model)
-        batches = frontend.form_batches(queries)
+        policy = resolve_slo_policy(slo_policy)
+        controller = resolve_admission(admission)
+        if policy is not None:
+            policy.assign_deadlines(queries)
+        slo_info = None
+        admitted, shed = queries, []
+        if controller is not None:
+            # The probe simulation may advance stateful routing; the
+            # reset below restores the pure-function-of-stream contract.
+            est_query_us = self.estimate_query_service_us(
+                queries, frontend=frontend, service_model=model)
+            admitted, shed = apply_admission(
+                queries, controller, num_servers=self.num_frontends,
+                est_query_us=est_query_us,
+                est_batch_us=est_query_us * frontend.max_queries)
+            if not admitted:
+                raise ValueError(
+                    "admission controller %r shed every query; offered "
+                    "load is far beyond capacity or the controller is "
+                    "misconfigured" % controller.describe())
+        if policy is not None or controller is not None:
+            arrivals = [query.arrival_us for query in queries]
+            slo_info = {
+                "num_offered": len(queries),
+                "num_shed": len(shed),
+                "offered_span_us": max(arrivals) - min(arrivals),
+                "admission": controller.name if controller is not None
+                else "none",
+                "slo_policy": policy.describe() if policy is not None
+                else None,
+            }
+        if self.sharder.stateful:
+            self.sharder.reset_routing()
+        batches = frontend.form_batches(admitted)
         services = model.service_times_us(self, batches)
         return engine.summarize(
             self.describe(), batches, services,
@@ -203,31 +291,39 @@ class ShardedServingCluster:
                     "node_system": self.node_system,
                     "shard_policy": self.sharder.policy,
                     "sharder": self.sharder.describe(),
-                    "service_model": model.name})
+                    "service_model": model.name},
+            slo_info=slo_info)
 
     def describe(self):
         return "%dx %s" % (self.num_nodes, self.node_system)
 
 
 def qps_sweep(cluster, make_queries, qps_points, frontend=None, engine=None,
-              service_model=None):
+              service_model=None, slo_policy=None, admission=None):
     """Latency/throughput curve over offered load.
 
     ``make_queries(qps)`` must return the query stream offered at that rate
-    (typically the same queries with arrival times rescaled).  ``engine``
-    and ``service_model`` are forwarded to every
-    :meth:`ShardedServingCluster.simulate` call; both are resolved *once*
-    -- stateful engines see the whole sweep, and a string-specified
-    service model is not re-instantiated at every QPS point.  Returns the
-    list of :class:`ServingReport`, one per point, in order.
+    (typically the same queries with arrival times rescaled).  ``engine``,
+    ``service_model``, ``slo_policy`` and ``admission`` are forwarded to
+    every :meth:`ShardedServingCluster.simulate` call; all are resolved
+    *once* -- stateful engines see the whole sweep, a string-specified
+    service model is not re-instantiated at every QPS point, and
+    admission controllers reset their per-run state at each point.
+    Returns the list of :class:`ServingReport`, one per point, in order.
     """
     from repro.perf.service_model import resolve_service_model
+    from repro.serving.admission import resolve_admission
+    from repro.serving.slo import resolve_slo_policy
 
     engine = resolve_engine(engine)
     service_model = resolve_service_model(service_model)
+    slo_policy = resolve_slo_policy(slo_policy)
+    admission = resolve_admission(admission)
     reports = []
     for qps in qps_points:
         reports.append(cluster.simulate(make_queries(qps),
                                         frontend=frontend, engine=engine,
-                                        service_model=service_model))
+                                        service_model=service_model,
+                                        slo_policy=slo_policy,
+                                        admission=admission))
     return reports

@@ -15,10 +15,12 @@ interchangeable implementations exist:
   instead of approximating them.  The reference at high utilisation,
   where the exponential-tail approximation is unvalidated.
 
-Engines are resolved by name (``"analytic"`` / ``"event"``) or passed as
-instances; :meth:`ShardedServingCluster.simulate` and ``qps_sweep`` accept
-either through their ``engine=`` parameter, with the analytic engine as
-the backward-compatible default.
+Engines are resolved by name (``"analytic"`` / ``"event"`` /
+``"event-edf"``, the event simulation serving earliest-deadline-first
+instead of FIFO) or passed as instances;
+:meth:`ShardedServingCluster.simulate` and ``qps_sweep`` accept either
+through their ``engine=`` parameter, with the analytic engine as the
+backward-compatible default.
 """
 
 import abc
@@ -34,14 +36,19 @@ class ServingEngine(abc.ABC):
 
     @abc.abstractmethod
     def summarize(self, system_name, batches, service_times_us,
-                  num_servers=1, trigger_counts=None, extras=None):
+                  num_servers=1, trigger_counts=None, extras=None,
+                  slo_info=None):
         """Produce a :class:`ServingReport` for one serving run.
 
         ``batches`` are the dispatched
         :class:`~repro.serving.batcher.QueryBatch` objects in dispatch
         order, ``service_times_us`` the per-batch execution times on the
         cluster, and ``num_servers`` the number of concurrent dispatch
-        frontends draining the batch queue.
+        frontends draining the batch queue.  ``slo_info`` is the
+        admission context from the cluster (offered/shed counts, policy
+        names); when present -- or when any query carries a deadline --
+        the engine attaches deadline accounting to ``extras["slo"]``
+        (:func:`repro.serving.slo.summarize_slo`).
         """
 
     def describe(self):
@@ -53,6 +60,14 @@ class ServingEngine(abc.ABC):
         tagged = dict(extras or {})
         tagged.setdefault("engine", self.name)
         return tagged
+
+    def _attach_slo(self, extras, queries, latencies_us, slo_info):
+        """Attach ``extras["slo"]`` when the run carries SLO context."""
+        from repro.serving.slo import maybe_summarize_slo
+
+        record = maybe_summarize_slo(queries, latencies_us, slo_info)
+        if record is not None:
+            extras.setdefault("slo", record)
 
 
 class AnalyticEngine(ServingEngine):
@@ -69,12 +84,13 @@ class AnalyticEngine(ServingEngine):
     name = "analytic"
 
     def summarize(self, system_name, batches, service_times_us,
-                  num_servers=1, trigger_counts=None, extras=None):
+                  num_servers=1, trigger_counts=None, extras=None,
+                  slo_info=None):
         return summarize_serving(
             system_name, batches, service_times_us,
             trigger_counts=trigger_counts,
             extras=self._tag_extras(extras),
-            num_servers=num_servers)
+            num_servers=num_servers, slo_info=slo_info)
 
 
 #: Engine registry: name -> zero-argument factory.

@@ -5,16 +5,29 @@ The analytic engine's exponential-tail quantiles are a heavy-traffic
 claims precisely where that approximation is least validated (high
 utilisation, near saturation).  :class:`EventEngine` removes the
 approximation: it replays the dispatched batches through a discrete-event
-simulation of a single FIFO batch queue drained by ``num_frontends``
+simulation of a single batch queue drained by ``num_frontends``
 concurrent servers and reports *measured* per-query p50/p95/p99.
 
-The simulation is O(B log c) in the number of batches B: each batch is an
-arrival event at its formation time, a min-heap holds the next-free time
-of every server, and FIFO order makes the earliest-free server the only
-candidate.  Service times come from whatever
+Two service orders are supported.  **FIFO** (the default) is O(B log c)
+in the number of batches B: each batch is an arrival event at its
+formation time, a min-heap holds the next-free time of every server, and
+FIFO order makes the earliest-free server the only candidate.  **EDF**
+(earliest deadline first, ``order="edf"``) additionally keeps a priority
+heap of ready batches keyed by their tightest query deadline
+(:attr:`~repro.serving.batcher.QueryBatch.earliest_deadline_us`), so a
+freed server always takes the most urgent waiting batch --
+non-preemptive, O(B log B).  Service times come from whatever
 :class:`~repro.perf.service_model.ServiceTimeModel` produced them, so a
 million-query event run costs a million heap operations -- not a million
 cycle simulations.
+
+When queries carry deadlines (assigned by an
+:class:`~repro.serving.slo.SLOPolicy`) or the run went through admission
+control, the engine attaches the measured SLO accounting -- goodput,
+attainment, shed rate -- to ``extras["slo"]``
+(:func:`repro.serving.slo.summarize_slo`).  The reported percentiles are
+always conditioned on *admitted* queries; shed queries never enter a
+batch.
 """
 
 import heapq
@@ -30,15 +43,21 @@ from repro.serving.queueing import (
     traffic_stats,
 )
 
+#: Service orders the event simulation understands.
+QUEUE_ORDERS = ("fifo", "edf")
 
-def simulate_fifo_queue(ready_times_us, service_times_us, num_servers=1):
-    """Discrete-event simulation of a FIFO multi-server batch queue.
+
+def simulate_batch_queue(ready_times_us, service_times_us, num_servers=1,
+                         order="fifo", priorities=None):
+    """Discrete-event simulation of a multi-server batch queue.
 
     ``ready_times_us[i]`` is when batch ``i`` enters the dispatch queue
-    (its formation time); batches are served in ready order by the first
-    of ``num_servers`` servers to free up.  Returns ``(start_us,
+    (its formation time); ``num_servers`` servers drain the queue in
+    ``order``: ``"fifo"`` serves in ready order, ``"edf"`` serves the
+    waiting batch with the smallest ``priorities[i]`` (e.g. its earliest
+    deadline; ties fall back to ready order).  Returns ``(start_us,
     complete_us, max_queue_depth)`` where the arrays are indexed like the
-    inputs sorted by ready time.
+    inputs.
     """
     ready = np.asarray(ready_times_us, dtype=np.float64)
     services = np.asarray(service_times_us, dtype=np.float64)
@@ -48,17 +67,47 @@ def simulate_fifo_queue(ready_times_us, service_times_us, num_servers=1):
         raise ValueError("need at least one batch")
     if num_servers < 1:
         raise ValueError("num_servers must be >= 1")
-    order = np.argsort(ready, kind="stable")
+    if order not in QUEUE_ORDERS:
+        raise ValueError("order must be one of %s" % (QUEUE_ORDERS,))
+    arrival_order = np.argsort(ready, kind="stable")
     starts = np.empty_like(ready)
     completes = np.empty_like(ready)
-    free_at = [float(ready[order[0]])] * num_servers
-    heapq.heapify(free_at)
-    for index in order:
-        start = max(float(ready[index]), heapq.heappop(free_at))
-        complete = start + float(services[index])
-        starts[index] = start
-        completes[index] = complete
-        heapq.heappush(free_at, complete)
+    if order == "fifo":
+        free_at = [float(ready[arrival_order[0]])] * num_servers
+        heapq.heapify(free_at)
+        for index in arrival_order:
+            start = max(float(ready[index]), heapq.heappop(free_at))
+            complete = start + float(services[index])
+            starts[index] = start
+            completes[index] = complete
+            heapq.heappush(free_at, complete)
+    else:
+        if priorities is None:
+            raise ValueError("EDF order needs one priority per batch")
+        priority = np.asarray(priorities, dtype=np.float64)
+        if priority.size != ready.size:
+            raise ValueError("need one priority per batch")
+        free_at = [float(ready[arrival_order[0]])] * num_servers
+        heapq.heapify(free_at)
+        pending = []                   # (priority, ready, index)
+        next_arrival = 0
+        for _ in range(ready.size):
+            now = heapq.heappop(free_at)
+            if not pending:
+                # The earliest-free server idles until the next arrival.
+                now = max(now, float(ready[arrival_order[next_arrival]]))
+            while next_arrival < ready.size and \
+                    float(ready[arrival_order[next_arrival]]) <= now:
+                index = int(arrival_order[next_arrival])
+                heapq.heappush(pending, (float(priority[index]),
+                                         float(ready[index]), index))
+                next_arrival += 1
+            _, batch_ready, index = heapq.heappop(pending)
+            start = max(batch_ready, now)
+            complete = start + float(services[index])
+            starts[index] = start
+            completes[index] = complete
+            heapq.heappush(free_at, complete)
     # Waiting-queue depth: a batch occupies the queue from ready to start.
     # Departures sort before arrivals at equal times, so a batch that
     # starts immediately never counts.
@@ -72,22 +121,39 @@ def simulate_fifo_queue(ready_times_us, service_times_us, num_servers=1):
     return starts, completes, max_depth
 
 
+def simulate_fifo_queue(ready_times_us, service_times_us, num_servers=1):
+    """FIFO specialisation of :func:`simulate_batch_queue` (legacy API)."""
+    return simulate_batch_queue(ready_times_us, service_times_us,
+                                num_servers, order="fifo")
+
+
 class EventEngine(ServingEngine):
     """Measured-percentile serving engine.
 
     Drop-in alternative to the analytic engine: same inputs, same
     :class:`ServingReport` shape, but ``p50/p95/p99`` and the mean wait
     are measured from the simulated queue rather than approximated from
-    the service moments.  ``utilization`` keeps the analytic offered-load
-    definition (``lambda * E[S] / c``) so engine-vs-engine comparisons
-    line up; the measured busy fraction is reported in
+    the service moments.  ``order`` selects the dispatch-queue service
+    order: ``"fifo"`` (the default) or ``"edf"`` (earliest deadline
+    first over the batches' tightest query deadlines -- registered as
+    the ``"event-edf"`` engine).  ``utilization`` keeps the analytic
+    offered-load definition (``lambda * E[S] / c``) so engine-vs-engine
+    comparisons line up; the measured busy fraction is reported in
     ``extras["measured_utilization"]``.
     """
 
     name = "event"
 
+    def __init__(self, order="fifo"):
+        if order not in QUEUE_ORDERS:
+            raise ValueError("order must be one of %s" % (QUEUE_ORDERS,))
+        self.order = order
+        if order != "fifo":
+            self.name = "event-%s" % order
+
     def summarize(self, system_name, batches, service_times_us,
-                  num_servers=1, trigger_counts=None, extras=None):
+                  num_servers=1, trigger_counts=None, extras=None,
+                  slo_info=None):
         services = np.asarray(service_times_us, dtype=np.float64)
         if len(batches) != services.size:
             raise ValueError("need one service time per batch")
@@ -95,8 +161,17 @@ class EventEngine(ServingEngine):
             raise ValueError("need at least one batch")
         ready = np.asarray([batch.formed_us for batch in batches],
                            dtype=np.float64)
-        starts, completes, max_depth = simulate_fifo_queue(
-            ready, services, num_servers)
+        priorities = None
+        if self.order == "edf":
+            # Deadline-free batches sort after every constrained one
+            # (+inf priority); ready-time tie-breaks keep FIFO among them.
+            priorities = [
+                float("inf") if deadline is None else deadline
+                for deadline in (batch.earliest_deadline_us
+                                 for batch in batches)]
+        starts, completes, max_depth = simulate_batch_queue(
+            ready, services, num_servers, order=self.order,
+            priorities=priorities)
         waits = starts - ready
 
         latencies = []
@@ -117,9 +192,11 @@ class EventEngine(ServingEngine):
 
         run_extras = self._tag_extras(extras)
         run_extras.setdefault("num_frontends", num_servers)
+        run_extras.setdefault("queue_order", self.order)
         run_extras.setdefault("measured_utilization", measured_utilization)
         run_extras.setdefault("max_queue_depth", int(max_depth))
         run_extras.setdefault("p99_wait_us", percentile(waits, 99.0))
+        self._attach_slo(run_extras, queries, latencies, slo_info)
         return ServingReport(
             system=system_name,
             num_queries=len(queries),
@@ -141,3 +218,4 @@ class EventEngine(ServingEngine):
 
 
 ENGINES["event"] = EventEngine
+ENGINES["event-edf"] = lambda: EventEngine(order="edf")

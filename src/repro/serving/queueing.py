@@ -233,7 +233,8 @@ class ServingReport:
 
 
 def summarize_serving(system_name, batches, service_times_us,
-                      trigger_counts=None, extras=None, num_servers=1):
+                      trigger_counts=None, extras=None, num_servers=1,
+                      slo_info=None):
     """Turn per-batch service times into a :class:`ServingReport`.
 
     ``batches`` are the dispatched :class:`~repro.serving.batcher.QueryBatch`
@@ -243,6 +244,13 @@ def summarize_serving(system_name, batches, service_times_us,
     percentile (:func:`wait_quantile_us`), so the tail reflects queueing
     variance, not just the mean wait.  ``num_servers`` is the number of
     concurrent dispatch frontends draining the batch queue.
+
+    When ``slo_info`` is given -- or any query carries a deadline --
+    ``extras["slo"]`` gains the deadline accounting of
+    :func:`repro.serving.slo.summarize_slo`, using the analytic per-query
+    latency approximation (batching delay + service + mean wait) in place
+    of measured completions; quote attainment from the event engine where
+    the tail matters.
     """
     if num_servers < 1:
         raise ValueError("num_servers must be >= 1")
@@ -269,6 +277,13 @@ def summarize_serving(system_name, batches, service_times_us,
     mean_service = float(services.mean())
     sustainable_qps = saturation_qps(len(queries), len(batches),
                                      mean_service, num_servers)
+    # Lazy import: repro.serving.slo imports this module.
+    from repro.serving.slo import maybe_summarize_slo
+
+    extras = dict(extras or {})
+    slo_record = maybe_summarize_slo(queries, samples, slo_info)
+    if slo_record is not None:
+        extras.setdefault("slo", slo_record)
     return ServingReport(
         system=system_name,
         num_queries=len(queries),

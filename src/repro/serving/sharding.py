@@ -30,6 +30,8 @@ load-aware placement keeps the cold remainder bin-packed -- which is what
 
 import math
 
+import numpy as np
+
 
 def _knuth_hash(value):
     """Knuth multiplicative hash: spread clustered ids uniformly without
@@ -79,6 +81,90 @@ def load_imbalance(shard_loads):
         raise ValueError("need at least one shard load")
     mean = sum(loads) / len(loads)
     return max(loads) / mean if mean > 0.0 else 1.0
+
+
+def calibrate_request_overhead_lookups(node, request, splits=4):
+    """Measure a node's per-request dispatch cost in lookup-equivalents.
+
+    The placement/routing cost model charges every SLS request a fixed
+    overhead (``request_overhead_lookups``) on top of its lookups --
+    instruction issue, packet headers, partially filled NMP packets.
+    Rather than hand-setting that constant, measure it from the system
+    itself: execute the same lookups once as a single merged request and
+    once split into ``splits`` requests, attribute the extra time of the
+    split run to the ``splits - 1`` additional dispatches, and express it
+    in units of the node's own per-lookup service time.
+
+    ``node`` is any :class:`~repro.systems.base.EmbeddingSystem`;
+    ``request`` a representative :class:`SLSRequest` with at least
+    ``splits`` poolings.  ``splits`` sets the granularity being priced
+    and should mirror the serving stream (one split per real request, as
+    :func:`calibrate_request_overhead_from_queries` arranges): a split
+    far coarser than real requests can alias with the node's internal
+    packing (e.g. RecNMP's poolings-per-packet) and under-measure.
+    Returns a non-negative float (0.0 for purely analytical systems
+    whose cost is exactly linear in lookups).  Pass the result -- or a
+    hand-set override -- as ``request_overhead_lookups`` to
+    :class:`ReplicatedTableSharder` / :func:`table_loads_from_queries`.
+    """
+    if splits < 2:
+        raise ValueError("splits must be >= 2")
+    num_poolings = len(request.lengths)
+    if num_poolings < splits:
+        raise ValueError(
+            "calibration request needs at least %d poolings, got %d"
+            % (splits, num_poolings))
+    bounds = np.concatenate(([0], np.cumsum(request.lengths)))
+    groups = np.array_split(np.arange(num_poolings), splits)
+    split_requests = [
+        type(request)(table_id=request.table_id,
+                      indices=request.indices[bounds[g[0]]:bounds[g[-1] + 1]],
+                      lengths=request.lengths[g[0]:g[-1] + 1])
+        for g in groups]
+    merged_us = node.service_time_us([request])
+    split_us = node.service_time_us(split_requests)
+    if merged_us <= 0.0:
+        raise ValueError("merged calibration request took no time; the "
+                         "node's service model is degenerate")
+    per_lookup_us = merged_us / float(request.total_lookups)
+    overhead_us = (split_us - merged_us) / (splits - 1)
+    return max(0.0, overhead_us / per_lookup_us)
+
+
+def calibrate_request_overhead_from_queries(node, queries):
+    """Calibrate the per-request overhead from a serving-query sample.
+
+    Concatenates the sample's requests per table, calibrates on the
+    widest result (most poolings -- the best signal-to-noise for the
+    split measurement), and splits it back at the sample's *typical
+    request width* -- so the split run reconstructs the dispatch
+    granularity the node actually serves, which is exactly the
+    per-request cost the sharder's load model prices.  Returns 0.0 when
+    the sample has too few poolings to measure anything
+    (single-pooling streams), the neutral price.
+    """
+    candidates = [request for query in queries
+                  for request in query.requests]
+    if not candidates:
+        raise ValueError("need at least one request to calibrate from")
+    by_table = {}
+    for request in candidates:
+        by_table.setdefault(int(request.table_id), []).append(request)
+    merged = []
+    for table, requests in sorted(by_table.items()):
+        merged.append(type(requests[0])(
+            table_id=table,
+            indices=np.concatenate([r.indices for r in requests]),
+            lengths=np.concatenate([r.lengths for r in requests])))
+    widest = max(merged, key=lambda r: len(r.lengths))
+    total_poolings = len(widest.lengths)
+    typical_poolings = max(
+        1, int(np.median([len(r.lengths) for r in candidates])))
+    splits = min(total_poolings,
+                 max(2, round(total_poolings / typical_poolings)))
+    if total_poolings < 2:
+        return 0.0
+    return calibrate_request_overhead_lookups(node, widest, splits=splits)
 
 
 # --------------------------------------------------------------------- #
@@ -247,7 +333,20 @@ class ReplicatedTableSharder:
         Fixed per-request routing cost in lookup-equivalents, matching
         the same parameter of :func:`table_loads_from_queries` -- keeps
         the running replica-selection counters in the same cost unit the
-        placement was computed in.
+        placement was computed in.  Hand-set, or measured from the node
+        itself via :func:`calibrate_request_overhead_lookups`.
+    table_bytes:
+        ``{table_id: bytes}`` memory footprint of every table in
+        ``table_loads`` (each replica holds a full copy).  Required when
+        ``node_capacity_bytes`` is set.
+    node_capacity_bytes:
+        Per-node memory budget for placed replicas -- a scalar applied
+        to every node or one value per node.  Placement treats the
+        budget as a *hard* constraint with load balance as the
+        objective: replicas only land on nodes with room, replication
+        factors shrink to the feasible node count, and a budget that
+        cannot hold even one copy of every table raises a
+        ``ValueError`` naming the overflowing tables.
     """
 
     POLICIES = tuple(sorted(PLACEMENT_POLICIES))
@@ -256,7 +355,8 @@ class ReplicatedTableSharder:
 
     def __init__(self, num_nodes, table_loads, policy="load-aware",
                  max_replicas=2, hot_fraction=0.1, seed=0,
-                 request_overhead_lookups=0.0):
+                 request_overhead_lookups=0.0, table_bytes=None,
+                 node_capacity_bytes=None):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         if policy not in PLACEMENT_POLICIES:
@@ -282,6 +382,9 @@ class ReplicatedTableSharder:
                             for t, load in table_loads.items()}
         if any(load < 0 for load in self.table_loads.values()):
             raise ValueError("table loads must be non-negative")
+        self.table_bytes, self.node_capacity_bytes = \
+            self._validate_capacity(table_bytes, node_capacity_bytes)
+        self.node_bytes_used = [0.0] * self.num_nodes
         self.replicas = self._replicate_and_place()
         # Tables the load map never saw fall back to stateless hashing
         # (a single replica on a stable node).
@@ -309,6 +412,50 @@ class ReplicatedTableSharder:
                    **kwargs)
 
     # ------------------------------------------------------------------ #
+    def _validate_capacity(self, table_bytes, node_capacity_bytes):
+        """Normalise the optional per-node byte budget and table sizes."""
+        if node_capacity_bytes is None:
+            if table_bytes is None:
+                return None, None
+            normalised = {int(t): float(b) for t, b in table_bytes.items()}
+            if any(b < 0 for b in normalised.values()):
+                raise ValueError("table byte sizes must be non-negative")
+            return normalised, None
+        if table_bytes is None:
+            raise ValueError("node_capacity_bytes needs table_bytes "
+                             "({table_id: bytes}) to pack against")
+        normalised = {int(t): float(b) for t, b in table_bytes.items()}
+        if any(b < 0 for b in normalised.values()):
+            raise ValueError("table byte sizes must be non-negative")
+        missing = sorted(t for t in self.table_loads if t not in normalised)
+        if missing:
+            raise ValueError(
+                "table_bytes is missing sizes for tables %s; every table "
+                "in the load map needs a byte footprint when a capacity "
+                "budget is set" % ", ".join(str(t) for t in missing))
+        if np.ndim(node_capacity_bytes) == 0:
+            budgets = [float(node_capacity_bytes)] * self.num_nodes
+        else:
+            budgets = [float(b) for b in node_capacity_bytes]
+            if len(budgets) != self.num_nodes:
+                raise ValueError("need one capacity budget per node "
+                                 "(%d nodes, %d budgets)"
+                                 % (self.num_nodes, len(budgets)))
+        if any(b <= 0 for b in budgets):
+            raise ValueError("node capacity budgets must be positive")
+        return normalised, budgets
+
+    def _capacity_error(self, overflow, bytes_free):
+        names = ", ".join(
+            "%d (%.0f bytes)" % (table, self.table_bytes[table])
+            for table in overflow)
+        raise ValueError(
+            "node capacity budget infeasible: no node has room for "
+            "table%s %s; per-node free bytes after packing the rest: %s"
+            % ("s" if len(overflow) > 1 else "", names,
+               ["%.0f" % b for b in bytes_free]))
+
+    # ------------------------------------------------------------------ #
     def replication_factor(self, table_id):
         """Replicas assigned to a table (1 for cold or unknown tables)."""
         nodes = self.replicas.get(int(table_id))
@@ -327,6 +474,11 @@ class ReplicatedTableSharder:
         total = sum(self.table_loads.values())
         factors = {table: self._factor_for(load, total)
                    for table, load in self.table_loads.items()}
+        if self.node_capacity_bytes is None:
+            return self._place_unconstrained(factors)
+        return self._place_with_budget(factors)
+
+    def _place_unconstrained(self, factors):
         replicas = {}
         if self.policy == "load-aware":
             # Bin-pack per-replica loads: heaviest share first, each
@@ -351,6 +503,76 @@ class ReplicatedTableSharder:
                     (node + offset) % self.num_nodes
                     for offset in range(factors[table])))
         return replicas
+
+    def _place_with_budget(self, factors):
+        """Capacity-constrained placement: bytes hard, load the objective.
+
+        Two phases so replication never starves mandatory placement:
+        first every table gets exactly one copy (heaviest table first,
+        packed LPT-style onto the least-loaded node with byte headroom
+        -- an infeasible phase raises, naming every unplaced table);
+        then extra replicas of hot tables consume whatever capacity is
+        left, skipped silently where no node has room.  Node load is
+        charged at the table's per-replica share throughout, so phase
+        one already reserves balance headroom for the replicas phase two
+        intends to add.
+        """
+        bytes_free = list(self.node_capacity_bytes)
+        node_load = [0.0] * self.num_nodes
+        placed = {table: [] for table in self.table_loads}
+        primary = None
+        if self.policy != "load-aware":
+            primary = place_tables(self.table_loads, self.num_nodes,
+                                   self.policy)
+
+        def candidates_for(table):
+            need = self.table_bytes[table]
+            if primary is None:
+                nodes = [n for n in range(self.num_nodes)
+                         if bytes_free[n] >= need
+                         and n not in placed[table]]
+                # Least-loaded node first: load balance is the objective.
+                return sorted(nodes, key=lambda n: (node_load[n], n))
+            # Fixed-primary policies walk the ring from the policy's
+            # node, shifting past full nodes (a capacity-induced,
+            # deterministic displacement).
+            anchor = placed[table][0] if placed[table] \
+                else primary[table]
+            ring = [(anchor + offset) % self.num_nodes
+                    for offset in range(self.num_nodes)]
+            return [n for n in ring if bytes_free[n] >= need
+                    and n not in placed[table]]
+
+        def commit(table, node):
+            placed[table].append(node)
+            bytes_free[node] -= self.table_bytes[table]
+            self.node_bytes_used[node] += self.table_bytes[table]
+            node_load[node] += self.table_loads[table] / factors[table]
+
+        # Phase one: a mandatory single copy of every table.
+        overflow = []
+        for table in sorted(self.table_loads,
+                            key=lambda t: (-self.table_bytes[t],
+                                           -self.table_loads[t], t)):
+            nodes = candidates_for(table)
+            if not nodes:
+                overflow.append(table)
+                continue
+            commit(table, nodes[0])
+        if overflow:
+            self._capacity_error(sorted(overflow), bytes_free)
+        # Phase two: optional extra replicas with the leftover capacity.
+        order = sorted((t for t in self.table_loads if factors[t] > 1),
+                       key=lambda t: (-self.table_loads[t] / factors[t],
+                                      t))
+        for table in order:
+            for _ in range(factors[table] - 1):
+                nodes = candidates_for(table)
+                if not nodes:
+                    break
+                commit(table, nodes[0])
+        return {table: tuple(sorted(nodes))
+                for table, nodes in placed.items()}
 
     def placement(self, table_ids):
         """``{table_id: primary node}`` (first replica) for compatibility."""
@@ -433,10 +655,18 @@ class ReplicatedTableSharder:
             load[node] += request.total_lookups
         return load
 
+    def node_bytes(self):
+        """Per-node placed replica bytes (all zeros without table sizes)."""
+        return list(self.node_bytes_used)
+
     def describe(self):
         """Human-readable one-line description of the sharder."""
         replicated = sum(1 for nodes in self.replicas.values()
                          if len(nodes) > 1)
-        return ("%s over %d nodes, %d/%d tables replicated (<=%d replicas)"
+        budget = ""
+        if self.node_capacity_bytes is not None:
+            budget = ", %.0f-byte node budget" \
+                % max(self.node_capacity_bytes)
+        return ("%s over %d nodes, %d/%d tables replicated (<=%d replicas%s)"
                 % (self.policy, self.num_nodes, replicated,
-                   len(self.replicas), self.max_replicas))
+                   len(self.replicas), self.max_replicas, budget))

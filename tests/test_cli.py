@@ -1,0 +1,148 @@
+"""Smoke tests for the ``python -m repro`` command-line interface.
+
+Drives ``list-systems`` / ``run`` / ``serve`` through :func:`main` with
+tiny workloads (small tables, few queries, the analytic host model where
+possible) and asserts both the happy paths and the parse/validation
+errors -- the CLI previously had no coverage at all.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+#: Tiny shared workload: small tables, few queries, cheap systems.
+RUN_ARGS = ["run", "--system", "host", "--tables", "2", "--batch", "2",
+            "--pooling", "4", "--num-rows", "2000", "--seed", "0"]
+SERVE_ARGS = ["serve", "--system", "recnmp-base", "--tables", "2",
+              "--batch", "2", "--pooling", "4", "--num-rows", "2000",
+              "--nodes", "2", "--queries", "12", "--qps", "100000",
+              "--seed", "0"]
+
+
+def run_json(argv, capsys):
+    """Run the CLI and parse its JSON payload."""
+    assert main(argv + ["--json"]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestListSystems:
+    def test_lists_known_registry_names(self, capsys):
+        assert main(["list-systems"]) == 0
+        out = capsys.readouterr().out
+        for name in ("host", "recnmp-base", "recnmp-opt",
+                     "recnmp-opt-4ch"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_host_json(self, capsys):
+        payload = run_json(RUN_ARGS, capsys)
+        assert payload["system"] == "host"
+        assert payload["num_requests"] == 2
+        assert payload["total_cycles"] > 0
+        assert "baseline_cache" in payload
+
+    def test_run_human_readable(self, capsys):
+        assert main(RUN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "workload" in out and "latency" in out
+
+    def test_run_unknown_system_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--system", "definitely-not-registered"])
+
+
+class TestServe:
+    def test_serve_analytic_json(self, capsys):
+        payload = run_json(SERVE_ARGS, capsys)
+        assert payload["num_queries"] == 12
+        assert payload["p50_us"] <= payload["p95_us"] <= payload["p99_us"]
+        assert payload["extras"]["engine"] == "analytic"
+        assert "slo" not in payload["extras"]
+
+    def test_serve_slo_admission_mmpp(self, capsys):
+        payload = run_json(
+            SERVE_ARGS + ["--engine", "event", "--arrival", "mmpp",
+                          "--slo-us", "5000", "--admission", "deadline"],
+            capsys)
+        slo = payload["extras"]["slo"]
+        assert slo["slo_policy"] == "fixed 5000 us"
+        assert slo["admission"] == "deadline"
+        assert slo["num_offered"] == 12
+        assert 0.0 <= slo["shed_rate"] <= 1.0
+        assert slo["attainment"] is None or 0.0 <= slo["attainment"] <= 1.0
+
+    def test_serve_trace_arrival_edf(self, capsys):
+        payload = run_json(
+            SERVE_ARGS + ["--engine", "event-edf", "--arrival", "trace",
+                          "--slo-us", "5000"], capsys)
+        assert payload["extras"]["engine"] == "event-edf"
+        assert payload["extras"]["queue_order"] == "edf"
+        assert payload["extras"]["slo"]["num_shed"] == 0
+
+    def test_serve_human_readable_slo_section(self, capsys):
+        assert main(SERVE_ARGS + ["--slo-us", "5000",
+                                  "--admission", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "attainment" in out
+        assert "goodput" in out
+        assert "admission" in out
+
+    def test_serve_replication_with_overhead_override(self, capsys):
+        payload = run_json(
+            SERVE_ARGS + ["--shard-policy", "load-aware", "--replicas",
+                          "2", "--request-overhead", "40"], capsys)
+        assert "load-aware" in payload["extras"]["sharder"]
+
+    def test_serve_unknown_system_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--system", "definitely-not-registered",
+                  "--queries", "4"])
+
+
+class TestParseErrors:
+    def test_deadline_admission_requires_slo(self):
+        with pytest.raises(SystemExit, match="--slo-us"):
+            main(SERVE_ARGS + ["--admission", "deadline"])
+
+    def test_non_positive_slo_rejected(self):
+        with pytest.raises(SystemExit, match="positive"):
+            main(SERVE_ARGS + ["--slo-us", "-10"])
+        with pytest.raises(SystemExit, match="positive"):
+            main(SERVE_ARGS + ["--slo-us", "0"])
+
+    def test_negative_request_overhead_rejected(self):
+        with pytest.raises(SystemExit, match="non-negative"):
+            main(SERVE_ARGS + ["--request-overhead", "-1"])
+
+    def test_bad_choices_exit_with_usage_error(self, capsys):
+        for flags in (["--arrival", "bursty"],
+                      ["--engine", "closed-form"],
+                      ["--admission", "drop-everything"],
+                      ["--shard-policy", "best-fit"],
+                      ["--service-model", "oracle"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(SERVE_ARGS + flags)
+            assert excinfo.value.code == 2     # argparse usage error
+            capsys.readouterr()                # drain usage output
+
+    def test_missing_subcommand_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_parser_declares_new_serve_flags(self):
+        parser = build_parser()
+        text = parser.format_help()
+        assert "serve" in text
+        # The new flags are registered on the serve subparser.
+        serve_args = [action.option_strings
+                      for action in parser._subparsers._group_actions[0]
+                      .choices["serve"]._actions]
+        flat = {flag for flags in serve_args for flag in flags}
+        for flag in ("--slo-us", "--admission", "--arrival",
+                     "--request-overhead"):
+            assert flag in flat

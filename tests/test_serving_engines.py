@@ -162,7 +162,11 @@ class TestEngineResolution:
         engine = EventEngine()
         assert resolve_engine(engine) is engine
         assert isinstance(resolve_engine(AnalyticEngine), AnalyticEngine)
-        assert available_engines() == ["analytic", "event"]
+        assert available_engines() == ["analytic", "event", "event-edf"]
+        edf = resolve_engine("event-edf")
+        assert isinstance(edf, EventEngine)
+        assert edf.order == "edf"
+        assert edf.name == "event-edf"
 
     def test_unknown_engine(self):
         with pytest.raises(ValueError):

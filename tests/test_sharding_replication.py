@@ -394,3 +394,191 @@ class TestPerTableQueryShapes:
         with pytest.raises(ValueError):
             queries_from_traces(traces, 2, [0.0, 1.0],
                                 batch_size=[2, 2], pooling_factor=4)
+
+
+class TestCapacityConstrainedReplication:
+    LOADS = {0: 100.0, 1: 50.0, 2: 25.0, 3: 10.0}
+    BYTES = {0: 10.0, 1: 10.0, 2: 10.0, 3: 10.0}
+
+    def build(self, budget, **overrides):
+        kwargs = dict(policy="load-aware", max_replicas=2,
+                      hot_fraction=0.2, table_bytes=self.BYTES,
+                      node_capacity_bytes=budget)
+        kwargs.update(overrides)
+        return ReplicatedTableSharder(2, self.LOADS, **kwargs)
+
+    def test_budget_respected_and_replication_survives(self):
+        sharder = self.build(30.0)
+        for used, budget in zip(sharder.node_bytes(), (30.0, 30.0)):
+            assert used <= budget
+        # Both hot tables (0 and 1 exceed hot_fraction 0.2) keep their
+        # two replicas: the budget holds 3 tables per node.
+        assert sharder.replication_factor(0) == 2
+        assert sharder.replication_factor(1) == 2
+        # Every table is placed exactly once per replica.
+        placed = sorted(sharder.replicas)
+        assert placed == [0, 1, 2, 3]
+
+    def test_tight_budget_shrinks_replication_not_placement(self):
+        # 20 bytes/node holds exactly one copy of every table and
+        # nothing else: replication silently degrades to factor 1.
+        sharder = self.build(20.0)
+        for table in self.LOADS:
+            assert sharder.replication_factor(table) == 1
+        assert sorted(sharder.node_bytes()) == [20.0, 20.0]
+
+    def test_unconstrained_placement_unchanged(self):
+        """Passing table sizes without a budget keeps the legacy path."""
+        legacy = ReplicatedTableSharder(2, self.LOADS, policy="load-aware",
+                                        max_replicas=2, hot_fraction=0.2)
+        sized = ReplicatedTableSharder(2, self.LOADS, policy="load-aware",
+                                       max_replicas=2, hot_fraction=0.2,
+                                       table_bytes=self.BYTES)
+        assert sized.replicas == legacy.replicas
+        # A roomy budget may tie-break differently (two-phase packing)
+        # but must preserve every replication factor.
+        roomy = self.build(1_000_000.0)
+        for table in self.LOADS:
+            assert roomy.replication_factor(table) == \
+                legacy.replication_factor(table)
+
+    def test_infeasible_budget_names_overflowing_tables(self):
+        with pytest.raises(ValueError) as excinfo:
+            self.build(15.0)
+        message = str(excinfo.value)
+        assert "infeasible" in message
+        # 15 bytes/node fits one table per node; the two lightest-byte
+        # tables (processed last) overflow and must both be named.
+        assert "2 (10 bytes)" in message
+        assert "3 (10 bytes)" in message
+
+    def test_budget_requires_table_bytes(self):
+        with pytest.raises(ValueError, match="table_bytes"):
+            ReplicatedTableSharder(2, self.LOADS,
+                                   node_capacity_bytes=100.0)
+
+    def test_missing_table_sizes_are_named(self):
+        with pytest.raises(ValueError, match="missing sizes"):
+            ReplicatedTableSharder(2, self.LOADS,
+                                   table_bytes={0: 10.0, 1: 10.0},
+                                   node_capacity_bytes=100.0)
+
+    def test_per_node_budgets(self):
+        sharder = self.build([10.0, 60.0], max_replicas=1)
+        used = sharder.node_bytes()
+        assert used[0] <= 10.0
+        assert used[1] <= 60.0
+        assert sum(used) == 40.0                      # all four placed
+
+    def test_per_node_budget_count_validated(self):
+        with pytest.raises(ValueError, match="one capacity budget"):
+            self.build([10.0, 20.0, 30.0])
+        with pytest.raises(ValueError, match="positive"):
+            self.build([10.0, 0.0])
+
+    def test_fixed_primary_policies_shift_past_full_nodes(self):
+        # Round-robin wants tables 0 and 2 on node 0, but node 0 only
+        # holds one table: the displaced table ring-shifts to a node
+        # with room instead of overflowing.
+        sharder = ReplicatedTableSharder(
+            2, self.LOADS, policy="round-robin", max_replicas=1,
+            table_bytes=self.BYTES, node_capacity_bytes=20.0)
+        assert sorted(sharder.node_bytes()) == [20.0, 20.0]
+        assert sorted(sharder.replicas) == [0, 1, 2, 3]
+
+    def test_describe_mentions_budget(self):
+        assert "budget" in self.build(30.0).describe()
+
+    def test_routing_still_works_under_budget(self):
+        sharder = self.build(30.0)
+        requests = make_requests([0, 1, 2, 3, 0, 0, 1])
+        assignment = sharder.assign_requests(requests)
+        assert len(assignment) == len(requests)
+        for request, node in zip(requests, assignment):
+            assert node in sharder.replica_nodes(request.table_id)
+
+
+class TestRequestOverheadCalibration:
+    def build_node(self, name="recnmp-base"):
+        from repro.systems import build_system
+
+        return build_system(name, address_of=address_of,
+                            vector_size_bytes=VECTOR_BYTES,
+                            compare_baseline=False)
+
+    def make_request(self, poolings=32, pooling_factor=20, seed=0):
+        rng = np.random.default_rng(seed)
+        return SLSRequest(
+            table_id=0,
+            indices=rng.integers(0, NUM_ROWS,
+                                 size=poolings * pooling_factor),
+            lengths=np.full(poolings, pooling_factor))
+
+    def test_calibration_is_finite_and_deterministic(self):
+        from repro.serving import calibrate_request_overhead_lookups
+
+        node = self.build_node()
+        request = self.make_request()
+        first = calibrate_request_overhead_lookups(node, request)
+        second = calibrate_request_overhead_lookups(node, request)
+        assert np.isfinite(first)
+        assert first >= 0.0
+        assert first == second
+
+    def test_simulated_node_charges_real_dispatch_overhead(self):
+        """RecNMP pays per-request cost, so the measurement is > 0.
+
+        Split at serving-request granularity (4 poolings per request vs
+        the 8-pooling NMP packets): the underfilled packets of small
+        requests are exactly the dispatch overhead being priced.
+        """
+        from repro.serving import calibrate_request_overhead_lookups
+
+        overhead = calibrate_request_overhead_lookups(
+            self.build_node(), self.make_request(), splits=8)
+        assert overhead > 0.0
+
+    def test_from_queries_merges_small_requests(self):
+        from repro.serving import calibrate_request_overhead_from_queries
+
+        traces = make_production_table_traces(
+            num_lookups_per_table=400, num_rows=NUM_ROWS, num_tables=2,
+            seed=0)
+        # Each query carries 2-pooling requests -- too narrow alone, but
+        # the sample merges per table into a calibratable request.
+        queries = queries_from_traces(
+            traces, 8, [float(i) for i in range(8)], batch_size=2,
+            pooling_factor=4)
+        overhead = calibrate_request_overhead_from_queries(
+            self.build_node(), queries)
+        assert np.isfinite(overhead)
+        assert overhead >= 0.0
+
+    def test_single_pooling_sample_returns_neutral_price(self):
+        from repro.serving import calibrate_request_overhead_from_queries
+
+        traces = make_production_table_traces(
+            num_lookups_per_table=50, num_rows=NUM_ROWS, num_tables=1,
+            seed=0)
+        queries = queries_from_traces(traces, 1, [0.0], batch_size=1,
+                                      pooling_factor=4)
+        assert calibrate_request_overhead_from_queries(
+            self.build_node(), queries) == 0.0
+
+    def test_validation(self):
+        from repro.serving import calibrate_request_overhead_lookups
+
+        node = self.build_node()
+        with pytest.raises(ValueError, match="splits"):
+            calibrate_request_overhead_lookups(node, self.make_request(),
+                                               splits=1)
+        with pytest.raises(ValueError, match="poolings"):
+            calibrate_request_overhead_lookups(
+                node, self.make_request(poolings=2), splits=4)
+
+    def test_override_constant_still_honoured(self):
+        """The hand-set constant remains the override path."""
+        queries = make_skewed_queries()
+        sharder = ReplicatedTableSharder.from_queries(
+            4, queries, request_overhead_lookups=80.0)
+        assert sharder.request_overhead_lookups == 80.0
