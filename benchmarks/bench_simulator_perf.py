@@ -14,6 +14,18 @@ this benchmark guards both its *speed* and its *answers*:
   asserts the PR's speedup targets (>=3x single-channel vs the recorded
   pre-optimisation throughput, >=2.5x 4-channel wall-clock with the
   process backend).
+* **Kernel flavour** -- the single-channel workload is re-timed with the
+  compiled command-issue kernels disabled (the legacy object path);
+  results must match bit-for-bit, and at full scale the active kernel
+  must beat the legacy path (>=4x when the jitted ``numba`` flavour is
+  active, a >=1.2x floor for the pure-python twin).
+* **Transports** -- the 4-channel timing covers the pickling ``process``
+  backend *and* the zero-copy ``shared-memory`` backend, recording their
+  wall-clock ratio (``shm_vs_pickle``).
+* **Node-level parallelism** -- one batch on an 8-node serving cluster
+  is timed with the serial and shared-memory *node-level* backends;
+  service times must be identical, and on hosts with >=8 cores the
+  fan-out must reach the >=3x wall-clock target at full scale.
 * **Regression floor** -- in every mode (including ``run_all.py --smoke``
   / CI) the measured single-channel throughput must stay within 2x of
   the recorded post-optimisation value, so future PRs cannot silently
@@ -31,7 +43,9 @@ import time
 from pathlib import Path
 
 from workloads import (
+    NUM_ROWS,
     SMOKE_MODE,
+    VECTOR_BYTES,
     build_bench_system,
     format_table,
     production_requests,
@@ -39,13 +53,15 @@ from workloads import (
     smoke_scaled,
 )
 
+from repro.core import kernels
+
 REFERENCE_PATH = Path(__file__).resolve().parent / "perf_reference.json"
 MODE = "smoke" if SMOKE_MODE else "full"
 NUM_TABLES = 8
 BATCH = smoke_scaled(8, 2)
 POOLING = smoke_scaled(40, 8)
 REPEATS = 3
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "shared-memory")
 WRITE_REFERENCE = os.environ.get("REPRO_PERF_WRITE_REFERENCE", "") \
     not in ("", "0")
 
@@ -54,6 +70,15 @@ REGRESSION_FLOOR = 2.0
 #: Full-scale PR targets vs the pre-optimisation measurements.
 SINGLE_SPEEDUP_TARGET = 3.0
 MULTI_SPEEDUP_TARGET = 2.5
+#: Kernel-vs-legacy single-channel targets (full scale): the jitted
+#: flavour must clear 4x; the pure-python twin is a modest win over the
+#: object path it replaces and must at least never lose to it.
+NUMBA_KERNEL_TARGET = 4.0
+PYTHON_KERNEL_FLOOR = 1.05
+#: 8-node node-parallel wall-clock target, only meaningful on hosts with
+#: at least one core per node.
+NODE_PARALLEL_TARGET = 3.0
+NODE_COUNT = 8
 
 
 def _workloads():
@@ -93,39 +118,126 @@ def _multi_fields(result):
                 list(result.extras["per_channel_instructions"])}
 
 
+def _kernel_comparison(requests):
+    """Single-channel timing with the active kernel flavour vs the
+    legacy object path (``force_flavor("disabled")``)."""
+    active = kernels.active_flavor()
+    if active == "disabled":
+        return None   # kernels globally off: nothing to compare against
+    timings = {}
+    fields = {}
+    for label, flavor in (("active", active), ("legacy", "disabled")):
+        with kernels.force_flavor(flavor):
+            with build_bench_system(
+                    "recnmp-opt", num_dimms=4, ranks_per_dimm=2,
+                    compare_baseline=False) as system:
+                result, seconds = _timed(system, requests)
+        timings[label] = seconds
+        fields[label] = _single_fields(result)
+    assert fields["active"] == fields["legacy"], \
+        "kernel flavour %r diverged from the legacy object path" % active
+    return {
+        "flavor": active,
+        "kernel_seconds": round(timings["active"], 5),
+        "legacy_seconds": round(timings["legacy"], 5),
+        "speedup_vs_legacy": round(
+            timings["legacy"] / timings["active"], 3),
+    }
+
+
+def _node_batch():
+    """One batch spanning all the 8-node cluster's tables."""
+    from repro.serving.arrival import queries_from_traces
+    from repro.serving.batcher import QueryBatch
+    from repro.traces import random_trace
+
+    pooling = smoke_scaled(24, 8)
+    queries_count = smoke_scaled(8, 2)
+    lookups = queries_count * 2 * pooling
+    traces = [random_trace(NUM_ROWS, lookups, table_id=t, seed=t)
+              for t in range(NODE_COUNT)]
+    queries = queries_from_traces(traces, queries_count,
+                                  [0.0] * queries_count,
+                                  batch_size=2, pooling_factor=pooling)
+    return QueryBatch(queries=queries, open_us=0.0, formed_us=0.0)
+
+
+def _timed_service(cluster, batch, repeats=REPEATS):
+    """Best-of-N wall clock of one *uncached* batch service time."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        cluster._service_cache.clear()   # defeat the batch memoisation
+        start = time.perf_counter()
+        value = cluster.service_time_us(batch)
+        best = min(best, time.perf_counter() - start)
+    return value, best
+
+
+def _node_parallel_comparison():
+    """8-node batch wall-clock: serial vs shared-memory node backend."""
+    from repro.serving import ShardedServingCluster
+
+    batch = _node_batch()
+    entry = {"num_nodes": NODE_COUNT, "backends": {}}
+    values = {}
+    for backend in ("serial", "shared-memory"):
+        with ShardedServingCluster(
+                num_nodes=NODE_COUNT, node_system="recnmp-opt",
+                table_rows=NUM_ROWS, vector_size_bytes=VECTOR_BYTES,
+                backend=backend) as cluster:
+            cluster.service_time_us(batch)   # warm-up (pool spin-up)
+            value, seconds = _timed_service(cluster, batch)
+        values[backend] = value
+        entry["backends"][backend] = {"seconds": round(seconds, 5)}
+    assert values["shared-memory"] == values["serial"], \
+        "node-level fan-out changed the batch service time"
+    entry["service_time_us"] = values["serial"]
+    entry["parallel_speedup"] = round(
+        entry["backends"]["serial"]["seconds"]
+        / entry["backends"]["shared-memory"]["seconds"], 3)
+    return entry
+
+
 def compute_simulator_perf():
-    report = {"mode": MODE, "workloads": {}}
+    report = {"mode": MODE, "kernel_flavor": kernels.active_flavor(),
+              "workloads": {}}
     for kind, requests in _workloads().items():
-        single_system = build_bench_system(
-            "recnmp-opt", num_dimms=4, ranks_per_dimm=2,
-            compare_baseline=False)
-        single_result, single_seconds = _timed(single_system, requests)
+        with build_bench_system(
+                "recnmp-opt", num_dimms=4, ranks_per_dimm=2,
+                compare_baseline=False) as single_system:
+            single_result, single_seconds = _timed(single_system, requests)
         lookups = single_result.num_lookups
         entry = {
             "num_lookups": lookups,
             "single": _single_fields(single_result),
             "single_seconds": round(single_seconds, 5),
             "single_insts_per_sec": round(lookups / single_seconds, 1),
+            "kernel": _kernel_comparison(requests),
             "multi4_backends": {},
         }
         for backend in BACKENDS:
-            system = build_bench_system(
-                "recnmp-opt-4ch", num_channels=4, num_dimms=1,
-                ranks_per_dimm=2, compare_baseline=False, backend=backend)
-            system.run(requests)          # warm-up (spins up worker pools)
-            result, seconds = _timed(system, requests)
+            with build_bench_system(
+                    "recnmp-opt-4ch", num_channels=4, num_dimms=1,
+                    ranks_per_dimm=2, compare_baseline=False,
+                    backend=backend) as system:
+                system.run(requests)  # warm-up (spins up worker pools)
+                result, seconds = _timed(system, requests)
             entry["multi4_backends"][backend] = {
                 "seconds": round(seconds, 5),
                 "insts_per_sec": round(lookups / seconds, 1),
                 "fields": _multi_fields(result),
             }
-            system.close()
         serial_seconds = entry["multi4_backends"]["serial"]["seconds"]
         for backend in BACKENDS:
             backend_entry = entry["multi4_backends"][backend]
             backend_entry["scaling_vs_serial"] = round(
                 serial_seconds / backend_entry["seconds"], 3)
+        entry["shm_vs_pickle"] = round(
+            entry["multi4_backends"]["process"]["seconds"]
+            / entry["multi4_backends"]["shared-memory"]["seconds"], 3)
         report["workloads"][kind] = entry
+    report["node8"] = _node_parallel_comparison()
     return report
 
 
@@ -145,7 +257,20 @@ def _maybe_write_reference(reference, report):
             "single_insts_per_sec": entry["single_insts_per_sec"],
             "multi4_process_seconds":
                 entry["multi4_backends"]["process"]["seconds"],
+            "multi4_shared_memory_seconds":
+                entry["multi4_backends"]["shared-memory"]["seconds"],
+            "shm_vs_pickle": entry["shm_vs_pickle"],
+            "kernel": entry["kernel"],
         }
+    recorded["node8"] = {
+        "kernel_flavor": report["kernel_flavor"],
+        "serial_seconds":
+            report["node8"]["backends"]["serial"]["seconds"],
+        "shared_memory_seconds":
+            report["node8"]["backends"]["shared-memory"]["seconds"],
+        "parallel_speedup": report["node8"]["parallel_speedup"],
+        "cpu_count": os.cpu_count(),
+    }
     REFERENCE_PATH.write_text(json.dumps(reference, indent=2) + "\n")
 
 
@@ -158,15 +283,29 @@ def bench_simulator_perf(benchmark):
     for kind, entry in report["workloads"].items():
         rows.append((kind, "single", entry["single_seconds"],
                      entry["single_insts_per_sec"], "-"))
+        kernel = entry["kernel"]
+        if kernel:
+            rows.append((kind, "single/no-kernel",
+                         kernel["legacy_seconds"],
+                         round(entry["num_lookups"]
+                               / kernel["legacy_seconds"], 1),
+                         "%.2fx %s" % (kernel["speedup_vs_legacy"],
+                                       kernel["flavor"])))
         for backend in BACKENDS:
             backend_entry = entry["multi4_backends"][backend]
             rows.append((kind, "4ch/" + backend, backend_entry["seconds"],
                          backend_entry["insts_per_sec"],
                          backend_entry["scaling_vs_serial"]))
+    node8 = report["node8"]
+    for backend in ("serial", "shared-memory"):
+        rows.append(("batch", "8node/" + backend,
+                     node8["backends"][backend]["seconds"], "-",
+                     node8["parallel_speedup"]
+                     if backend == "shared-memory" else "-"))
     print()
     print(format_table(
-        "Exact-simulator throughput (%s mode, best of %d)"
-        % (MODE, REPEATS),
+        "Exact-simulator throughput (%s mode, best of %d, kernels: %s)"
+        % (MODE, REPEATS, report["kernel_flavor"]),
         ["workload", "config", "seconds", "insts/sec", "vs serial"], rows))
     print("SIM_PERF_JSON: %s" % json.dumps(report))
 
@@ -177,6 +316,31 @@ def bench_simulator_perf(benchmark):
         for backend in BACKENDS[1:]:
             assert entry["multi4_backends"][backend]["fields"] == \
                 serial_fields, (kind, backend)
+        # Kernel-vs-legacy speedup targets (full scale only: smoke
+        # workloads are too small for stable timing).
+        kernel = entry["kernel"]
+        if kernel and not SMOKE_MODE:
+            if kernel["flavor"] == "numba":
+                assert kernel["speedup_vs_legacy"] >= NUMBA_KERNEL_TARGET, \
+                    "numba kernel speedup %.2fx below the %.1fx target " \
+                    "on %s" % (kernel["speedup_vs_legacy"],
+                               NUMBA_KERNEL_TARGET, kind)
+            elif kernel["flavor"] == "python":
+                assert kernel["speedup_vs_legacy"] >= PYTHON_KERNEL_FLOOR, \
+                    "python kernel speedup %.2fx below the %.2fx floor " \
+                    "on %s" % (kernel["speedup_vs_legacy"],
+                               PYTHON_KERNEL_FLOOR, kind)
+
+    # Node-level fan-out target: only meaningful with one core per node.
+    if not SMOKE_MODE and os.cpu_count() and os.cpu_count() >= NODE_COUNT:
+        assert node8["parallel_speedup"] >= NODE_PARALLEL_TARGET, \
+            "8-node shared-memory fan-out %.2fx below the %.1fx target " \
+            "on a %d-core host" % (node8["parallel_speedup"],
+                                   NODE_PARALLEL_TARGET, os.cpu_count())
+    elif node8["parallel_speedup"] < 1.0:
+        print("note: 8-node fan-out speedup %.2fx on a %s-core host "
+              "(node-level parallelism needs cores to pay off)"
+              % (node8["parallel_speedup"], os.cpu_count()))
 
     if reference is None:
         return

@@ -26,14 +26,28 @@ Subcommands
     batcher (``none`` / ``token-bucket`` / ``queue-depth`` /
     ``deadline``) so overload sheds instead of queueing without bound.
 
-Both ``run`` and ``serve`` accept ``--backend {serial,thread,process}``
-and ``--jobs N`` to pick the execution backend for multi-channel cycle
-simulations (``process`` puts N channels on N cores), and ``run`` prints
-the memoised DDR4 baseline-cache effectiveness after the workload.
+``profile``
+    cProfile a system's workload run and print the hottest functions
+    (``--top``/``--sort`` control the report) together with the active
+    command-issue kernel flavour -- the before/after instrument for
+    performance work on the cycle simulator.
+
+``run``, ``serve`` and ``profile`` accept ``--backend
+{serial,thread,process,shared-memory}`` and ``--jobs N`` to pick the
+execution backend: for ``run``/``profile`` it drives the multi-channel
+cycle simulations (``process`` puts N channels on N cores,
+``shared-memory`` additionally ships the request arrays zero-copy); for
+``serve`` it is the cluster's *node-level* backend (the per-node shard
+simulations of each batch fan out, with ``--jobs`` governing the total
+worker slots).  ``run`` prints the memoised DDR4 baseline-cache
+effectiveness after the workload.
 """
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import sys
 
 import numpy as np
@@ -126,16 +140,13 @@ def cmd_run(args):
     # No explicit address map: the adapters build the dense TableLayout
     # from table_rows/vector_size_bytes, matching the generated traces.
     backend_overrides = _backend_overrides(args)
-    system = _build_system_or_exit(
-        args.system, had_backend_overrides=bool(backend_overrides),
-        table_rows=args.num_rows,
-        vector_size_bytes=args.vector_bytes, **backend_overrides)
-    try:
+    # Systems are context managers: exit releases pooled backend workers.
+    with _build_system_or_exit(
+            args.system, had_backend_overrides=bool(backend_overrides),
+            table_rows=args.num_rows,
+            vector_size_bytes=args.vector_bytes,
+            **backend_overrides) as system:
         result = system.run(requests)
-    finally:
-        close = getattr(system, "close", None)
-        if close is not None:  # release pooled backend workers cleanly
-            close()
     cache_stats = baseline_cache_stats()
     payload = result.as_dict()
     payload["description"] = system.describe()
@@ -196,17 +207,12 @@ def cmd_serve(args):
         # node's own per-request dispatch cost (calibrated from its
         # measured service times unless --request-overhead overrides).
         if args.request_overhead is None:
-            probe = _build_system_or_exit(
-                args.system, table_rows=args.num_rows,
-                vector_size_bytes=args.vector_bytes,
-                compare_baseline=False)
-            try:
+            with _build_system_or_exit(
+                    args.system, table_rows=args.num_rows,
+                    vector_size_bytes=args.vector_bytes,
+                    compare_baseline=False) as probe:
                 overhead = calibrate_request_overhead_from_queries(
                     probe, queries)
-            finally:
-                close = getattr(probe, "close", None)
-                if close is not None:
-                    close()
         else:
             overhead = args.request_overhead
         sharding = {"sharder": ReplicatedTableSharder.from_queries(
@@ -234,15 +240,15 @@ def cmd_serve(args):
         service_model = InterpolatingServiceModel(traces)
     else:
         service_model = None
-    try:
+    # Clusters are context managers: exit releases the node-level
+    # backend and every node's own pooled workers.
+    with cluster:
         report = cluster.simulate(
             queries,
             frontend=BatchingFrontend(max_queries=args.max_batch,
                                       max_delay_us=args.max_delay_us),
             engine=args.engine, service_model=service_model,
             slo_policy=args.slo_us, admission=args.admission)
-    finally:
-        cluster.close()        # release pooled backend workers cleanly
     if args.json:
         json.dump(report.as_dict(), sys.stdout, indent=2)
         print()
@@ -278,6 +284,63 @@ def cmd_serve(args):
     return 0
 
 
+def cmd_profile(args):
+    """cProfile one system's workload run and print the hottest functions.
+
+    The same workload knobs as ``run`` apply, so a profile is always of
+    a reproducible composition; the report header carries the active
+    command-issue kernel flavour, which is the first thing to check when
+    comparing before/after numbers across hosts.
+    """
+    from repro.core import kernels
+
+    if args.system_name is not None:
+        args.system = args.system_name
+    traces = _build_traces(args.trace, args.tables, args.num_rows,
+                           args.batch * args.pooling, args.seed)
+    requests = _build_requests(traces, args.batch, args.pooling)
+    backend_overrides = _backend_overrides(args)
+    with _build_system_or_exit(
+            args.system, had_backend_overrides=bool(backend_overrides),
+            table_rows=args.num_rows,
+            vector_size_bytes=args.vector_bytes,
+            **backend_overrides) as system:
+        if args.warmup:
+            system.run(requests)   # exclude one-time setup (JIT, pools)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = system.run(requests)
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    header = {
+        "system": system.describe(),
+        "kernels": kernels.describe(),
+        "total_cycles": result.total_cycles,
+        "num_lookups": result.num_lookups,
+        "sort": args.sort,
+    }
+    if args.json:
+        rows = []
+        for func, (primitive, calls, tottime, cumtime, _) in \
+                sorted(stats.stats.items(), key=lambda kv: -kv[1][3])[
+                    :args.top]:
+            filename, line, name = func
+            rows.append({"function": "%s:%d:%s" % (filename, line, name),
+                         "calls": calls, "primitive_calls": primitive,
+                         "tottime": tottime, "cumtime": cumtime})
+        json.dump({"profile": header, "top": rows}, sys.stdout, indent=2)
+        print()
+        return 0
+    print("profiled %s" % header["system"])
+    print("  kernels        : %s" % header["kernels"])
+    print("  workload       : %d lookups -> %d cycles (%s trace)"
+          % (result.num_lookups, result.total_cycles, args.trace))
+    print(stream.getvalue())
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -299,18 +362,38 @@ def build_parser():
         p.add_argument("--num-rows", type=int, default=20_000)
         p.add_argument("--vector-bytes", type=int, default=128)
         p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--backend", choices=("serial", "thread", "process"),
+        p.add_argument("--backend",
+                       choices=("serial", "thread", "process",
+                                "shared-memory"),
                        default=None,
-                       help="execution backend for multi-channel cycle "
-                            "simulations (process = one core per channel)")
+                       help="execution backend (run/profile: one core per "
+                            "channel; serve: one core per node shard; "
+                            "shared-memory ships request arrays zero-copy)")
         p.add_argument("--jobs", type=int, default=None,
                        help="max concurrent backend workers (default: one "
-                            "per busy channel)")
+                            "per busy channel / node)")
         p.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
 
     run = sub.add_parser("run", help="run one system on a workload")
     add_workload_args(run)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile a system's workload run")
+    add_workload_args(profile)
+    profile.add_argument("system_name", nargs="?", default=None,
+                         metavar="system",
+                         help="registry name (positional alternative to "
+                              "--system)")
+    profile.add_argument("--top", type=int, default=25,
+                         help="number of functions in the report")
+    profile.add_argument("--sort", choices=("cumulative", "tottime"),
+                         default="cumulative",
+                         help="profile sort order")
+    profile.add_argument("--warmup", action="store_true",
+                         help="run the workload once unprofiled first to "
+                              "exclude one-time setup (JIT compilation, "
+                              "worker pools)")
 
     serve = sub.add_parser("serve",
                            help="drive a sharded serving cluster")
@@ -375,6 +458,8 @@ def main(argv=None):
         return cmd_list_systems(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     return cmd_serve(args)
 
 

@@ -23,6 +23,15 @@ provides that policy layer:
     (:func:`repro.perf.baseline_cache.merge_baseline_entries`), so a
     baseline simulated in a worker is a cache hit for every later
     dispatch on any backend.
+``shared-memory``
+    The process pool with a zero-copy transport: the channel config and
+    address map are broadcast once per pool through the worker
+    initializer, and the request arrays (indices/lengths/weights of
+    every :class:`~repro.dlrm.operators.SLSRequest`) travel through one
+    ``multiprocessing.shared_memory`` segment per dispatch instead of
+    being pickled into every submit call.  Workers attach the segment
+    and rebuild the requests as zero-copy numpy views; the parent
+    unlinks the segment once all futures have resolved.
 
 Every backend returns per-channel
 :class:`~repro.core.simulator.RecNMPResult` objects in job order;
@@ -30,15 +39,56 @@ cross-backend equivalence is pinned by ``tests/test_core_backend.py``.
 """
 
 import abc
+import dataclasses
+import gc
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
+import numpy as np
+
 from repro.core.simulator import RecNMPSimulator
+from repro.dlrm.operators import SLSRequest
 from repro.perf.baseline_cache import (
     baseline_cache_stats,
     export_baseline_entries,
     merge_baseline_entries,
 )
+
+
+def _preflight_pickle(config, address_of, backend_name):
+    """Pickle the worker context up front, naming the offending field.
+
+    The process-family backends ship ``(config, address_of)`` to worker
+    processes; a pickling failure inside a pool worker surfaces as an
+    opaque ``BrokenProcessPool``, so the check runs in the parent first
+    and the error says *which* input (down to the config field) cannot
+    be pickled and what to do about it.  Returns the pickled payload so
+    the shared-memory backend can reuse it as its broadcast fingerprint.
+    """
+    try:
+        return pickle.dumps((config, address_of))
+    except Exception as error:
+        culprit = "the channel config"
+        try:
+            pickle.dumps(address_of)
+        except Exception:
+            culprit = ("the address_of callable %r (module-level functions "
+                       "and bound methods of picklable objects work; "
+                       "lambdas and closures do not)" % (address_of,))
+        else:
+            if dataclasses.is_dataclass(config):
+                for spec in dataclasses.fields(config):
+                    try:
+                        pickle.dumps(getattr(config, spec.name))
+                    except Exception:
+                        culprit = ("the channel config field %r"
+                                   % spec.name)
+                        break
+        raise ValueError(
+            "the %s backend ships work units to worker processes and "
+            "needs picklable inputs, but %s is not picklable (%s) -- "
+            "use backend='serial' or 'thread' instead"
+            % (backend_name, culprit, error)) from error
 
 
 def _run_channel_job(job):
@@ -66,6 +116,254 @@ def _run_channel_job(job):
             stats_after["misses"] - stats_before["misses"])
 
 
+#: Worker-global context broadcast once per pool by the shared-memory
+#: backend's initializer (instead of pickled per job): ``(config,
+#: address_of)`` for channel jobs, ``(node_system, node_overrides)`` for
+#: node-level serving jobs.  ``_WORKER_CONTEXT_PAYLOAD`` keeps the raw
+#: pickled bytes as the node-system cache key.
+_WORKER_CONTEXT = None
+_WORKER_CONTEXT_PAYLOAD = None
+
+
+def _init_shm_worker(payload):
+    """Pool initializer: install the broadcast worker context."""
+    global _WORKER_CONTEXT, _WORKER_CONTEXT_PAYLOAD
+    _WORKER_CONTEXT_PAYLOAD = payload
+    _WORKER_CONTEXT = pickle.loads(payload)
+
+
+#: Per-worker cache of node systems built for serving jobs, keyed by the
+#: pickled ``(node_system, node_overrides)`` spec.  Registry systems
+#: reset per run, so a cached instance answers every later batch of the
+#: same cluster without paying system construction again.
+_WORKER_NODE_SYSTEMS = {}
+
+
+def _node_system_for(spec_payload):
+    """Build (or fetch the cached) node system for a pickled spec."""
+    system = _WORKER_NODE_SYSTEMS.get(spec_payload)
+    if system is None:
+        from repro.systems.registry import build_system
+
+        name, overrides = pickle.loads(spec_payload)
+        system = build_system(name, **overrides)
+        _WORKER_NODE_SYSTEMS[spec_payload] = system
+    return system
+
+
+def _preflight_node_spec(node_system, node_overrides, backend_name):
+    """Pickle a node spec up front, naming the offending override.
+
+    The node-level serving path rebuilds each node *by registry name* in
+    the workers, so only ``(node_system, node_overrides)`` crosses the
+    process boundary -- and a bad override must fail here with its name,
+    not as an opaque pool error.  Returns the pickled spec payload.
+    """
+    try:
+        return pickle.dumps((node_system, dict(node_overrides)))
+    except Exception as error:
+        culprit = "the node spec"
+        for key, value in node_overrides.items():
+            try:
+                pickle.dumps(value)
+            except Exception:
+                culprit = ("the node override %r (%r; module-level "
+                           "functions and bound methods of picklable "
+                           "objects work; lambdas and closures do not)"
+                           % (key, value))
+                break
+        raise ValueError(
+            "the %s backend rebuilds serving nodes in worker processes "
+            "and needs a picklable node spec, but %s is not picklable "
+            "(%s) -- use backend='serial' or 'thread' instead"
+            % (backend_name, culprit, error)) from error
+
+
+def _run_node_job(job):
+    """Node-level serving job: one node's shard of one batch.
+
+    The node system is rebuilt from the registry spec (cached per worker
+    by spec payload) and the shard's service time returned together with
+    the worker's new baseline-cache entries, mirroring
+    :func:`_run_channel_job`.
+    """
+    slot, spec_payload, shard = job
+    system = _node_system_for(spec_payload)
+    before_keys = {key for key, _ in export_baseline_entries()}
+    stats_before = baseline_cache_stats()
+    service_us = system.service_time_us(shard)
+    new_entries = [(key, value) for key, value in export_baseline_entries()
+                   if key not in before_keys]
+    stats_after = baseline_cache_stats()
+    return (slot, service_us, new_entries,
+            stats_after["hits"] - stats_before["hits"],
+            stats_after["misses"] - stats_before["misses"])
+
+
+def _pack_requests(jobs):
+    """Concatenate all jobs' request arrays into one shared segment.
+
+    Returns ``(shm, descriptors_per_job)`` where each descriptor is
+    ``(table_id, indices_offset, num_indices, lengths_offset,
+    num_lengths, weights_offset_or_-1, metadata_or_None)`` with offsets
+    in bytes into the segment.  Offsets stay 8-byte aligned so the
+    worker-side int64/float32 views are always aligned.
+    """
+    from multiprocessing import shared_memory
+
+    plan = []
+    offset = 0
+
+    def reserve(array):
+        nonlocal offset
+        start = offset
+        plan.append((array, start))
+        offset = (offset + array.nbytes + 7) & ~7
+        return start
+
+    descriptors_per_job = []
+    for _, _, requests in jobs:
+        descriptors = []
+        for request in requests:
+            indices_offset = reserve(request.indices)
+            lengths_offset = reserve(request.lengths)
+            weights_offset = (reserve(request.weights)
+                              if request.weights is not None else -1)
+            descriptors.append((
+                int(request.table_id),
+                indices_offset, int(request.indices.shape[0]),
+                lengths_offset, int(request.lengths.shape[0]),
+                weights_offset,
+                request.metadata or None,
+            ))
+        descriptors_per_job.append(descriptors)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    for array, start in plan:
+        np.ndarray(array.shape, dtype=array.dtype,
+                   buffer=shm.buf, offset=start)[:] = array
+    return shm, descriptors_per_job
+
+
+def _attach_requests(shm, descriptors):
+    """Rebuild SLSRequests as zero-copy views into the shared segment."""
+    requests = []
+    for (table_id, indices_offset, num_indices, lengths_offset,
+            num_lengths, weights_offset, metadata) in descriptors:
+        indices = np.ndarray((num_indices,), dtype=np.int64,
+                             buffer=shm.buf, offset=indices_offset)
+        lengths = np.ndarray((num_lengths,), dtype=np.int64,
+                             buffer=shm.buf, offset=lengths_offset)
+        weights = None
+        if weights_offset >= 0:
+            weights = np.ndarray((num_indices,), dtype=np.float32,
+                                 buffer=shm.buf, offset=weights_offset)
+        requests.append(SLSRequest(table_id=table_id, indices=indices,
+                                   lengths=lengths, weights=weights,
+                                   metadata=metadata or {}))
+    return requests
+
+
+def _run_shm_job(job):
+    """Shared-memory twin of :func:`_run_channel_job`.
+
+    The config and address map come from the initializer-broadcast
+    worker context; the request arrays are read in place from the named
+    segment.  Every view is dropped before the segment is closed (a
+    still-exported buffer would raise ``BufferError``), and the
+    worker-side resource-tracker registration is handled so the
+    *parent's* unlink stays the single point of segment removal (on
+    Python < 3.13 each attach registers the segment with the attaching
+    process's tracker).
+    """
+    slot, shm_name, descriptors, compare_baseline = job
+    config, address_of = _WORKER_CONTEXT
+    import multiprocessing
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    if multiprocessing.get_start_method() != "fork":
+        # Under spawn/forkserver the worker has its *own* resource
+        # tracker, and the attach above registered the segment with it;
+        # left in place, the worker's exit would unlink a segment the
+        # parent owns.  Under fork the tracker is shared with the parent
+        # and the attach registration is a set no-op -- unregistering
+        # here would instead break the parent's unlink.
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    try:
+        requests = _attach_requests(shm, descriptors)
+        before_keys = {key for key, _ in export_baseline_entries()}
+        stats_before = baseline_cache_stats()
+        simulator = RecNMPSimulator(config, address_of=address_of)
+        result = simulator.run_requests(requests,
+                                        compare_baseline=compare_baseline)
+        new_entries = [(key, value)
+                       for key, value in export_baseline_entries()
+                       if key not in before_keys]
+        stats_after = baseline_cache_stats()
+        del simulator, requests
+        return (slot, result, new_entries,
+                stats_after["hits"] - stats_before["hits"],
+                stats_after["misses"] - stats_before["misses"])
+    finally:
+        try:
+            shm.close()
+        except BufferError:
+            # A straggling view kept the buffer exported; collect the
+            # cycle and retry once before giving up (the mapping would
+            # then persist until the worker is recycled -- harmless).
+            gc.collect()
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+
+def _run_shm_node_job(job):
+    """Shared-memory twin of :func:`_run_node_job`.
+
+    The node spec comes from the initializer-broadcast context (its raw
+    payload doubles as the node-system cache key) and the shard's
+    request arrays are read in place from the named segment, with the
+    same view-release and resource-tracker care as :func:`_run_shm_job`.
+    """
+    slot, shm_name, descriptors = job
+    import multiprocessing
+    from multiprocessing import resource_tracker, shared_memory
+
+    system = _node_system_for(_WORKER_CONTEXT_PAYLOAD)
+    shm = shared_memory.SharedMemory(name=shm_name)
+    if multiprocessing.get_start_method() != "fork":
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    try:
+        shard = _attach_requests(shm, descriptors)
+        before_keys = {key for key, _ in export_baseline_entries()}
+        stats_before = baseline_cache_stats()
+        service_us = system.service_time_us(shard)
+        new_entries = [(key, value)
+                       for key, value in export_baseline_entries()
+                       if key not in before_keys]
+        stats_after = baseline_cache_stats()
+        del shard
+        return (slot, service_us, new_entries,
+                stats_after["hits"] - stats_before["hits"],
+                stats_after["misses"] - stats_before["misses"])
+    finally:
+        try:
+            shm.close()
+        except BufferError:
+            gc.collect()
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+
 class ParallelBackend(abc.ABC):
     """How the independent per-channel simulations are executed.
 
@@ -91,8 +389,29 @@ class ParallelBackend(abc.ABC):
         Returns the per-channel results in job order.
         """
 
+    def run_service_jobs(self, cluster, jobs):
+        """Execute node-level serving jobs (``(slot, node, shard)``).
+
+        One job is one serving node's shard of one batch; the return
+        value is the per-job service time in microseconds, in job
+        order.  The default runs the cluster's own (in-process) node
+        systems serially; the process-family backends rebuild the nodes
+        from ``cluster.node_system``/``cluster.node_overrides`` in their
+        workers (cached per worker by spec) so the per-node simulations
+        of one batch use real cores.
+        """
+        return [node.service_time_us(shard) for _, node, shard in jobs]
+
     def shutdown(self):
         """Release any pooled workers (idempotent)."""
+
+    def __enter__(self):
+        """Backends are context managers: exit releases pooled workers."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.shutdown()
+        return False
 
     def describe(self):
         if self.max_workers is None:
@@ -133,6 +452,16 @@ class ThreadBackend(ParallelBackend):
                        for _, simulator, requests in jobs]
             return [future.result() for future in futures]
 
+    def run_service_jobs(self, cluster, jobs):
+        if len(jobs) <= 1 or self.max_workers == 1:
+            return ParallelBackend.run_service_jobs(self, cluster, jobs)
+        workers = len(jobs) if self.max_workers is None else \
+            min(self.max_workers, len(jobs))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(node.service_time_us, shard)
+                       for _, node, shard in jobs]
+            return [future.result() for future in futures]
+
 
 class ProcessBackend(ParallelBackend):
     """Run the channels on a process pool (true multi-core execution).
@@ -169,21 +498,26 @@ class ProcessBackend(ParallelBackend):
     def run_channels(self, coordinator, jobs, compare_baseline):
         config = coordinator.channel_config
         address_of = coordinator.address_of
-        try:
-            pickle.dumps((config, address_of))
-        except Exception as error:
-            raise ValueError(
-                "the process backend needs a picklable channel config and "
-                "address_of callable (module-level function or bound method "
-                "of a picklable object, not a lambda/closure); got: %s -- "
-                "use backend='serial' or 'thread' instead" % (error,)
-            ) from error
+        _preflight_pickle(config, address_of, self.name)
         pool = self._ensure_pool(len(jobs))
         futures = [pool.submit(_run_channel_job,
                                (slot, config, address_of, requests,
                                 compare_baseline))
                    for slot, _, requests in jobs]
-        results = [None] * len(jobs)
+        return self._collect_results(futures)
+
+    def run_service_jobs(self, cluster, jobs):
+        spec_payload = _preflight_node_spec(cluster.node_system,
+                                            cluster.node_overrides,
+                                            self.name)
+        pool = self._ensure_pool(len(jobs))
+        futures = [pool.submit(_run_node_job, (slot, spec_payload, shard))
+                   for slot, _, shard in jobs]
+        return self._collect_results(futures)
+
+    def _collect_results(self, futures):
+        """Gather job results in order, merging baseline-cache deltas."""
+        results = [None] * len(futures)
         merged = {}
         hits = 0
         misses = 0
@@ -204,11 +538,86 @@ class ProcessBackend(ParallelBackend):
             self._pool_workers = 0
 
 
+class SharedMemoryBackend(ProcessBackend):
+    """The process pool with a zero-copy shared-memory transport.
+
+    Differences from :class:`ProcessBackend`:
+
+    * The ``(config, address_of)`` context is broadcast exactly once per
+      pool through the worker initializer instead of being pickled into
+      every submitted job; the pool is transparently rebuilt when the
+      coordinator's context changes (the pickled payload doubles as the
+      fingerprint).
+    * Per dispatch, the request arrays of *all* jobs are written into a
+      single ``multiprocessing.shared_memory`` segment and the workers
+      rebuild their :class:`~repro.dlrm.operators.SLSRequest` lists as
+      zero-copy numpy views -- only the per-request offsets travel over
+      the pickle channel.  The parent unlinks the segment after the
+      last future resolves.
+    """
+
+    name = "shared-memory"
+
+    def __init__(self, max_workers=None):
+        super().__init__(max_workers=max_workers)
+        self._context_payload = None
+
+    def _ensure_pool_with_context(self, wanted, payload):
+        if self._pool is not None and payload != self._context_payload:
+            self.shutdown()     # context changed: rebroadcast via a new pool
+        if self.max_workers is not None:
+            wanted = min(wanted, self.max_workers)
+        wanted = max(1, wanted)
+        if self._pool is not None and self._pool_workers < wanted:
+            self.shutdown()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=wanted, initializer=_init_shm_worker,
+                initargs=(payload,))
+            self._pool_workers = wanted
+            self._context_payload = payload
+        return self._pool
+
+    def run_channels(self, coordinator, jobs, compare_baseline):
+        payload = _preflight_pickle(coordinator.channel_config,
+                                    coordinator.address_of, self.name)
+        pool = self._ensure_pool_with_context(len(jobs), payload)
+        shm, descriptors_per_job = _pack_requests(jobs)
+        try:
+            futures = [pool.submit(_run_shm_job,
+                                   (slot, shm.name, descriptors,
+                                    compare_baseline))
+                       for (slot, _, _), descriptors
+                       in zip(jobs, descriptors_per_job)]
+            return self._collect_results(futures)
+        finally:
+            # All futures have resolved (or raised): the segment is no
+            # longer referenced by any worker and can be removed.
+            shm.close()
+            shm.unlink()
+
+    def run_service_jobs(self, cluster, jobs):
+        payload = _preflight_node_spec(cluster.node_system,
+                                       cluster.node_overrides, self.name)
+        pool = self._ensure_pool_with_context(len(jobs), payload)
+        shm, descriptors_per_job = _pack_requests(jobs)
+        try:
+            futures = [pool.submit(_run_shm_node_job,
+                                   (slot, shm.name, descriptors))
+                       for (slot, _, _), descriptors
+                       in zip(jobs, descriptors_per_job)]
+            return self._collect_results(futures)
+        finally:
+            shm.close()
+            shm.unlink()
+
+
 #: Backend registry: name -> class.
 BACKENDS = {
     SerialBackend.name: SerialBackend,
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
+    SharedMemoryBackend.name: SharedMemoryBackend,
 }
 
 

@@ -22,6 +22,8 @@ import enum
 import struct
 from dataclasses import dataclass, field
 
+import numpy as np
+
 # Bit masks of the DDR cmd field.
 DDR_CMD_ACT = 0b100
 DDR_CMD_RD = 0b010
@@ -117,6 +119,31 @@ class NMPInstruction:
         self.psum_tag = int(self.psum_tag)
         self.locality_bit = bool(self.locality_bit)
 
+    @classmethod
+    def trusted(cls, opcode, ddr_cmd, daddr, vsize, weight, locality_bit,
+                psum_tag, table_id=0, pooling_index=0, row_index=0):
+        """Fast-path constructor for already-validated field values.
+
+        Skips ``__init__``/``__post_init__`` (range checks and enum/int
+        coercion): callers such as the packet generator produce fields
+        that are valid by construction -- ``opcode`` must already be an
+        :class:`NMPOpcode` and the int/bool fields plain Python values.
+        Equality, hashing and every method behave identically to a
+        normally-constructed instruction.
+        """
+        inst = object.__new__(cls)
+        inst.opcode = opcode
+        inst.ddr_cmd = ddr_cmd
+        inst.daddr = daddr
+        inst.vsize = vsize
+        inst.weight = weight
+        inst.locality_bit = locality_bit
+        inst.psum_tag = psum_tag
+        inst.table_id = table_id
+        inst.pooling_index = pooling_index
+        inst.row_index = row_index
+        return inst
+
     # ------------------------------------------------------------------ #
     @property
     def needs_activate(self):
@@ -191,6 +218,56 @@ class NMPInstruction:
         return TOTAL_INSTRUCTION_BITS
 
 
+class PackedInstructions:
+    """Struct-of-arrays view of a sequence of NMP-Insts.
+
+    Carries exactly the fields the timing model consumes -- ``daddrs``,
+    ``vsizes``, ``psum_tags`` (int64), ``weighted`` (weight != 1.0) and
+    ``localities`` (bool) -- as flat numpy arrays, so the dispatch path
+    can run without touching instruction objects (see
+    :mod:`repro.core.kernels`).
+    """
+
+    __slots__ = ("daddrs", "vsizes", "weighted", "localities", "psum_tags")
+
+    def __init__(self, daddrs, vsizes, weighted, localities, psum_tags):
+        self.daddrs = daddrs
+        self.vsizes = vsizes
+        self.weighted = weighted
+        self.localities = localities
+        self.psum_tags = psum_tags
+
+    def __len__(self):
+        return len(self.daddrs)
+
+    @classmethod
+    def from_instructions(cls, instructions):
+        count = len(instructions)
+        return cls(
+            np.fromiter((inst.daddr for inst in instructions),
+                        np.int64, count),
+            np.fromiter((inst.vsize for inst in instructions),
+                        np.int64, count),
+            np.fromiter((inst.weight != 1.0 for inst in instructions),
+                        np.bool_, count),
+            np.fromiter((inst.locality_bit for inst in instructions),
+                        np.bool_, count),
+            np.fromiter((inst.psum_tag for inst in instructions),
+                        np.int64, count))
+
+    def take(self, indices):
+        """New PackedInstructions holding rows ``indices`` (in order)."""
+        return PackedInstructions(
+            self.daddrs[indices], self.vsizes[indices],
+            self.weighted[indices], self.localities[indices],
+            self.psum_tags[indices])
+
+    @property
+    def num_poolings(self):
+        """Number of distinct PsumTags (poolings)."""
+        return len(np.unique(self.psum_tags))
+
+
 @dataclass
 class NMPPacket:
     """A packet of NMP-Insts offloaded to one RecNMP processing unit.
@@ -214,6 +291,21 @@ class NMPPacket:
 
     def __len__(self):
         return len(self.instructions)
+
+    def packed_arrays(self):
+        """Cached :class:`PackedInstructions` of this packet.
+
+        Packed once on first use (the dispatch path re-reads it per run);
+        the cache is keyed on instruction count, so replacing the
+        ``instructions`` list with one of equal length requires dropping
+        ``_packed`` manually -- packets are treated as immutable after
+        generation everywhere in the pipeline.
+        """
+        packed = getattr(self, "_packed", None)
+        if packed is None or len(packed) != len(self.instructions):
+            packed = PackedInstructions.from_instructions(self.instructions)
+            self._packed = packed
+        return packed
 
     @property
     def num_poolings(self):

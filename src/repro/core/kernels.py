@@ -1,0 +1,1251 @@
+"""Compiled kernels for the rank-NMP command-issue hot loop.
+
+The DDR command-issue inner loop (windowed FR-FCFS selection plus the
+bank/rank state machine of :meth:`RankNMP._dram_read`) dominates exact
+simulation time.  This module holds that loop in two interchangeable,
+bit-identical implementations operating on flat ``int64`` state instead
+of ``Bank`` / ``Rank`` / ``RankCache`` objects:
+
+* :func:`_execute_window_flat` -- the canonical *struct-of-arrays*
+  kernel, written in the numba-compilable subset of Python (numpy
+  scalars, plain loops, an ``int64 -> int64`` dict for cache residency).
+  When :mod:`numba` is importable it is ``@njit``-compiled and selected
+  as the ``"numba"`` flavor; the un-jitted source remains importable
+  everywhere so its semantics are pinned by tests even on hosts without
+  numba.
+* :func:`_execute_window_python` -- a hand-tuned CPython twin using
+  plain lists and the :class:`RankCache`'s own ``OrderedDict`` (C-speed
+  LRU ops).  Selected as the ``"python"`` fallback flavor when numba is
+  unavailable.
+
+Flavor selection happens once at import: ``REPRO_DISABLE_KERNELS=1``
+disables both (``RankNMP`` then runs its original object-based path,
+which is kept as the readable specification); otherwise numba is tried
+and the pure-python kernel is the fallback.  Tests can override the
+selection with :func:`force_flavor`.
+
+State layout conventions
+------------------------
+Bank state is seven parallel arrays indexed by flat bank id
+(``bank_group * banks_per_group + bank_index``): ``open_row`` (-1 when
+closed / precharged), ``next_act`` / ``next_read`` / ``next_pre`` ready
+cycles, and the ``activations`` / ``reads`` / ``precharges`` counters.
+Rank-level scalars live in an ``RS_SIZE``-slot vector (`RS_*` indices):
+a four-slot ring buffer of recent ACT cycles (for tFAW -- slot
+``act_count % 4`` holds ``history[-4]`` once four ACTs happened), the
+last-ACT / last-column cycle and bank group (-1 for "never"), the
+data-bus free cycle and the rank-NMP ``current_cycle``.  Timing
+parameters arrive as a ``TP_SIZE`` vector (`TP_*` indices, see
+:meth:`DDR4Timing.kernel_params`) and statistics deltas leave through an
+``ST_SIZE`` vector (`ST_*` indices).
+
+Both kernels mutate those vectors in place and return the last
+completion cycle; the wrapper classes below sync them with the
+authoritative ``Bank`` / ``Rank`` / ``RankCache`` objects around every
+call, so the object layer stays the source of truth between calls and
+the legacy path (or direct object inspection in tests) always sees
+consistent state.
+"""
+
+import os
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_FLAVOR",
+    "active_flavor",
+    "force_flavor",
+    "make_rank_kernel",
+    "pack_decoded",
+]
+
+# --------------------------------------------------------------------- #
+# Flat-state layout indices                                             #
+# --------------------------------------------------------------------- #
+#: Rank scalar state (int64): ACT ring buffer + rank-level last/next state.
+RS_RING0 = 0
+RS_RING1 = 1
+RS_RING2 = 2
+RS_RING3 = 3
+RS_ACT_COUNT = 4
+RS_LAST_ACT = 5
+RS_LAST_ACT_BG = 6
+RS_LAST_COL = 7
+RS_LAST_COL_BG = 8
+RS_BUS_FREE = 9
+RS_CURRENT = 10
+RS_SIZE = 11
+
+#: Timing parameter order (matches DDR4Timing.kernel_params()).
+(TP_TRP, TP_TRCD, TP_TCL, TP_TBL, TP_TCCD_S, TP_TCCD_L, TP_TRRD_S,
+ TP_TRRD_L, TP_TFAW, TP_TRAS, TP_TRC, TP_TRTP) = range(12)
+TP_SIZE = 12
+
+#: Statistics deltas produced by one kernel call.
+(ST_INSTRUCTIONS, ST_HITS, ST_MISSES, ST_BYPASSES, ST_DRAM_READS,
+ ST_ACTIVATIONS, ST_BUSY, ST_BYTES_DRAM, ST_BYTES_CACHE,
+ ST_EVICTIONS) = range(10)
+ST_SIZE = 10
+
+#: LRU list state of the flat cache (head = LRU victim, tail = MRU).
+CS_HEAD, CS_TAIL, CS_USED = range(3)
+CS_SIZE = 3
+
+#: A part-memo value below any reachable cycle (parts can be negative:
+#: ``next_data_bus_free - tCL`` starts at ``-tCL``).
+_PART_UNSET = -(1 << 62)
+
+
+# --------------------------------------------------------------------- #
+# Flavor selection                                                      #
+# --------------------------------------------------------------------- #
+_DISABLED_BY_ENV = os.environ.get("REPRO_DISABLE_KERNELS", "") \
+    not in ("", "0")
+
+try:
+    if _DISABLED_BY_ENV:
+        raise ImportError("kernels disabled via REPRO_DISABLE_KERNELS")
+    from numba import njit as _njit
+    from numba import typed as _numba_typed
+    from numba.core import types as _numba_types
+    KERNEL_FLAVOR = "numba"
+except ImportError:
+    _njit = None
+    _numba_typed = None
+    _numba_types = None
+    KERNEL_FLAVOR = "disabled" if _DISABLED_BY_ENV else "python"
+
+#: Test hook: force_flavor() overrides the import-time selection.
+_FORCED_FLAVOR = None
+
+#: Flavors force_flavor accepts.  "flat-python" runs the canonical
+#: struct-of-arrays kernel *un-jitted* -- slow, but it lets the numba
+#: source semantics be pinned by tests on hosts without numba.
+_KNOWN_FLAVORS = ("numba", "python", "flat-python", "disabled")
+
+
+def active_flavor():
+    """The kernel flavor new :class:`RankNMP` instances will bind to."""
+    if _FORCED_FLAVOR is not None:
+        return _FORCED_FLAVOR
+    return KERNEL_FLAVOR
+
+
+def kernels_enabled():
+    """True when new RankNMP instances use a kernel (any flavor)."""
+    return active_flavor() != "disabled"
+
+
+#: Packet sizes below which the legacy object path beats the packed
+#: kernel path: the numpy packing and kernel-call fixed costs only
+#: amortise on large packets.  The jitted flavour recoups its call
+#: overhead almost immediately; the interpreted flavours need packets
+#: of a few hundred instructions (measured crossover on CPython 3.11).
+_PACKED_MIN_INSTRUCTIONS = {"numba": 24, "python": 256,
+                            "flat-python": 256}
+
+
+def packed_dispatch_min_instructions(flavor=None):
+    """Smallest instruction stream worth routing through a kernel.
+
+    The memory controller and :class:`~repro.core.rank_nmp.RankNMP`
+    fall back to the (bit-identical) legacy object path for streams
+    below this size; 0 means always use the kernel.  Inside a
+    :class:`force_flavor` context the cutover is 0: forcing a flavor
+    means exercising that flavor unconditionally (the parity tests
+    depend on it).
+    """
+    if flavor is None:
+        if _FORCED_FLAVOR is not None:
+            return 0
+        flavor = KERNEL_FLAVOR
+    return _PACKED_MIN_INSTRUCTIONS.get(flavor, 0)
+
+
+class force_flavor:
+    """Context manager overriding the kernel flavor (for tests).
+
+    Only affects :class:`RankNMP` objects *constructed inside* the
+    context: the kernel binding happens at construction time.
+    ``force_flavor("numba")`` raises on hosts without numba.
+    """
+
+    def __init__(self, flavor):
+        if flavor not in _KNOWN_FLAVORS:
+            raise ValueError("unknown kernel flavor %r; known: %s"
+                             % (flavor, ", ".join(_KNOWN_FLAVORS)))
+        if flavor == "numba" and _njit is None:
+            raise RuntimeError("numba is not importable on this host")
+        self.flavor = flavor
+        self._previous = None
+
+    def __enter__(self):
+        global _FORCED_FLAVOR
+        self._previous = _FORCED_FLAVOR
+        _FORCED_FLAVOR = self.flavor
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _FORCED_FLAVOR
+        _FORCED_FLAVOR = self._previous
+        return False
+
+
+# --------------------------------------------------------------------- #
+# Canonical struct-of-arrays kernel (numba-compilable subset)           #
+# --------------------------------------------------------------------- #
+def _execute_window_flat(daddrs, vsizes, computes, vbytes, localities,
+                         arrivals, flats, bank_groups, rows,
+                         window_size, num_bank_groups,
+                         b_open, b_next_act, b_next_read, b_next_pre,
+                         b_activations, b_reads, b_precharges,
+                         rs, tp, st,
+                         use_cache, cache_slot, lru_prev, lru_next,
+                         lru_key, cs, cache_capacity, cache_latency,
+                         exec_order):
+    """Windowed FR-FCFS execution over flat int64 state.
+
+    Mirrors ``RankNMP.execute_instructions`` (selection + memoised
+    rank-part estimates) fused with ``execute_instruction`` (cache
+    lookup, datapath latency, busy accounting) and ``_dram_read`` (the
+    bank/rank DDR state machine) -- one loop, no attribute access.
+    ``exec_order`` receives the execution permutation so the caller can
+    replay LRU effects onto the mirroring ``OrderedDict``.
+    """
+    count = len(daddrs)
+    tRP = tp[TP_TRP]
+    tRCD = tp[TP_TRCD]
+    tCL = tp[TP_TCL]
+    tBL = tp[TP_TBL]
+    tCCD_S = tp[TP_TCCD_S]
+    tCCD_L = tp[TP_TCCD_L]
+    tRRD_S = tp[TP_TRRD_S]
+    tRRD_L = tp[TP_TRRD_L]
+    tFAW = tp[TP_TFAW]
+    tRAS = tp[TP_TRAS]
+    tRC = tp[TP_TRC]
+    tRTP = tp[TP_TRTP]
+    act_count = rs[RS_ACT_COUNT]
+    last_act = rs[RS_LAST_ACT]
+    last_act_bg = rs[RS_LAST_ACT_BG]
+    last_col = rs[RS_LAST_COL]
+    last_col_bg = rs[RS_LAST_COL_BG]
+    bus_free = rs[RS_BUS_FREE]
+    current = rs[RS_CURRENT]
+    head = cs[CS_HEAD]
+    tail = cs[CS_TAIL]
+    used = cs[CS_USED]
+    st_instructions = 0
+    st_hits = 0
+    st_misses = 0
+    st_bypasses = 0
+    st_dram_reads = 0
+    st_activations = 0
+    st_busy = 0
+    st_bytes_dram = 0
+    st_bytes_cache = 0
+    st_evictions = 0
+    last_completion = current
+    window = np.empty(window_size, np.int64)
+    win_len = window_size if window_size < count else count
+    for i in range(win_len):
+        window[i] = i
+    next_index = win_len
+    # Rank-level earliest-issue components, memoised per bank group and
+    # invalidated only when an executed instruction touched DRAM.
+    act_part = np.empty(num_bank_groups, np.int64)
+    rd_part = np.empty(num_bank_groups, np.int64)
+    for g in range(num_bank_groups):
+        act_part[g] = _PART_UNSET
+        rd_part[g] = _PART_UNSET
+    executed = 0
+    while win_len > 0:
+        best_pos = 0
+        best_estimate = 0
+        have_best = False
+        for pos in range(win_len):
+            index = window[pos]
+            arrival = arrivals[index]
+            start = arrival if arrival > current else current
+            if have_best and start >= best_estimate:
+                # estimate >= start, so this member cannot win (ties
+                # keep the earliest window position).
+                continue
+            if use_cache != 0 and localities[index] != 0 and \
+                    daddrs[index] in cache_slot:
+                estimate = start
+            else:
+                flat = flats[index]
+                open_row = b_open[flat]
+                bg = bank_groups[index]
+                if open_row == rows[index]:
+                    ready = b_next_read[flat]
+                    part = rd_part[bg]
+                    if part == _PART_UNSET:
+                        part = bus_free - tCL
+                        if last_col >= 0:
+                            if bg == last_col_bg:
+                                ccd = last_col + tCCD_L
+                            else:
+                                ccd = last_col + tCCD_S
+                            if ccd > part:
+                                part = ccd
+                        rd_part[bg] = part
+                    if part > ready:
+                        ready = part
+                elif open_row == -1:
+                    ready = b_next_act[flat]
+                    part = act_part[bg]
+                    if part == _PART_UNSET:
+                        part = 0
+                        if act_count >= 4:
+                            faw = rs[act_count % 4] + tFAW
+                            if faw > part:
+                                part = faw
+                        if last_act >= 0:
+                            if bg == last_act_bg:
+                                rrd = last_act + tRRD_L
+                            else:
+                                rrd = last_act + tRRD_S
+                            if rrd > part:
+                                part = rrd
+                        act_part[bg] = part
+                    if part > ready:
+                        ready = part
+                else:
+                    ready = b_next_pre[flat]
+                estimate = start if start > ready else ready
+            if not have_best or estimate < best_estimate:
+                best_estimate = estimate
+                best_pos = pos
+                have_best = True
+                if best_estimate <= current:
+                    # No member can estimate below `current` (estimate >=
+                    # start >= current) and ties keep the earliest
+                    # position, so this member has already won.
+                    break
+        index = window[best_pos]
+        for pos in range(best_pos, win_len - 1):
+            window[pos] = window[pos + 1]
+        if next_index < count:
+            window[win_len - 1] = next_index
+            next_index += 1
+        else:
+            win_len -= 1
+        exec_order[executed] = index
+        executed += 1
+        daddr = daddrs[index]
+        resident = use_cache != 0 and daddr in cache_slot
+        # ---- execute (cache lookup + datapath + DDR state machine) ---- #
+        arrival = arrivals[index]
+        start = arrival if arrival > current else current
+        st_instructions += 1
+        hit = False
+        if use_cache != 0:
+            if resident:
+                # LRU touch: move the slot to the tail (MRU) position.
+                slot = cache_slot[daddr]
+                if slot != tail:
+                    prev_slot = lru_prev[slot]
+                    next_slot_ = lru_next[slot]
+                    if prev_slot >= 0:
+                        lru_next[prev_slot] = next_slot_
+                    else:
+                        head = next_slot_
+                    lru_prev[next_slot_] = prev_slot
+                    lru_prev[slot] = tail
+                    lru_next[slot] = -1
+                    lru_next[tail] = slot
+                    tail = slot
+                hit = True
+            elif localities[index] != 0:
+                st_misses += 1
+                if used >= cache_capacity:
+                    victim = head
+                    del cache_slot[lru_key[victim]]
+                    head = lru_next[victim]
+                    if head >= 0:
+                        lru_prev[head] = -1
+                    else:
+                        tail = -1
+                    st_evictions += 1
+                    slot = victim
+                else:
+                    slot = used
+                    used += 1
+                lru_key[slot] = daddr
+                cache_slot[daddr] = slot
+                lru_prev[slot] = tail
+                lru_next[slot] = -1
+                if tail >= 0:
+                    lru_next[tail] = slot
+                else:
+                    head = slot
+                tail = slot
+            else:
+                st_bypasses += 1
+        if hit:
+            st_hits += 1
+            st_bytes_cache += vbytes[index]
+            data_ready = start + cache_latency
+            next_free = data_ready
+        else:
+            # ---- _dram_read, inlined over flat bank state ---- #
+            cycle = start
+            commands_issued = 0
+            first_issue = -1
+            row = rows[index]
+            flat = flats[index]
+            bg = bank_groups[index]
+            open_row = b_open[flat]
+            if open_row != row:
+                if open_row != -1:
+                    ready = b_next_pre[flat]
+                    if ready > cycle:
+                        cycle = ready
+                    b_open[flat] = -1
+                    b_precharges[flat] += 1
+                    value = cycle + tRP
+                    if value > b_next_act[flat]:
+                        b_next_act[flat] = value
+                    commands_issued = 1
+                    first_issue = cycle
+                ready = b_next_act[flat]
+                if act_count >= 4:
+                    faw = rs[act_count % 4] + tFAW
+                    if faw > ready:
+                        ready = faw
+                if last_act >= 0:
+                    if bg == last_act_bg:
+                        rrd = last_act + tRRD_L
+                    else:
+                        rrd = last_act + tRRD_S
+                    if rrd > ready:
+                        ready = rrd
+                if ready > cycle:
+                    cycle = ready
+                b_open[flat] = row
+                b_activations[flat] += 1
+                value = cycle + tRCD
+                if value > b_next_read[flat]:
+                    b_next_read[flat] = value
+                value = cycle + tRAS
+                if value > b_next_pre[flat]:
+                    b_next_pre[flat] = value
+                value = cycle + tRC
+                if value > b_next_act[flat]:
+                    b_next_act[flat] = value
+                rs[act_count % 4] = cycle
+                act_count += 1
+                last_act = cycle
+                last_act_bg = bg
+                commands_issued += 1
+                if first_issue == -1:
+                    first_issue = cycle
+                st_activations += 1
+            finish = cycle
+            bursts = vsizes[index]
+            if bursts < 1:
+                bursts = 1
+            for _ in range(bursts):
+                ready = b_next_read[flat]
+                if last_col >= 0:
+                    if bg == last_col_bg:
+                        ccd = last_col + tCCD_L
+                    else:
+                        ccd = last_col + tCCD_S
+                    if ccd > ready:
+                        ready = ccd
+                bus = bus_free - tCL
+                if bus > ready:
+                    ready = bus
+                if ready > cycle:
+                    cycle = ready
+                b_reads[flat] += 1
+                finish = cycle + tCL + tBL
+                value = cycle + tCCD_L
+                if value > b_next_read[flat]:
+                    b_next_read[flat] = value
+                value = cycle + tRTP
+                if value > b_next_pre[flat]:
+                    b_next_pre[flat] = value
+                last_col = cycle
+                last_col_bg = bg
+                if finish > bus_free:
+                    bus_free = finish
+                commands_issued += 1
+                if first_issue == -1:
+                    first_issue = cycle
+                st_dram_reads += 1
+            st_bytes_dram += vbytes[index]
+            data_ready = finish
+            next_free = (start if start > first_issue else first_issue) \
+                + commands_issued
+        completion = data_ready + computes[index]
+        if next_free > start:
+            st_busy += next_free - start
+        current = next_free
+        if completion > last_completion:
+            last_completion = completion
+        if not resident:
+            for g in range(num_bank_groups):
+                act_part[g] = _PART_UNSET
+                rd_part[g] = _PART_UNSET
+    rs[RS_ACT_COUNT] = act_count
+    rs[RS_LAST_ACT] = last_act
+    rs[RS_LAST_ACT_BG] = last_act_bg
+    rs[RS_LAST_COL] = last_col
+    rs[RS_LAST_COL_BG] = last_col_bg
+    rs[RS_BUS_FREE] = bus_free
+    rs[RS_CURRENT] = current
+    cs[CS_HEAD] = head
+    cs[CS_TAIL] = tail
+    cs[CS_USED] = used
+    st[ST_INSTRUCTIONS] += st_instructions
+    st[ST_HITS] += st_hits
+    st[ST_MISSES] += st_misses
+    st[ST_BYPASSES] += st_bypasses
+    st[ST_DRAM_READS] += st_dram_reads
+    st[ST_ACTIVATIONS] += st_activations
+    st[ST_BUSY] += st_busy
+    st[ST_BYTES_DRAM] += st_bytes_dram
+    st[ST_BYTES_CACHE] += st_bytes_cache
+    st[ST_EVICTIONS] += st_evictions
+    return last_completion
+
+
+def _reorder_window_flat(rows, ranks, window_size, num_ranks):
+    """FR-FCFS permutation of ``NMPMemoryController._reorder_indices``
+    over flat int64 arrays (numba-compilable): within the sliding window
+    the first member whose row matches the last row issued to its rank
+    is hoisted; otherwise the oldest member goes."""
+    count = len(rows)
+    order = np.empty(count, np.int64)
+    win_len = window_size if window_size < count else count
+    window = np.empty(win_len, np.int64)
+    for i in range(win_len):
+        window[i] = i
+    next_index = win_len
+    last = np.full(num_ranks, -1, np.int64)
+    issued = 0
+    while win_len > 0:
+        chosen_pos = 0
+        for pos in range(win_len):
+            index = window[pos]
+            if last[ranks[index]] == rows[index]:
+                chosen_pos = pos
+                break
+        index = window[chosen_pos]
+        for pos in range(chosen_pos, win_len - 1):
+            window[pos] = window[pos + 1]
+        if next_index < count:
+            window[win_len - 1] = next_index
+            next_index += 1
+        else:
+            win_len -= 1
+        last[ranks[index]] = rows[index]
+        order[issued] = index
+        issued += 1
+    return order
+
+
+def _rebuild_lru_flat(keys, cache_slot, lru_prev, lru_next, lru_key, cs):
+    """Re-populate the flat LRU from ``keys`` in LRU -> MRU order."""
+    head = -1
+    tail = -1
+    for slot in range(len(keys)):
+        key = keys[slot]
+        lru_key[slot] = key
+        cache_slot[key] = slot
+        lru_prev[slot] = tail
+        lru_next[slot] = -1
+        if tail >= 0:
+            lru_next[tail] = slot
+        else:
+            head = slot
+        tail = slot
+    cs[CS_HEAD] = head
+    cs[CS_TAIL] = tail
+    cs[CS_USED] = len(keys)
+
+
+#: Un-jitted references: importable on every host, pinned by parity
+#: tests so the compiled flavor can never silently diverge.
+_execute_window_flat_py = _execute_window_flat
+_rebuild_lru_flat_py = _rebuild_lru_flat
+_reorder_window_flat_py = _reorder_window_flat
+
+if KERNEL_FLAVOR == "numba":
+    _execute_window_flat = _njit(cache=True)(_execute_window_flat)
+    _rebuild_lru_flat = _njit(cache=True)(_rebuild_lru_flat)
+    _reorder_window_flat = _njit(cache=True)(_reorder_window_flat)
+
+
+def _reorder_window_python(rows, ranks, window_size, num_ranks):
+    """CPython twin of :func:`_reorder_window_flat` over plain lists."""
+    count = len(rows)
+    window = list(range(window_size if window_size < count else count))
+    next_index = len(window)
+    last = [-1] * num_ranks
+    order = []
+    append = order.append
+    while window:
+        chosen_pos = 0
+        for pos, index in enumerate(window):
+            if last[ranks[index]] == rows[index]:
+                chosen_pos = pos
+                break
+        index = window.pop(chosen_pos)
+        if next_index < count:
+            window.append(next_index)
+            next_index += 1
+        last[ranks[index]] = rows[index]
+        append(index)
+    return order
+
+
+def reorder_indices(rows, ranks, window_size, num_ranks):
+    """FR-FCFS permutation over int64 arrays using the active flavor.
+
+    ``rows``/``ranks`` are aligned numpy int64 arrays; every rank must be
+    in ``[0, num_ranks)`` (callers validate).  Returns an int64 index
+    array.  Bit-identical to the dict-based loop in
+    ``NMPMemoryController._reorder_indices`` (``-1`` can never match a
+    real row, exactly like the empty-dict initial state).
+    """
+    count = len(rows)
+    if count <= 2:
+        return np.arange(count, dtype=np.int64)
+    flavor = active_flavor()
+    if flavor == "numba":
+        return _reorder_window_flat(rows, ranks,
+                                    window_size if window_size > 1 else 1,
+                                    num_ranks)
+    if flavor == "flat-python":
+        return _reorder_window_flat_py(rows, ranks,
+                                       window_size if window_size > 1 else 1,
+                                       num_ranks)
+    return np.asarray(
+        _reorder_window_python(rows.tolist(), ranks.tolist(),
+                               window_size if window_size > 1 else 1,
+                               num_ranks),
+        dtype=np.int64)
+
+
+# --------------------------------------------------------------------- #
+# Hand-tuned CPython fallback                                           #
+# --------------------------------------------------------------------- #
+def _execute_window_python(daddrs, vsizes, computes, vbytes, localities,
+                           arrivals, flats, bank_groups, rows,
+                           window_size,
+                           b_open, b_next_act, b_next_read, b_next_pre,
+                           b_activations, b_reads, b_precharges,
+                           rs, tp, st, entries, cache_capacity,
+                           cache_latency):
+    """CPython twin of :func:`_execute_window_flat` over plain lists.
+
+    Identical algorithm, tuned for the interpreter: list state (faster
+    element access than numpy scalars under CPython), dict part-memos,
+    and the RankCache's own ``OrderedDict`` as the LRU (its
+    ``move_to_end`` / ``popitem`` are C operations), so cache contents
+    stay authoritative in the object layer with zero syncing.
+    """
+    count = len(daddrs)
+    tRP = tp[TP_TRP]
+    tRCD = tp[TP_TRCD]
+    tCL = tp[TP_TCL]
+    tBL = tp[TP_TBL]
+    tCCD_S = tp[TP_TCCD_S]
+    tCCD_L = tp[TP_TCCD_L]
+    tRRD_S = tp[TP_TRRD_S]
+    tRRD_L = tp[TP_TRRD_L]
+    tFAW = tp[TP_TFAW]
+    tRAS = tp[TP_TRAS]
+    tRC = tp[TP_TRC]
+    tRTP = tp[TP_TRTP]
+    act_count = rs[RS_ACT_COUNT]
+    last_act = rs[RS_LAST_ACT]
+    last_act_bg = rs[RS_LAST_ACT_BG]
+    last_col = rs[RS_LAST_COL]
+    last_col_bg = rs[RS_LAST_COL_BG]
+    bus_free = rs[RS_BUS_FREE]
+    current = rs[RS_CURRENT]
+    use_cache = entries is not None
+    st_instructions = 0
+    st_hits = 0
+    st_misses = 0
+    st_bypasses = 0
+    st_dram_reads = 0
+    st_activations = 0
+    st_busy = 0
+    st_bytes_dram = 0
+    st_bytes_cache = 0
+    st_evictions = 0
+    last_completion = current
+    window = list(range(window_size if window_size < count else count))
+    next_index = len(window)
+    act_part = {}
+    rd_part = {}
+    while window:
+        best_pos = 0
+        best_estimate = None
+        for pos, index in enumerate(window):
+            arrival = arrivals[index]
+            start = arrival if arrival > current else current
+            if best_estimate is not None and start >= best_estimate:
+                continue
+            if use_cache and localities[index] and daddrs[index] in entries:
+                estimate = start
+            else:
+                flat = flats[index]
+                open_row = b_open[flat]
+                bg = bank_groups[index]
+                if open_row == rows[index]:
+                    ready = b_next_read[flat]
+                    part = rd_part.get(bg)
+                    if part is None:
+                        part = bus_free - tCL
+                        if last_col >= 0:
+                            ccd = last_col + (tCCD_L if bg == last_col_bg
+                                              else tCCD_S)
+                            if ccd > part:
+                                part = ccd
+                        rd_part[bg] = part
+                    if part > ready:
+                        ready = part
+                elif open_row == -1:
+                    ready = b_next_act[flat]
+                    part = act_part.get(bg)
+                    if part is None:
+                        part = 0
+                        if act_count >= 4:
+                            faw = rs[act_count % 4] + tFAW
+                            if faw > part:
+                                part = faw
+                        if last_act >= 0:
+                            rrd = last_act + (tRRD_L if bg == last_act_bg
+                                              else tRRD_S)
+                            if rrd > part:
+                                part = rrd
+                        act_part[bg] = part
+                    if part > ready:
+                        ready = part
+                else:
+                    ready = b_next_pre[flat]
+                estimate = start if start > ready else ready
+            if best_estimate is None or estimate < best_estimate:
+                best_estimate = estimate
+                best_pos = pos
+                if estimate <= current:
+                    # estimate >= start >= current for every member and
+                    # ties keep the earliest position: already won.
+                    break
+        index = window.pop(best_pos)
+        if next_index < count:
+            window.append(next_index)
+            next_index += 1
+        daddr = daddrs[index]
+        resident = use_cache and daddr in entries
+        arrival = arrivals[index]
+        start = arrival if arrival > current else current
+        st_instructions += 1
+        hit = False
+        if use_cache:
+            if resident:
+                entries.move_to_end(daddr)
+                hit = True
+            elif localities[index]:
+                st_misses += 1
+                if len(entries) >= cache_capacity:
+                    entries.popitem(last=False)
+                    st_evictions += 1
+                entries[daddr] = None
+            else:
+                st_bypasses += 1
+        if hit:
+            st_hits += 1
+            st_bytes_cache += vbytes[index]
+            data_ready = start + cache_latency
+            next_free = data_ready
+        else:
+            cycle = start
+            commands_issued = 0
+            first_issue = -1
+            row = rows[index]
+            flat = flats[index]
+            bg = bank_groups[index]
+            open_row = b_open[flat]
+            if open_row != row:
+                if open_row != -1:
+                    ready = b_next_pre[flat]
+                    if ready > cycle:
+                        cycle = ready
+                    b_open[flat] = -1
+                    b_precharges[flat] += 1
+                    value = cycle + tRP
+                    if value > b_next_act[flat]:
+                        b_next_act[flat] = value
+                    commands_issued = 1
+                    first_issue = cycle
+                ready = b_next_act[flat]
+                if act_count >= 4:
+                    faw = rs[act_count % 4] + tFAW
+                    if faw > ready:
+                        ready = faw
+                if last_act >= 0:
+                    rrd = last_act + (tRRD_L if bg == last_act_bg
+                                      else tRRD_S)
+                    if rrd > ready:
+                        ready = rrd
+                if ready > cycle:
+                    cycle = ready
+                b_open[flat] = row
+                b_activations[flat] += 1
+                value = cycle + tRCD
+                if value > b_next_read[flat]:
+                    b_next_read[flat] = value
+                value = cycle + tRAS
+                if value > b_next_pre[flat]:
+                    b_next_pre[flat] = value
+                value = cycle + tRC
+                if value > b_next_act[flat]:
+                    b_next_act[flat] = value
+                rs[act_count % 4] = cycle
+                act_count += 1
+                last_act = cycle
+                last_act_bg = bg
+                commands_issued += 1
+                if first_issue == -1:
+                    first_issue = cycle
+                st_activations += 1
+            finish = cycle
+            bursts = vsizes[index]
+            if bursts < 1:
+                bursts = 1
+            for _ in range(bursts):
+                ready = b_next_read[flat]
+                if last_col >= 0:
+                    ccd = last_col + (tCCD_L if bg == last_col_bg
+                                      else tCCD_S)
+                    if ccd > ready:
+                        ready = ccd
+                bus = bus_free - tCL
+                if bus > ready:
+                    ready = bus
+                if ready > cycle:
+                    cycle = ready
+                b_reads[flat] += 1
+                finish = cycle + tCL + tBL
+                value = cycle + tCCD_L
+                if value > b_next_read[flat]:
+                    b_next_read[flat] = value
+                value = cycle + tRTP
+                if value > b_next_pre[flat]:
+                    b_next_pre[flat] = value
+                last_col = cycle
+                last_col_bg = bg
+                if finish > bus_free:
+                    bus_free = finish
+                commands_issued += 1
+                if first_issue == -1:
+                    first_issue = cycle
+                st_dram_reads += 1
+            st_bytes_dram += vbytes[index]
+            data_ready = finish
+            next_free = (start if start > first_issue else first_issue) \
+                + commands_issued
+        completion = data_ready + computes[index]
+        if next_free > start:
+            st_busy += next_free - start
+        current = next_free
+        if completion > last_completion:
+            last_completion = completion
+        if not resident:
+            act_part.clear()
+            rd_part.clear()
+    rs[RS_ACT_COUNT] = act_count
+    rs[RS_LAST_ACT] = last_act
+    rs[RS_LAST_ACT_BG] = last_act_bg
+    rs[RS_LAST_COL] = last_col
+    rs[RS_LAST_COL_BG] = last_col_bg
+    rs[RS_BUS_FREE] = bus_free
+    rs[RS_CURRENT] = current
+    st[ST_INSTRUCTIONS] += st_instructions
+    st[ST_HITS] += st_hits
+    st[ST_MISSES] += st_misses
+    st[ST_BYPASSES] += st_bypasses
+    st[ST_DRAM_READS] += st_dram_reads
+    st[ST_ACTIVATIONS] += st_activations
+    st[ST_BUSY] += st_busy
+    st[ST_BYTES_DRAM] += st_bytes_dram
+    st[ST_BYTES_CACHE] += st_bytes_cache
+    st[ST_EVICTIONS] += st_evictions
+    return last_completion
+
+
+# --------------------------------------------------------------------- #
+# Packing helpers                                                       #
+# --------------------------------------------------------------------- #
+def pack_decoded(config, daddrs):
+    """Vectorised ``(bank_groups, banks, rows)`` decode of a Daddr array."""
+    blocks = daddrs // config.columns_per_row
+    bank_groups = blocks % config.num_bank_groups
+    blocks = blocks // config.num_bank_groups
+    banks = blocks % config.banks_per_group
+    rows = blocks // config.banks_per_group
+    return bank_groups, banks, rows
+
+
+# --------------------------------------------------------------------- #
+# Wrapper classes: sync object state around each kernel call            #
+# --------------------------------------------------------------------- #
+class _RankKernelBase:
+    """Shared packing / sync glue between a RankNMP and a kernel."""
+
+    def __init__(self, rank_nmp):
+        self.rank_nmp = rank_nmp
+        config = rank_nmp.config
+        self.adder = config.adder_latency_cycles
+        self.multiplier = config.multiplier_latency_cycles
+        self.cache_latency = config.cache_latency_cycles
+        self.banks_per_group = config.banks_per_group
+        self.num_bank_groups = config.num_bank_groups
+        self.capacity = (rank_nmp.cache.num_entries
+                         if rank_nmp.cache is not None else 0)
+        self.timing_params = config.timing.kernel_params()
+
+    # ---- entry points ------------------------------------------------ #
+    def execute_objects(self, instructions, arrival_cycles, reorder_window,
+                        decoded=None):
+        """Kernel execution from a list of NMPInstruction objects."""
+        count = len(instructions)
+        if count == 0:
+            return self.rank_nmp.current_cycle
+        daddrs = np.fromiter((inst.daddr for inst in instructions),
+                             np.int64, count)
+        vsizes = np.fromiter((inst.vsize for inst in instructions),
+                             np.int64, count)
+        weighted = np.fromiter((inst.weight != 1.0 for inst in instructions),
+                               np.bool_, count)
+        localities = np.fromiter(
+            (inst.locality_bit for inst in instructions), np.bool_, count)
+        psum_tags = np.fromiter((inst.psum_tag for inst in instructions),
+                                np.int64, count)
+        if decoded is None:
+            bank_groups, banks, rows = pack_decoded(
+                self.rank_nmp.config, daddrs)
+        else:
+            bank_groups = np.asarray(decoded[0], dtype=np.int64)
+            banks = np.asarray(decoded[1], dtype=np.int64)
+            rows = np.asarray(decoded[2], dtype=np.int64)
+        arrivals = np.asarray(arrival_cycles, dtype=np.int64)
+        return self.execute_arrays(daddrs, vsizes, weighted, localities,
+                                   psum_tags, arrivals, bank_groups, banks,
+                                   rows, reorder_window)
+
+    def execute_arrays(self, daddrs, vsizes, weighted, localities,
+                       psum_tags, arrivals, bank_groups, banks, rows,
+                       reorder_window):
+        raise NotImplementedError
+
+    # ---- shared sync helpers ----------------------------------------- #
+    def _rank_scalars(self):
+        """RS vector (list) from the live Rank object + current_cycle."""
+        rank_nmp = self.rank_nmp
+        rs = rank_nmp.dram_rank.kernel_scalars()
+        rs.append(rank_nmp.current_cycle)
+        return rs
+
+    def _write_rank_scalars(self, rs):
+        rank_nmp = self.rank_nmp
+        rank_nmp.dram_rank.set_kernel_scalars(rs)
+        rank_nmp.current_cycle = int(rs[RS_CURRENT])
+
+    def _apply_stats(self, st, psum_tags):
+        rank_nmp = self.rank_nmp
+        stats = rank_nmp.stats
+        stats.instructions += int(st[ST_INSTRUCTIONS])
+        stats.cache_hits += int(st[ST_HITS])
+        stats.cache_misses += int(st[ST_MISSES])
+        stats.cache_bypasses += int(st[ST_BYPASSES])
+        stats.dram_reads += int(st[ST_DRAM_READS])
+        stats.activations += int(st[ST_ACTIVATIONS])
+        stats.busy_cycles += int(st[ST_BUSY])
+        stats.bytes_from_dram += int(st[ST_BYTES_DRAM])
+        stats.bytes_from_cache += int(st[ST_BYTES_CACHE])
+        cache = rank_nmp.cache
+        if cache is not None:
+            cache_stats = cache.stats
+            cache_stats.hits += int(st[ST_HITS])
+            cache_stats.misses += int(st[ST_MISSES])
+            cache_stats.bypasses += int(st[ST_BYPASSES])
+            cache_stats.evictions += int(st[ST_EVICTIONS])
+        psums = rank_nmp._psum_counts
+        if isinstance(psum_tags, np.ndarray):
+            tags, counts = np.unique(psum_tags, return_counts=True)
+            for tag, tag_count in zip(tags.tolist(), counts.tolist()):
+                psums[tag] = psums.get(tag, 0) + tag_count
+        else:
+            for tag in psum_tags:
+                psums[tag] = psums.get(tag, 0) + 1
+
+    def reset(self):
+        """Drop kernel-side state (after RankNMP.reset / cache flush)."""
+
+
+class PythonRankKernel(_RankKernelBase):
+    """Pure-python kernel: list state + the cache's own OrderedDict."""
+
+    flavor = "python"
+
+    def execute_objects(self, instructions, arrival_cycles, reorder_window,
+                        decoded=None):
+        """List-native packing from NMPInstruction objects (no numpy
+        round trip -- plain-int state is what the CPython loop wants)."""
+        count = len(instructions)
+        if count == 0:
+            return self.rank_nmp.current_cycle
+        adder = self.adder
+        with_mult = adder + self.multiplier
+        daddr_list = [inst.daddr for inst in instructions]
+        vsize_list = [inst.vsize for inst in instructions]
+        computes = [with_mult if inst.weight != 1.0 else adder
+                    for inst in instructions]
+        vbytes = [vsize * 64 for vsize in vsize_list]
+        locality_list = [inst.locality_bit for inst in instructions]
+        psum_list = [inst.psum_tag for inst in instructions]
+        if decoded is None:
+            bg_list, bank_list, row_list = \
+                self.rank_nmp.decode_bank_rows(daddr_list)
+        else:
+            bg_list, bank_list, row_list = \
+                list(decoded[0]), list(decoded[1]), list(decoded[2])
+        banks_per_group = self.banks_per_group
+        flats = [bg_list[i] * banks_per_group + bank_list[i]
+                 for i in range(count)]
+        return self._run(daddr_list, vsize_list, computes, vbytes,
+                         locality_list, psum_list, list(arrival_cycles),
+                         flats, bg_list, row_list, reorder_window)
+
+    def execute_arrays(self, daddrs, vsizes, weighted, localities,
+                       psum_tags, arrivals, bank_groups, banks, rows,
+                       reorder_window):
+        count = len(daddrs)
+        if count == 0:
+            return self.rank_nmp.current_cycle
+        flats = (bank_groups * self.banks_per_group + banks).tolist()
+        computes = (self.adder
+                    + self.multiplier * weighted.astype(np.int64)).tolist()
+        vbytes = (vsizes * 64).tolist()
+        return self._run(daddrs.tolist(), vsizes.tolist(), computes, vbytes,
+                         localities.tolist(), psum_tags.tolist(),
+                         arrivals.tolist(), flats, bank_groups.tolist(),
+                         rows.tolist(), reorder_window)
+
+    def _run(self, daddr_list, vsize_list, computes, vbytes, locality_list,
+             psum_list, arrival_list, flats, bg_list, row_list,
+             reorder_window):
+        rank_nmp = self.rank_nmp
+        rank = rank_nmp.dram_rank
+        bank_objs = rank.banks
+        b_open = [-1 if b.open_row is None else b.open_row
+                  for b in bank_objs]
+        b_next_act = [b.next_act for b in bank_objs]
+        b_next_read = [b.next_read for b in bank_objs]
+        b_next_pre = [b.next_pre for b in bank_objs]
+        b_activations = [b.activations for b in bank_objs]
+        b_reads = [b.reads for b in bank_objs]
+        b_precharges = [b.precharges for b in bank_objs]
+        rs = self._rank_scalars()
+        st = [0] * ST_SIZE
+        cache = rank_nmp.cache
+        entries = cache._entries if cache is not None else None
+        window_size = reorder_window if reorder_window > 1 else 1
+        last = _execute_window_python(
+            daddr_list, vsize_list, computes, vbytes, locality_list,
+            arrival_list, flats, bg_list, row_list, window_size,
+            b_open, b_next_act, b_next_read, b_next_pre,
+            b_activations, b_reads, b_precharges,
+            rs, self.timing_params, st, entries, self.capacity,
+            self.cache_latency)
+        for i, bank in enumerate(bank_objs):
+            open_row = b_open[i]
+            bank.open_row = None if open_row < 0 else open_row
+            bank.next_act = b_next_act[i]
+            bank.next_read = b_next_read[i]
+            bank.next_pre = b_next_pre[i]
+            bank.activations = b_activations[i]
+            bank.reads = b_reads[i]
+            bank.precharges = b_precharges[i]
+        self._write_rank_scalars(rs)
+        self._apply_stats(st, psum_list)
+        return last
+
+
+class FlatRankKernel(_RankKernelBase):
+    """Struct-of-arrays kernel wrapper (numba-jitted or un-jitted).
+
+    Keeps a persistent flat LRU (``int64 -> slot`` dict plus linked-list
+    arrays) mirroring the RankCache's ``OrderedDict``; after every call
+    the LRU effects are replayed onto the OrderedDict so the object
+    layer stays authoritative, and the flat side is rebuilt from the
+    OrderedDict whenever the two disagree on occupancy (e.g. after an
+    external ``flush()``).
+    """
+
+    def __init__(self, rank_nmp, fn=None, rebuild_fn=None,
+                 dict_factory=None):
+        super().__init__(rank_nmp)
+        if fn is None:
+            fn = _execute_window_flat
+        if rebuild_fn is None:
+            rebuild_fn = _rebuild_lru_flat
+        self.fn = fn
+        self.rebuild_fn = rebuild_fn
+        if dict_factory is None:
+            if _numba_typed is not None:
+                dict_factory = lambda: _numba_typed.Dict.empty(  # noqa: E731
+                    key_type=_numba_types.int64,
+                    value_type=_numba_types.int64)
+            else:
+                dict_factory = dict
+        self.dict_factory = dict_factory
+        self.flavor = "numba" if _njit is not None and \
+            fn is _execute_window_flat and KERNEL_FLAVOR == "numba" \
+            else "flat-python"
+        capacity = max(1, self.capacity)
+        self._cache_slot = dict_factory()
+        self._lru_prev = np.empty(capacity, np.int64)
+        self._lru_next = np.empty(capacity, np.int64)
+        self._lru_key = np.empty(capacity, np.int64)
+        self._cs = np.zeros(CS_SIZE, np.int64)
+        self._cs[CS_HEAD] = -1
+        self._cs[CS_TAIL] = -1
+
+    def reset(self):
+        self._cache_slot = self.dict_factory()
+        self._cs[CS_HEAD] = -1
+        self._cs[CS_TAIL] = -1
+        self._cs[CS_USED] = 0
+
+    def _sync_cache_in(self):
+        """Rebuild the flat LRU when the OrderedDict mirror diverged."""
+        cache = self.rank_nmp.cache
+        if cache is None:
+            return
+        entries = cache._entries
+        if len(entries) == int(self._cs[CS_USED]):
+            return
+        self._cache_slot = self.dict_factory()
+        keys = np.fromiter(entries, np.int64, len(entries))
+        self.rebuild_fn(keys, self._cache_slot, self._lru_prev,
+                        self._lru_next, self._lru_key, self._cs)
+
+    def _replay_cache_out(self, exec_order, daddrs, localities):
+        """Replay LRU effects of one call onto the OrderedDict mirror."""
+        cache = self.rank_nmp.cache
+        if cache is None:
+            return
+        entries = cache._entries
+        capacity = self.capacity
+        move_to_end = entries.move_to_end
+        popitem = entries.popitem
+        for i in exec_order.tolist():
+            daddr = int(daddrs[i])
+            if daddr in entries:
+                move_to_end(daddr)
+            elif localities[i]:
+                if len(entries) >= capacity:
+                    popitem(last=False)
+                entries[daddr] = None
+
+    def execute_arrays(self, daddrs, vsizes, weighted, localities,
+                       psum_tags, arrivals, bank_groups, banks, rows,
+                       reorder_window):
+        rank_nmp = self.rank_nmp
+        count = len(daddrs)
+        if count == 0:
+            return rank_nmp.current_cycle
+        self._sync_cache_in()
+        flats = bank_groups * self.banks_per_group + banks
+        computes = self.adder + self.multiplier * weighted.astype(np.int64)
+        vbytes = vsizes * 64
+        locality_ints = localities.astype(np.uint8)
+        rank = rank_nmp.dram_rank
+        bank_objs = rank.banks
+        num_banks = len(bank_objs)
+        b_open = np.empty(num_banks, np.int64)
+        b_next_act = np.empty(num_banks, np.int64)
+        b_next_read = np.empty(num_banks, np.int64)
+        b_next_pre = np.empty(num_banks, np.int64)
+        b_activations = np.empty(num_banks, np.int64)
+        b_reads = np.empty(num_banks, np.int64)
+        b_precharges = np.empty(num_banks, np.int64)
+        for i, bank in enumerate(bank_objs):
+            open_row = bank.open_row
+            b_open[i] = -1 if open_row is None else open_row
+            b_next_act[i] = bank.next_act
+            b_next_read[i] = bank.next_read
+            b_next_pre[i] = bank.next_pre
+            b_activations[i] = bank.activations
+            b_reads[i] = bank.reads
+            b_precharges[i] = bank.precharges
+        rs = np.asarray(self._rank_scalars(), dtype=np.int64)
+        tp = np.asarray(self.timing_params, dtype=np.int64)
+        st = np.zeros(ST_SIZE, np.int64)
+        exec_order = np.empty(count, np.int64)
+        use_cache = 1 if rank_nmp.cache is not None else 0
+        window_size = reorder_window if reorder_window > 1 else 1
+        last = self.fn(
+            daddrs, vsizes, computes, vbytes, locality_ints,
+            arrivals, flats, bank_groups, rows,
+            window_size, self.num_bank_groups,
+            b_open, b_next_act, b_next_read, b_next_pre,
+            b_activations, b_reads, b_precharges,
+            rs, tp, st,
+            use_cache, self._cache_slot, self._lru_prev, self._lru_next,
+            self._lru_key, self._cs, max(1, self.capacity),
+            self.cache_latency, exec_order)
+        for i, bank in enumerate(bank_objs):
+            open_row = int(b_open[i])
+            bank.open_row = None if open_row < 0 else open_row
+            bank.next_act = int(b_next_act[i])
+            bank.next_read = int(b_next_read[i])
+            bank.next_pre = int(b_next_pre[i])
+            bank.activations = int(b_activations[i])
+            bank.reads = int(b_reads[i])
+            bank.precharges = int(b_precharges[i])
+        self._write_rank_scalars(rs)
+        self._replay_cache_out(exec_order, daddrs, localities)
+        self._apply_stats(st, psum_tags)
+        return int(last)
+
+
+def make_rank_kernel(rank_nmp):
+    """Kernel wrapper for one RankNMP, or None when kernels are disabled."""
+    flavor = active_flavor()
+    if flavor == "disabled":
+        return None
+    if flavor == "numba":
+        return FlatRankKernel(rank_nmp)
+    if flavor == "flat-python":
+        return FlatRankKernel(rank_nmp, fn=_execute_window_flat_py,
+                              rebuild_fn=_rebuild_lru_flat_py,
+                              dict_factory=dict)
+    return PythonRankKernel(rank_nmp)
+
+
+def describe():
+    """One-line kernel status for CLI / benchmark reporting."""
+    flavor = active_flavor()
+    if flavor == "disabled":
+        return "kernels disabled (REPRO_DISABLE_KERNELS)"
+    if flavor == "numba":
+        return "numba-jitted bank state machine"
+    return "pure-python kernel fallback (numba not installed)"
+
+
+# Imported for the OrderedDict type used in mirror replay documentation;
+# kept explicit so the dependency is visible.
+_ = OrderedDict

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import kernels as _kernels
 from repro.core.instruction import NMPInstruction
 from repro.core.scheduler import PacketScheduler
 
@@ -100,18 +101,20 @@ class NMPMemoryController:
         rank_of_address = self.rank_of_address
         return [rank_of_address(inst.daddr * 64) for inst in instructions]
 
-    def _reorder_indices(self, instructions, ranks):
+    def _reorder_indices(self, rows, ranks):
         """FR-FCFS reorder as an index permutation (see dispatch).
 
         Within a sliding window, instructions that target an already-open
         row (same row as the previous instruction to that rank) are hoisted
         to issue consecutively.  Ordering across PsumTags is irrelevant for
         correctness because each accumulates into its own register.
+        ``rows`` carries the per-instruction DRAM row (``daddr // 128``,
+        128 columns per row), precomputed by the caller so the packed
+        dispatch path can derive it as one array op.
         """
-        count = len(instructions)
+        count = len(rows)
         if count <= 2:
             return list(range(count))
-        rows = [inst.daddr // 128 for inst in instructions]  # 128 cols/row
         window = list(range(min(self.reorder_window, count)))
         next_index = len(window)
         last_row_per_rank = {}
@@ -136,8 +139,9 @@ class NMPMemoryController:
         if len(instructions) <= 2:
             return instructions
         ranks = self._packet_ranks(instructions)
+        rows = [inst.daddr // 128 for inst in instructions]
         return [instructions[i]
-                for i in self._reorder_indices(instructions, ranks)]
+                for i in self._reorder_indices(rows, ranks)]
 
     # ------------------------------------------------------------------ #
     def dispatch(self, channel, reorder=True):
@@ -157,11 +161,25 @@ class NMPMemoryController:
         per_packet = []
         current_cycle = 0
         per_rank_counts = self.stats.per_rank_instructions
+        use_packed = getattr(channel, "supports_packed", False)
+        # Tiny packets stay on the object path: the numpy packing and
+        # kernel-call fixed costs only pay for themselves past a
+        # flavour-dependent packet size (both paths are bit-identical,
+        # so mixing them within one dispatch is safe).
+        packed_min = _kernels.packed_dispatch_min_instructions() \
+            if use_packed else 0
         for packet in order:
+            if use_packed and len(packet.instructions) >= packed_min:
+                current_cycle, latency = self._dispatch_packed(
+                    channel, packet, current_cycle, reorder,
+                    per_rank_counts)
+                per_packet.append(latency)
+                continue
             instructions = list(packet.instructions)
             ranks = self._packet_ranks(instructions)
             if reorder and len(instructions) > 2:
-                permutation = self._reorder_indices(instructions, ranks)
+                rows = [inst.daddr // 128 for inst in instructions]
+                permutation = self._reorder_indices(rows, ranks)
                 instructions = [instructions[i] for i in permutation]
                 ranks = [ranks[i] for i in permutation]
             issue_packet = _ReorderedPacketView(packet, instructions)
@@ -177,6 +195,49 @@ class NMPMemoryController:
             self.stats.packets_issued += 1
             current_cycle = completion
         return current_cycle, per_packet
+
+    def _dispatch_packed(self, channel, packet, current_cycle, reorder,
+                         per_rank_counts):
+        """Array-native dispatch of one packet (no instruction objects).
+
+        Bit-identical to the object path: same rank mapping (scalar calls
+        stay in packet order for stateful mappings), same FR-FCFS
+        permutation, same back-to-back packet timing.  Returns
+        ``(completion, latency)``.
+        """
+        packed = packet.packed_arrays()
+        daddrs = packed.daddrs
+        count = len(daddrs)
+        if self.ranks_of_addresses is not None:
+            ranks = np.asarray(self.ranks_of_addresses(daddrs * 64),
+                               dtype=np.int64)
+        else:
+            rank_of_address = self.rank_of_address
+            ranks = np.fromiter(
+                (rank_of_address(daddr * 64)
+                 for daddr in daddrs.tolist()),
+                np.int64, count)
+        if count and (int(ranks.min()) < 0
+                      or int(ranks.max()) >= self.num_ranks):
+            bad = ranks[(ranks < 0) | (ranks >= self.num_ranks)][0]
+            raise ValueError("invalid rank %d for instruction" % int(bad))
+        if reorder and count > 2:
+            permutation = _kernels.reorder_indices(
+                daddrs // 128, ranks, self.reorder_window, self.num_ranks)
+            packed = packed.take(permutation)
+            ranks = ranks[permutation]
+        self.stats.counter_configurations += 1
+        completion = channel.execute_packed(
+            packed, start_cycle=current_cycle, ranks=ranks)
+        if count:
+            counts = np.bincount(ranks)
+            for rank, rank_count in enumerate(counts.tolist()):
+                if rank_count:
+                    per_rank_counts[rank] = \
+                        per_rank_counts.get(rank, 0) + rank_count
+        self.stats.instructions_issued += count
+        self.stats.packets_issued += 1
+        return completion, completion - current_cycle
 
     def reset(self):
         """Clear queued packets and statistics."""

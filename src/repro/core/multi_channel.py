@@ -68,7 +68,9 @@ class MultiChannelRecNMP:
         Execution backend for the per-channel simulations: ``"serial"``
         (default: fastest for the GIL-bound cycle loops), ``"thread"``,
         ``"process"`` (true multi-core; needs a picklable
-        ``address_of``), or a ready
+        ``address_of``), ``"shared-memory"`` (the process pool with the
+        request arrays shipped through one shared-memory segment per
+        dispatch and the config broadcast once per pool), or a ready
         :class:`~repro.core.backend.ParallelBackend` instance.  The
         process backend rebuilds fresh channel simulators per dispatch in
         its workers (the per-run-reset contract of the registry systems);
@@ -168,3 +170,11 @@ class MultiChannelRecNMP:
     def close(self):
         """Release pooled backend workers (idempotent)."""
         self.backend.shutdown()
+
+    def __enter__(self):
+        """Coordinators are context managers: exit releases the backend."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False

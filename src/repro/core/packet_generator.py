@@ -148,6 +148,15 @@ class PacketGenerator:
             profiler = HotEntryProfiler(threshold=config.hot_entry_threshold)
             profile = profiler.profile(request.indices,
                                        table_id=request.table_id)
+        # Validate the shared fields once per request so the instructions
+        # can be built with the no-validation fast constructor below (the
+        # per-instruction fields are in range by construction: Daddr is
+        # masked, the PsumTag slot is bounded by poolings_per_packet).
+        opcode = NMPOpcode(config.opcode)
+        vsize = int(config.vsize)
+        if not 1 <= vsize < 16:
+            raise ValueError("vsize must be in [1, 16)")
+        table_id = request.table_id
         packets = []
         pooling_groups = list(request.pooling_slices())
         for start in range(0, len(pooling_groups),
@@ -165,20 +174,21 @@ class PacketGenerator:
             addresses = [self.address_of(request.table_id, row)
                          for _, _, row, _ in flat]
             ddr_tags = self._ddr_cmd_tags(addresses)
+            profiling = config.enable_hot_entry_profiling
+            trusted = NMPInstruction.trusted
+            append = instructions.append
             for (tag_slot, pooling_index, row, weight), address, ddr_cmd in \
                     zip(flat, addresses, ddr_tags):
-                locality = True
-                if config.enable_hot_entry_profiling:
-                    locality = profile.is_hot(row)
-                instructions.append(NMPInstruction(
-                    opcode=config.opcode,
-                    ddr_cmd=ddr_cmd,
-                    daddr=self._daddr(address),
-                    vsize=config.vsize,
-                    weight=weight,
-                    locality_bit=locality,
-                    psum_tag=tag_slot,
-                    table_id=request.table_id,
+                locality = bool(profile.is_hot(row)) if profiling else True
+                append(trusted(
+                    opcode,
+                    ddr_cmd,
+                    (address // 64) & 0xFFFFFFFF,
+                    vsize,
+                    weight,
+                    locality,
+                    tag_slot,
+                    table_id=table_id,
                     pooling_index=pooling_index,
                     row_index=row,
                 ))

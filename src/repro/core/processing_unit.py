@@ -159,6 +159,48 @@ class RecNMPChannel:
         return (slowest + dimm_nmp.adder_tree_latency_cycles
                 + dimm_nmp.sum_transfer_cycles * packet.num_poolings)
 
+    @property
+    def supports_packed(self):
+        """True when every rank-NMP has an active command-issue kernel
+        (the array-native :meth:`execute_packed` path is then available
+        and bit-identical to :meth:`execute_packet`)."""
+        return all(rank_nmp.supports_packed
+                   for rank_nmp in self.all_rank_nmps())
+
+    def execute_packed(self, packed, start_cycle=0, ranks=None):
+        """Array-native twin of :meth:`execute_packet`.
+
+        ``packed`` is a :class:`~repro.core.instruction.PackedInstructions`
+        already in issue order; ``ranks`` the aligned per-instruction
+        channel-rank indices (int64 array; defaults to Daddr modulo rank
+        count like the object path).  The per-rank split, C/A arrival
+        times and completion math are vectorised but cycle-identical.
+        """
+        count = len(packed)
+        if count == 0:
+            return start_cycle
+        num_ranks = self.num_ranks
+        if ranks is None:
+            ranks = packed.daddrs % num_ranks
+        else:
+            ranks = np.asarray(ranks, dtype=np.int64)
+        if int(ranks.min()) < 0 or int(ranks.max()) >= num_ranks:
+            bad = ranks[(ranks < 0) | (ranks >= num_ranks)][0]
+            raise ValueError("invalid rank %d for instruction" % int(bad))
+        arrivals = start_cycle + (np.arange(count)
+                                  / self.instruction_rate_per_cycle) \
+            .astype(np.int64)
+        per_rank_last = []
+        for rank_index in np.unique(ranks).tolist():
+            idx = np.nonzero(ranks == rank_index)[0]
+            rank_nmp = self.rank_nmp(rank_index)
+            per_rank_last.append(rank_nmp.execute_packed(
+                packed.take(idx), arrivals[idx]))
+        slowest = max(per_rank_last)
+        dimm_nmp = self.processing_units[0].dimm_nmp
+        return (slowest + dimm_nmp.adder_tree_latency_cycles
+                + dimm_nmp.sum_transfer_cycles * packed.num_poolings)
+
     def rank_load(self, packet, rank_of_instruction=None):
         """Per-rank instruction counts for one packet."""
         if rank_of_instruction is None:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cache.rank_cache import RankCache
+from repro.core import kernels as _kernels
 from repro.dram.commands import CommandType
 from repro.dram.rank import Rank
 from repro.dram.timing import DDR4_2400
@@ -109,6 +110,16 @@ class RankNMP:
         # Partial-sum register file: PsumTag -> accumulated vector count.
         self._psum_counts = {}
         self.current_cycle = 0
+        # Compiled (or pure-python) command-issue kernel; None when
+        # REPRO_DISABLE_KERNELS is set, in which case the object-based
+        # methods below run as-is (they remain the readable spec the
+        # kernel is tested against).  Streams shorter than the cutover
+        # take the legacy path even with a kernel bound: the kernel's
+        # packing and sync costs only amortise on long streams (the
+        # cutover is 0 -- kernel always -- inside force_flavor).
+        self._kernel = _kernels.make_rank_kernel(self)
+        self._kernel_min_instructions = \
+            _kernels.packed_dispatch_min_instructions()
 
     # ------------------------------------------------------------------ #
     # Address decoding                                                   #
@@ -283,6 +294,14 @@ class RankNMP:
         ``decoded`` optionally carries the precomputed ``(bank_group,
         bank_index, row)`` of the instruction (see :meth:`decode_bank_rows`).
         """
+        if self._kernel is not None and self._kernel_min_instructions <= 1:
+            # One-element kernel call: the completion necessarily exceeds
+            # the entry current_cycle, so the return value is identical
+            # to the legacy path below.
+            return self._kernel.execute_objects(
+                (instruction,), (arrival_cycle,), 1,
+                decoded=None if decoded is None else
+                ((decoded[0],), (decoded[1],), (decoded[2],)))
         self.stats.instructions += 1
         start = max(self.current_cycle, arrival_cycle)
         if self.cache is not None:
@@ -374,6 +393,11 @@ class RankNMP:
         last_completion = self.current_cycle
         if not count:
             return last_completion
+        if self._kernel is not None and \
+                count >= self._kernel_min_instructions:
+            return self._kernel.execute_objects(
+                instructions, arrival_cycles, reorder_window,
+                decoded=decoded)
         if decoded is None:
             decoded = self.decode_bank_rows(
                 [inst.daddr for inst in instructions])
@@ -476,6 +500,31 @@ class RankNMP:
                 rd_part.clear()
         return last_completion
 
+    @property
+    def supports_packed(self):
+        """True when the array-native kernel entry point is available."""
+        return self._kernel is not None
+
+    def execute_packed(self, packed, arrival_cycles, reorder_window=16):
+        """Array-native twin of :meth:`execute_instructions`.
+
+        ``packed`` is a :class:`~repro.core.instruction.PackedInstructions`
+        (flat numpy arrays, no NMPInstruction objects); callers must check
+        :attr:`supports_packed` first.  Bit-identical to the object path.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            raise RuntimeError("kernels are disabled; use "
+                               "execute_instructions instead")
+        daddrs = packed.daddrs
+        if not len(daddrs):
+            return self.current_cycle
+        bank_groups, banks, rows = _kernels.pack_decoded(self.config, daddrs)
+        return kernel.execute_arrays(
+            daddrs, packed.vsizes, packed.weighted, packed.localities,
+            packed.psum_tags, arrival_cycles, bank_groups, banks, rows,
+            reorder_window)
+
     # ------------------------------------------------------------------ #
     def psum_count(self, psum_tag):
         """Number of vectors accumulated into a PsumTag so far."""
@@ -497,3 +546,5 @@ class RankNMP:
         self.stats = RankNMPStats()
         self._psum_counts.clear()
         self.current_cycle = 0
+        if self._kernel is not None:
+            self._kernel.reset()

@@ -7,12 +7,18 @@ RecNMP channel (rank-NMP DRAM timing + RankCache + DIMM-NMP reduction).  The
 same physical-address trace runs through the baseline DDR4 system
 (:class:`~repro.dram.system.DramSystem`) so memory-latency speedups can be
 reported exactly as the paper does.
+
+The command-issue inner loop runs on one of the bit-identical execution
+kernels in :mod:`repro.core.kernels` (numba-jitted when available, a
+pure-python twin otherwise); each result records which flavor produced it
+in :attr:`RecNMPResult.kernel_flavor`.
 """
 
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import kernels as _kernels
 from repro.core.instruction import NMPOpcode
 from repro.core.memory_controller import NMPMemoryController
 from repro.core.packet_generator import PacketGenerator, PacketGeneratorConfig
@@ -111,6 +117,7 @@ class RecNMPResult:
     baseline_energy_nj: float = 0.0
     energy_savings_fraction: float = 0.0
     channel_stats: dict = field(default_factory=dict)
+    kernel_flavor: str = "disabled"
 
     @property
     def average_packet_cycles(self):
@@ -131,6 +138,7 @@ class RecNMPResult:
             "energy_nj": self.energy_nj,
             "baseline_energy_nj": self.baseline_energy_nj,
             "energy_savings_fraction": self.energy_savings_fraction,
+            "kernel_flavor": self.kernel_flavor,
         }
 
 
@@ -237,6 +245,7 @@ class RecNMPSimulator:
             rank_load=rank_load,
             load_imbalance=load_imbalance,
             channel_stats=channel_stats,
+            kernel_flavor=_kernels.active_flavor(),
         )
         self._fill_energy(result, channel_stats, requests)
         if compare_baseline:

@@ -119,6 +119,32 @@ class Bank:
         self.precharges += 1
         self.next_act = max(self.next_act, cycle + timing.tRP)
 
+    # ------------------------------------------------------------------ #
+    # Kernel state sync (see repro.core.kernels)                         #
+    # ------------------------------------------------------------------ #
+    def kernel_state(self):
+        """Timing-relevant state as a flat int tuple (-1 = row closed).
+
+        Order matches the per-bank arrays of :mod:`repro.core.kernels`:
+        ``(open_row, next_act, next_read, next_pre, activations, reads,
+        precharges)``.  Also used by parity tests to compare full bank
+        state between the legacy path and a kernel run.
+        """
+        return (-1 if self.open_row is None else self.open_row,
+                self.next_act, self.next_read, self.next_pre,
+                self.activations, self.reads, self.precharges)
+
+    def set_kernel_state(self, open_row, next_act, next_read, next_pre,
+                         activations, reads, precharges):
+        """Write back state mutated by a kernel call."""
+        self.open_row = None if open_row < 0 else int(open_row)
+        self.next_act = int(next_act)
+        self.next_read = int(next_read)
+        self.next_pre = int(next_pre)
+        self.activations = int(activations)
+        self.reads = int(reads)
+        self.precharges = int(precharges)
+
     def record_access_outcome(self, row):
         """Update hit/miss/conflict statistics for an access to ``row``."""
         if self.is_row_hit(row):

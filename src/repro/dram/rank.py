@@ -126,6 +126,55 @@ class Rank:
         raise ValueError("unsupported command %r" % (command_type,))
 
     # ------------------------------------------------------------------ #
+    # Kernel state sync (see repro.core.kernels)                         #
+    # ------------------------------------------------------------------ #
+    def kernel_scalars(self):
+        """Rank-level scalars in the flat ``RS_*`` layout of
+        :mod:`repro.core.kernels` (sans the trailing ``current_cycle``
+        slot, which the rank-NMP wrapper appends).
+
+        Layout: ``[ring0..ring3, act_count, last_act_cycle,
+        last_act_bank_group, last_col_cycle, last_col_bank_group,
+        next_data_bus_free]`` with ``-1`` encoding ``None``.  The ring
+        buffer holds the recent ACT cycles at slot ``act_index % 4``, so
+        ``ring[act_count % 4]`` is ``history[-4]`` once four ACTs
+        happened -- exactly the tFAW reference cycle.
+        """
+        history = self._act_history
+        rs = [0, 0, 0, 0,
+              len(history),
+              -1 if self._last_act_cycle is None else self._last_act_cycle,
+              -1 if self._last_act_bank_group is None
+              else self._last_act_bank_group,
+              -1 if self._last_col_cycle is None else self._last_col_cycle,
+              -1 if self._last_col_bank_group is None
+              else self._last_col_bank_group,
+              self.next_data_bus_free]
+        for i, cycle in enumerate(history):
+            rs[i] = cycle
+        return rs
+
+    def set_kernel_scalars(self, rs):
+        """Write back scalars mutated by a kernel call (inverse of
+        :meth:`kernel_scalars`; tolerates the extra trailing slots of the
+        full RS vector)."""
+        count = int(rs[4])
+        keep = 4 if count > 4 else count
+        history = self._act_history
+        history.clear()
+        for i in range(keep):
+            history.append(int(rs[(count - keep + i) % 4]))
+        value = int(rs[5])
+        self._last_act_cycle = None if value < 0 else value
+        value = int(rs[6])
+        self._last_act_bank_group = None if value < 0 else value
+        value = int(rs[7])
+        self._last_col_cycle = None if value < 0 else value
+        value = int(rs[8])
+        self._last_col_bank_group = None if value < 0 else value
+        self.next_data_bus_free = int(rs[9])
+
+    # ------------------------------------------------------------------ #
     def stats(self):
         """Aggregate bank statistics for this rank."""
         totals = {"row_hits": 0, "row_misses": 0, "row_conflicts": 0,

@@ -88,6 +88,14 @@ class DDR4Timing:
         """Duration of one memory-clock cycle in nanoseconds."""
         return 1_000.0 / self.clock_mhz
 
+    def kernel_params(self):
+        """Flat parameter tuple in the ``TP_*`` order expected by
+        :mod:`repro.core.kernels`: ``(tRP, tRCD, tCL, tBL, tCCD_S,
+        tCCD_L, tRRD_S, tRRD_L, tFAW, tRAS, tRC, tRTP)``."""
+        return (self.tRP, self.tRCD, self.tCL, self.tBL, self.tCCD_S,
+                self.tCCD_L, self.tRRD_S, self.tRRD_L, self.tFAW,
+                self.tRAS, self.tRC, self.tRTP)
+
     def read_latency_cycles(self):
         """Idle-bank read latency (ACT + CAS + burst) in cycles."""
         return self.tRCD + self.tCL + self.tBL

@@ -61,12 +61,21 @@ class ShardedServingCluster:
     service_cache_entries:
         LRU bound on the memoised per-batch service times.
     backend, jobs:
-        Execution backend for every node's cycle simulations
-        (``"serial"`` / ``"thread"`` / ``"process"``) and its worker
-        bound -- forwarded to ``build_system`` as
-        ``backend=``/``max_workers=``.  With the process backend a
-        node's channels use real cores, which is what makes exact
-        (non-interpolated) service times affordable for long event runs.
+        *Node-level* execution backend (``"serial"`` / ``"thread"`` /
+        ``"process"`` / ``"shared-memory"`` or a ready
+        :class:`~repro.core.backend.ParallelBackend`) and its worker
+        bound: the per-node shard simulations of one batch fan out
+        through it, so ``jobs`` governs the total worker slots of the
+        cluster.  The process-family backends rebuild each node from
+        its registry spec in their workers (cached per worker), which
+        keeps every node's channels serial unless ``channel_backend``
+        says otherwise.  Results are bit-identical across backends; the
+        per-batch memoisation stays in this (parent) process.
+    channel_backend, channel_jobs:
+        Within-node channel backend, forwarded to ``build_system`` as
+        ``backend=``/``max_workers=`` -- the pre-node-parallelism knob.
+        Nesting process pools inside process-backend workers is
+        possible but rarely useful; pick one level.
     node_overrides:
         Keyword overrides forwarded to ``build_system`` for every node.
         ``compare_baseline`` defaults to False here: serving only needs the
@@ -76,15 +85,18 @@ class ShardedServingCluster:
     def __init__(self, num_nodes=2, node_system="recnmp-opt-4ch",
                  sharder=None, shard_policy=None, num_frontends=1,
                  service_cache_entries=DEFAULT_SERVICE_CACHE_ENTRIES,
-                 backend=None, jobs=None, **node_overrides):
+                 backend=None, jobs=None, channel_backend=None,
+                 channel_jobs=None, **node_overrides):
+        from repro.core.backend import resolve_backend
+
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         if num_frontends <= 0:
             raise ValueError("num_frontends must be positive")
-        if backend is not None:
-            node_overrides.setdefault("backend", backend)
-        if jobs is not None:
-            node_overrides.setdefault("max_workers", jobs)
+        if channel_backend is not None:
+            node_overrides.setdefault("backend", channel_backend)
+        if channel_jobs is not None:
+            node_overrides.setdefault("max_workers", channel_jobs)
         if sharder is not None and shard_policy is not None:
             raise ValueError("pass either sharder or shard_policy, "
                              "not both")
@@ -106,11 +118,16 @@ class ShardedServingCluster:
         node_overrides.setdefault("compare_baseline", False)
         self.num_nodes = int(num_nodes)
         self.node_system = node_system
+        #: The per-node ``build_system`` overrides; the process-family
+        #: node-level backends ship ``(node_system, node_overrides)`` to
+        #: their workers to rebuild the nodes there.
+        self.node_overrides = dict(node_overrides)
         self.num_frontends = int(num_frontends)
         self.sharder = sharder
         if self.sharder.num_nodes != self.num_nodes:
             raise ValueError("sharder is sized for %d nodes, cluster has %d"
                              % (self.sharder.num_nodes, self.num_nodes))
+        self.backend = resolve_backend(backend, max_workers=jobs)
         self.nodes = [build_system(node_system, **node_overrides)
                       for _ in range(self.num_nodes)]
         self._service_cache = LRUCache(max_entries=service_cache_entries)
@@ -148,11 +165,14 @@ class ShardedServingCluster:
             assignment = self.sharder.assign_requests(requests)
         partitions = partition_by_assignment(requests, assignment,
                                              self.num_nodes)
-        latency_us = 0.0
-        for node, shard in zip(self.nodes, partitions):
-            if not shard:
-                continue
-            latency_us = max(latency_us, node.service_time_us(shard))
+        jobs = [(slot, node, shard)
+                for slot, (node, shard)
+                in enumerate(zip(self.nodes, partitions)) if shard]
+        if not jobs:
+            raise ValueError("batch dispatched no requests to any node")
+        # The busy nodes' shard simulations fan out through the cluster's
+        # node-level backend; the batch completes with its slowest shard.
+        latency_us = max(self.backend.run_service_jobs(self, jobs))
         if latency_us <= 0.0:
             raise ValueError("batch dispatched no requests to any node")
         self._service_cache.put(key, latency_us)
@@ -171,11 +191,20 @@ class ShardedServingCluster:
         self._service_cache.clear()
 
     def close(self):
-        """Release pooled execution-backend workers on every node."""
+        """Release the node-level backend and every node's own workers."""
+        self.backend.shutdown()
         for node in self.nodes:
             close = getattr(node, "close", None)
             if close is not None:
                 close()
+
+    def __enter__(self):
+        """Clusters are context managers: exit releases pooled workers."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ #
     def estimate_query_service_us(self, queries, frontend=None,

@@ -133,6 +133,18 @@ class EmbeddingSystem(abc.ABC):
     def reset(self):
         """Reset mutable state (caches, counters); default: stateless."""
 
+    def close(self):
+        """Release external resources (pooled backend workers);
+        default: nothing to release.  Idempotent."""
+
+    def __enter__(self):
+        """Systems are context managers: exit calls :meth:`close`."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
     def describe(self):
         """Human-readable one-line description of the configuration."""
         return self.name

@@ -10,6 +10,7 @@ from repro.core.backend import (
     ParallelBackend,
     ProcessBackend,
     SerialBackend,
+    SharedMemoryBackend,
     ThreadBackend,
     resolve_backend,
 )
@@ -104,17 +105,37 @@ class TestPickleRoundtrip:
         address_of = pickle.loads(pickle.dumps(LAYOUT.address_of))
         assert address_of(3, 17) == LAYOUT.address_of(3, 17)
 
-    def test_unpicklable_address_of_rejected(self):
-        coordinator = MultiChannelRecNMP(
-            num_channels=2,
-            channel_config=RecNMPConfig(num_dimms=1, ranks_per_dimm=2),
-            address_of=lambda table_id, row: row * 64,
-            backend="process")
-        with pytest.raises(ValueError, match="picklable"):
-            coordinator.run_requests(_requests(num_tables=2, batch=1,
-                                               pooling=4),
-                                     compare_baseline=False)
-        coordinator.close()
+    @pytest.mark.parametrize("backend", ["process", "shared-memory"])
+    def test_unpicklable_address_of_rejected(self, backend):
+        # The lambda address-map regression: both process-family
+        # transports must fail fast in the parent and *name* the
+        # offending input, not die inside a pool worker.
+        with MultiChannelRecNMP(
+                num_channels=2,
+                channel_config=RecNMPConfig(num_dimms=1, ranks_per_dimm=2),
+                address_of=lambda table_id, row: row * 64,
+                backend=backend) as coordinator:
+            with pytest.raises(ValueError,
+                               match="address_of callable"):
+                coordinator.run_requests(_requests(num_tables=2, batch=1,
+                                                   pooling=4),
+                                         compare_baseline=False)
+
+    @pytest.mark.parametrize("backend", ["process", "shared-memory"])
+    def test_unpicklable_config_field_named(self, backend):
+        with MultiChannelRecNMP(
+                num_channels=2,
+                channel_config=RecNMPConfig(num_dimms=1, ranks_per_dimm=2),
+                address_of=LAYOUT.address_of,
+                backend=backend) as coordinator:
+            # Poison one config field after construction: the preflight
+            # must name it instead of blaming the whole work unit.
+            coordinator.channel_config.opcode = lambda: None
+            with pytest.raises(ValueError,
+                               match="config field 'opcode'"):
+                coordinator.run_requests(_requests(num_tables=2, batch=1,
+                                                   pooling=4),
+                                         compare_baseline=False)
 
 
 class TestBackendEquivalence:
@@ -127,7 +148,8 @@ class TestBackendEquivalence:
         cls.reference = coordinator.run_requests(cls.requests,
                                                  compare_baseline=True)
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process",
+                                         "shared-memory"])
     def test_identical_results(self, backend):
         coordinator = _coordinator(backend)
         result = coordinator.run_requests(self.requests,
@@ -165,6 +187,142 @@ class TestBackendEquivalence:
             coordinator.close()
         finally:
             clear_baseline_cache()
+
+
+class TestSharedMemoryTransport:
+    """Zero-copy specifics of the shared-memory backend."""
+
+    def test_weighted_and_metadata_requests_roundtrip(self):
+        # Weights ride in the segment as float32 views; metadata (small)
+        # travels with the descriptors.  Both must survive the transport.
+        rng = np.random.default_rng(5)
+        requests = []
+        for table in range(2):
+            indices = rng.integers(0, NUM_ROWS, size=24)
+            requests.append(SLSRequest(
+                table_id=table, indices=indices,
+                lengths=np.full(2, 12),
+                weights=rng.random(24).astype(np.float32),
+                metadata={"origin": "test"}))
+        results = {}
+        for backend in ("serial", "shared-memory"):
+            with _coordinator(backend, num_channels=2) as coordinator:
+                result = coordinator.run_requests(requests,
+                                                  compare_baseline=False)
+                results[backend] = (result.total_cycles,
+                                    result.per_channel_cycles,
+                                    result.energy_nj)
+        assert results["shared-memory"] == results["serial"]
+
+    def test_repeat_dispatch_reuses_pool(self):
+        with _coordinator("shared-memory", num_channels=2) as coordinator:
+            first = coordinator.run_requests(
+                _requests(num_tables=2, batch=2, pooling=8, seed=1),
+                compare_baseline=False)
+            pool = coordinator.backend._pool
+            second = coordinator.run_requests(
+                _requests(num_tables=2, batch=2, pooling=8, seed=1),
+                compare_baseline=False)
+            assert coordinator.backend._pool is pool
+        assert first.total_cycles == second.total_cycles
+
+    def test_merges_worker_baseline_entries(self):
+        clear_baseline_cache()
+        try:
+            with _coordinator("shared-memory",
+                              num_channels=2) as coordinator:
+                coordinator.run_requests(
+                    _requests(num_tables=2, batch=2, pooling=8, seed=9),
+                    compare_baseline=True)
+                stats = baseline_cache_stats()
+                assert stats["entries"] == 2
+                assert stats["misses"] == 2
+        finally:
+            clear_baseline_cache()
+
+
+class TestContextManagers:
+    def test_backend_context_manager_shuts_down(self):
+        backend = ProcessBackend(max_workers=1)
+        with backend as entered:
+            assert entered is backend
+            backend._ensure_pool(1)
+            assert backend._pool is not None
+        assert backend._pool is None
+
+    def test_coordinator_context_manager(self):
+        with _coordinator("serial", num_channels=2) as coordinator:
+            result = coordinator.run_requests(
+                _requests(num_tables=2, batch=1, pooling=4),
+                compare_baseline=False)
+        assert result.total_cycles > 0
+
+    def test_system_context_manager(self):
+        from repro.systems import build_system
+
+        with build_system("recnmp-opt", table_rows=NUM_ROWS,
+                          vector_size_bytes=VECTOR_BYTES,
+                          compare_baseline=False) as system:
+            result = system.run(_requests(num_tables=1, batch=1,
+                                          pooling=4))
+        assert result.total_cycles > 0
+
+
+class TestNodeLevelServiceJobs:
+    """The serving cluster's per-node shard fan-out (run_service_jobs)."""
+
+    @staticmethod
+    def _cluster(backend):
+        from repro.serving import ShardedServingCluster
+
+        return ShardedServingCluster(
+            num_nodes=2, node_system="recnmp-opt",
+            table_rows=NUM_ROWS, vector_size_bytes=VECTOR_BYTES,
+            backend=backend)
+
+    @staticmethod
+    def _batch():
+        from repro.serving.arrival import queries_from_traces
+        from repro.serving.batcher import QueryBatch
+        from repro.traces import random_trace
+
+        traces = [random_trace(NUM_ROWS, 400, table_id=t, seed=t)
+                  for t in range(4)]
+        queries = queries_from_traces(traces, 4, [0.0] * 4,
+                                      batch_size=2, pooling_factor=10)
+        return QueryBatch(queries=queries, open_us=0.0, formed_us=0.0)
+
+    @pytest.mark.parametrize("backend", ["thread", "process",
+                                         "shared-memory"])
+    def test_service_time_matches_serial(self, backend):
+        batch = self._batch()
+        with self._cluster("serial") as cluster:
+            reference = cluster.service_time_us(batch)
+        with self._cluster(backend) as cluster:
+            assert cluster.service_time_us(batch) == reference
+
+    def test_memoisation_stays_in_parent(self):
+        batch = self._batch()
+        with self._cluster("process") as cluster:
+            first = cluster.service_time_us(batch)
+            stats = cluster.service_cache_stats()
+            assert stats["misses"] == 1
+            assert cluster.service_time_us(batch) == first
+            assert cluster.service_cache_stats()["hits"] == 1
+
+    @pytest.mark.parametrize("backend", ["process", "shared-memory"])
+    def test_unpicklable_node_override_named(self, backend):
+        from repro.serving import ShardedServingCluster
+
+        cluster = ShardedServingCluster(
+            num_nodes=2, node_system="recnmp-opt",
+            table_rows=NUM_ROWS, vector_size_bytes=VECTOR_BYTES,
+            address_of=lambda table_id, row: row * 64,
+            backend=backend)
+        with cluster:
+            with pytest.raises(ValueError,
+                               match="node override 'address_of'"):
+                cluster.service_time_us(self._batch())
 
 
 class TestBaselineCacheMerge:

@@ -1,0 +1,347 @@
+"""Bit-exactness tests for the compiled command-issue kernels.
+
+The contract of :mod:`repro.core.kernels` is that every flavour --
+``numba`` (jitted flat arrays), ``flat-python`` (the same flat-array
+source, un-jitted), ``python`` (the list-native CPython twin) and
+``disabled`` (the legacy object-path spec in
+:class:`~repro.core.rank_nmp.RankNMP`) -- produces *identical* cycles,
+statistics, cache contents and bank state.  These tests pin that
+contract at two levels: randomized instruction streams on a single
+rank-NMP (down to the per-bank timing state), and full-system runs over
+the RecNMP variant matrix of the paper.
+"""
+
+import contextlib
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.instruction import (
+    DDR_CMD_ACT,
+    DDR_CMD_PRE,
+    DDR_CMD_RD,
+    NMPInstruction,
+)
+from repro.core.rank_nmp import RankNMP, RankNMPConfig
+from repro.dlrm.operators import SLSRequest
+from repro.systems import build_system
+from repro.traces import make_production_table_traces, random_trace
+
+FULL_CMD = DDR_CMD_ACT | DDR_CMD_RD | DDR_CMD_PRE
+
+NUM_ROWS = 6_000
+
+#: The non-numba flavours runnable on any host.  ``flat-python`` executes
+#: the *numba kernel source* un-jitted, so the jitted flavour's semantics
+#: are pinned even where numba is not installed.
+PORTABLE_FLAVORS = ("python", "flat-python")
+
+
+def _random_instructions(rng, count, with_cache_traffic=True):
+    """A randomized stream exercising hits, misses, bypasses and rows."""
+    instructions = []
+    for _ in range(count):
+        daddr = int(rng.integers(0, 4096)) * int(rng.integers(1, 64))
+        instructions.append(NMPInstruction(
+            ddr_cmd=FULL_CMD,
+            daddr=daddr,
+            vsize=int(rng.integers(1, 5)),
+            weight=float(rng.choice([1.0, 0.5])),
+            locality_bit=bool(rng.integers(0, 2)) if with_cache_traffic
+            else False,
+            psum_tag=int(rng.integers(0, 8)),
+        ))
+    return instructions
+
+
+def _rank_snapshot(rank):
+    """Everything observable about a rank-NMP after a run."""
+    return {
+        "current_cycle": rank.current_cycle,
+        "stats": rank.stats.as_dict(),
+        "psums": dict(rank._psum_counts),
+        "cache_order": list(rank.cache._entries) if rank.cache else None,
+        "rank_scalars": list(rank.dram_rank.kernel_scalars()),
+        "banks": [bank.kernel_state() for bank in rank.dram_rank.banks],
+    }
+
+
+class TestFlavorSelection:
+    def test_active_flavor_known(self):
+        assert kernels.active_flavor() in ("numba", "python", "disabled")
+
+    def test_describe_nonempty(self):
+        assert kernels.describe()
+
+    def test_force_flavor_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel flavor"):
+            with kernels.force_flavor("cython"):
+                pass
+
+    def test_force_numba_without_numba_raises(self):
+        if kernels.KERNEL_FLAVOR == "numba":
+            pytest.skip("numba available: forcing it is legal")
+        with pytest.raises(RuntimeError, match="numba"):
+            with kernels.force_flavor("numba"):
+                pass
+
+    def test_disabled_flavor_removes_kernel(self):
+        with kernels.force_flavor("disabled"):
+            rank = RankNMP(RankNMPConfig())
+            assert rank._kernel is None
+            assert not rank.supports_packed
+
+
+class TestRankTriParity:
+    """python / flat-python / disabled agree on randomized streams."""
+
+    @pytest.mark.parametrize("use_cache", [True, False])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tri_parity(self, seed, use_cache):
+        rng = np.random.default_rng(seed)
+        instructions = _random_instructions(rng, 120)
+        arrivals = np.cumsum(rng.integers(0, 3, size=120)).tolist()
+        config = RankNMPConfig(use_cache=use_cache,
+                               cache_capacity_bytes=4096)
+        snapshots = {}
+        for flavor in ("disabled",) + PORTABLE_FLAVORS:
+            with kernels.force_flavor(flavor):
+                rank = RankNMP(config)
+                last = rank.execute_instructions(
+                    list(instructions), arrival_cycles=list(arrivals),
+                    reorder_window=8)
+            snapshots[flavor] = (last, _rank_snapshot(rank))
+        reference = snapshots["disabled"]
+        for flavor in PORTABLE_FLAVORS:
+            assert snapshots[flavor] == reference, flavor
+
+    def test_single_instruction_path(self):
+        inst = NMPInstruction(ddr_cmd=FULL_CMD, daddr=123, vsize=2,
+                              locality_bit=True)
+        results = {}
+        for flavor in ("disabled",) + PORTABLE_FLAVORS:
+            with kernels.force_flavor(flavor):
+                rank = RankNMP(RankNMPConfig())
+                completion = rank.execute_instruction(inst)
+                completion2 = rank.execute_instruction(inst)
+            results[flavor] = (completion, completion2,
+                               _rank_snapshot(rank))
+        assert results["python"] == results["disabled"]
+        assert results["flat-python"] == results["disabled"]
+
+    def test_reset_clears_kernel_state(self):
+        rng = np.random.default_rng(7)
+        instructions = _random_instructions(rng, 40)
+        rank = RankNMP(RankNMPConfig(use_cache=True))
+        rank.execute_instructions(list(instructions))
+        first = _rank_snapshot(rank)
+        rank.reset()
+        rank.execute_instructions(list(instructions))
+        assert _rank_snapshot(rank) == first
+
+
+def _requests_for(trace_kind, num_tables=3, batch=3, pooling=14, seed=0):
+    per_table = batch * pooling
+    if trace_kind == "production":
+        traces = make_production_table_traces(
+            num_lookups_per_table=per_table, num_rows=NUM_ROWS,
+            num_tables=num_tables, seed=seed)
+    else:
+        traces = [random_trace(NUM_ROWS, per_table, table_id=t,
+                               seed=seed + t)
+                  for t in range(num_tables)]
+    return [SLSRequest(table_id=trace.table_id,
+                       indices=trace.indices[:per_table],
+                       lengths=np.full(batch, pooling))
+            for trace in traces]
+
+
+def _system_fingerprint(result):
+    return (result.total_cycles, result.latency_ns, result.cache_hit_rate,
+            result.energy_nj)
+
+
+class TestSystemMatrix:
+    """Full-system bit-exactness over the RecNMP variant matrix.
+
+    Four paper variants x two vector sizes x two trace localities x both
+    rank assignments (including stateful first-touch page colouring),
+    active kernels vs. the legacy object path.
+    """
+
+    @pytest.mark.parametrize("rank_assignment", ["address", "page-coloring"])
+    @pytest.mark.parametrize("trace_kind", ["random", "production"])
+    @pytest.mark.parametrize("vector_bytes", [64, 256])
+    @pytest.mark.parametrize("variant", ["recnmp-base", "recnmp-cache",
+                                         "recnmp-sched", "recnmp-opt"])
+    def test_kernel_matches_legacy(self, variant, vector_bytes, trace_kind,
+                                   rank_assignment):
+        # 16 poolings x 18 lookups = 288-instruction packets, above the
+        # packed dispatch cutover, so the kernel path (not the
+        # small-packet object fallback) is what the matrix exercises.
+        requests = _requests_for(trace_kind, pooling=18)
+
+        def run(flavor):
+            with kernels.force_flavor(flavor):
+                with build_system(variant, table_rows=NUM_ROWS,
+                                  vector_size_bytes=vector_bytes,
+                                  rank_assignment=rank_assignment,
+                                  poolings_per_packet=16,
+                                  compare_baseline=False) as system:
+                    return _system_fingerprint(system.run(requests))
+
+        reference = run("disabled")
+        for flavor in PORTABLE_FLAVORS:
+            assert run(flavor) == reference, flavor
+        if kernels.KERNEL_FLAVOR == "numba":
+            assert run("numba") == reference
+
+
+class TestForcedFallback:
+    """REPRO_DISABLE_KERNELS=1 and missing numba must both degrade
+    gracefully to bit-identical results."""
+
+    SNIPPET = """
+import sys
+{prelude}
+from repro.core import kernels
+assert kernels.active_flavor() == {expected!r}, kernels.active_flavor()
+import numpy as np
+from repro.dlrm.operators import SLSRequest
+from repro.systems import build_system
+from repro.traces import random_trace
+
+trace = random_trace(6000, 42, table_id=0, seed=1)
+requests = [SLSRequest(table_id=0, indices=trace.indices,
+                       lengths=np.array([21, 21]))]
+with build_system("recnmp-opt", table_rows=6000, vector_size_bytes=128,
+                  compare_baseline=False) as system:
+    print("CYCLES=%d" % system.run(requests).total_cycles)
+"""
+
+    BLOCK_NUMBA = """
+import importlib.abc
+
+class _Block(importlib.abc.MetaPathFinder):
+    def find_spec(self, name, path=None, target=None):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError("numba blocked for fallback test")
+        return None
+
+sys.meta_path.insert(0, _Block())
+"""
+
+    def _run_subprocess(self, prelude, expected, extra_env=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        env.pop("REPRO_DISABLE_KERNELS", None)
+        if extra_env:
+            env.update(extra_env)
+        script = self.SNIPPET.format(prelude=prelude, expected=expected)
+        completed = subprocess.run([sys.executable, "-c", script],
+                                   env=env, capture_output=True, text=True,
+                                   timeout=240)
+        assert completed.returncode == 0, completed.stderr
+        for line in completed.stdout.splitlines():
+            if line.startswith("CYCLES="):
+                return int(line.split("=", 1)[1])
+        raise AssertionError("no CYCLES line in output: %r"
+                             % completed.stdout)
+
+    def _reference_cycles(self):
+        trace = random_trace(6000, 42, table_id=0, seed=1)
+        requests = [SLSRequest(table_id=0, indices=trace.indices,
+                               lengths=np.array([21, 21]))]
+        with build_system("recnmp-opt", table_rows=6000,
+                          vector_size_bytes=128,
+                          compare_baseline=False) as system:
+            return system.run(requests).total_cycles
+
+    def test_env_var_disables_kernels(self):
+        cycles = self._run_subprocess(
+            "", "disabled", extra_env={"REPRO_DISABLE_KERNELS": "1"})
+        assert cycles == self._reference_cycles()
+
+    def test_import_without_numba(self):
+        # Block numba at import time: the module must import cleanly and
+        # fall back to the pure-python flavour with identical results.
+        cycles = self._run_subprocess(self.BLOCK_NUMBA, "python")
+        assert cycles == self._reference_cycles()
+
+
+class TestPackedHelpers:
+    def test_pack_decoded_matches_scalar_decode(self):
+        config = RankNMPConfig()
+        daddrs = np.array([0, 129, 4097, 65535, 12345], dtype=np.int64)
+        bank_groups, banks, rows = kernels.pack_decoded(config, daddrs)
+        for position, daddr in enumerate(daddrs.tolist()):
+            block = daddr // config.columns_per_row
+            assert bank_groups[position] == block % config.num_bank_groups
+            block //= config.num_bank_groups
+            assert banks[position] == block % config.banks_per_group
+            assert rows[position] == block // config.banks_per_group
+
+    def test_reorder_indices_is_permutation(self):
+        rng = np.random.default_rng(11)
+        rows = rng.integers(0, 6, size=40)
+        ranks = rng.integers(0, 4, size=40)
+        order = kernels.reorder_indices(rows, ranks, 8, 4)
+        assert sorted(np.asarray(order).tolist()) == list(range(40))
+
+    def test_reorder_groups_same_row(self):
+        # Rows [A, B, A] on one rank: after issuing A, the windowed scan
+        # must hoist the second A ahead of B.
+        rows = np.array([5, 9, 5], dtype=np.int64)
+        ranks = np.zeros(3, dtype=np.int64)
+        order = np.asarray(kernels.reorder_indices(rows, ranks, 8, 1))
+        assert order.tolist() == [0, 2, 1]
+
+    def test_packed_dispatch_cutover_by_flavor(self):
+        # The jitted flavour amortises its call overhead on far smaller
+        # packets than the interpreted twins; disabled has no kernel to
+        # route to, so its cutover is irrelevant (0).
+        assert kernels.packed_dispatch_min_instructions("numba") < \
+            kernels.packed_dispatch_min_instructions("python")
+        assert kernels.packed_dispatch_min_instructions("flat-python") == \
+            kernels.packed_dispatch_min_instructions("python")
+        assert kernels.packed_dispatch_min_instructions("disabled") == 0
+        # Forcing a flavor disables the cutover: the forced kernel runs
+        # on every stream (the parity tests above depend on this).
+        with kernels.force_flavor("python"):
+            assert kernels.packed_dispatch_min_instructions() == 0
+            assert RankNMP(RankNMPConfig())._kernel_min_instructions == 0
+
+    def test_small_packets_fall_back_bit_identically(self):
+        # Built under the ambient (un-forced) flavor, streams below the
+        # cutover take the legacy object path even with a kernel bound;
+        # the dispatch mix must not disturb the results.
+        if kernels.active_flavor() == "disabled":
+            pytest.skip("kernels globally disabled: no mixed dispatch")
+        requests = _requests_for("random", num_tables=2, batch=2,
+                                 pooling=6, seed=3)
+
+        def run(forced):
+            context = kernels.force_flavor(forced) if forced else \
+                contextlib.nullcontext()
+            with context:
+                with build_system("recnmp-opt", table_rows=NUM_ROWS,
+                                  compare_baseline=False) as system:
+                    return _system_fingerprint(system.run(requests))
+
+        assert run(None) == run("disabled")
+
+    def test_packed_execution_rejected_without_kernel(self):
+        from repro.core.instruction import PackedInstructions
+
+        with kernels.force_flavor("disabled"):
+            rank = RankNMP(RankNMPConfig())
+        packed = PackedInstructions.from_instructions(
+            _random_instructions(np.random.default_rng(0), 4))
+        with pytest.raises(RuntimeError, match="kernel"):
+            rank.execute_packed(packed, np.zeros(4, dtype=np.int64))

@@ -64,6 +64,13 @@ class TestSimulation:
         assert 0 < result.load_imbalance <= 1.0
         assert result.average_packet_cycles > 0
 
+    def test_result_records_kernel_flavor(self):
+        from repro.core import kernels
+        simulator = _simulator()
+        result = simulator.run_requests(_requests(), compare_baseline=False)
+        assert result.kernel_flavor == kernels.active_flavor()
+        assert result.as_dict()["kernel_flavor"] == result.kernel_flavor
+
     def test_speedup_vs_baseline_positive(self):
         simulator = _simulator()
         result = simulator.run_requests(_requests())
