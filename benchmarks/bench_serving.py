@@ -9,6 +9,8 @@ same offered load, and the multi-channel configuration extends both
 further.
 """
 
+import json
+
 from repro.serving import (
     BatchingFrontend,
     FixedSLOPolicy,
@@ -49,19 +51,22 @@ def compute_serving():
         PoissonArrivalProcess(rate_qps=OFFERED_QPS, seed=1),
         batch_size=QUERY_BATCH, pooling_factor=QUERY_POOLING)
     frontend = BatchingFrontend(max_queries=8, max_delay_us=100.0)
-    reports = {}
+    reports, service_stats = {}, {}
     for name in SYSTEMS:
-        cluster = ShardedServingCluster(
-            num_nodes=NUM_NODES, node_system=name,
-            address_of=address_of, vector_size_bytes=VECTOR_BYTES)
-        reports[name] = cluster.simulate(
-            queries, frontend=frontend,
-            slo_policy=FixedSLOPolicy(SLO_US))
-    return reports
+        with ShardedServingCluster(
+                num_nodes=NUM_NODES, node_system=name,
+                address_of=address_of,
+                vector_size_bytes=VECTOR_BYTES) as cluster:
+            reports[name] = cluster.simulate(
+                queries, frontend=frontend,
+                slo_policy=FixedSLOPolicy(SLO_US))
+            service_stats[name] = cluster.service_stats()
+    return reports, service_stats
 
 
 def bench_serving_latency(benchmark):
-    reports = benchmark.pedantic(compute_serving, rounds=1, iterations=1)
+    reports, service_stats = benchmark.pedantic(compute_serving, rounds=1,
+                                                iterations=1)
     rows = [(name, round(r.utilization, 3), round(r.p50_us, 1),
              round(r.p95_us, 1), round(r.p99_us, 1),
              round(r.sustainable_qps))
@@ -100,3 +105,6 @@ def bench_serving_latency(benchmark):
              " / ".join("%s %.1f%%"
                         % (name, 100 * r.extras["slo"]["attainment"])
                         for name, r in reports.items())))
+    # Per-cluster service-time cache effectiveness, surfaced by
+    # run_all.py next to the baseline-cache line.
+    print("SERVICE_STATS_JSON: %s" % json.dumps(service_stats))

@@ -26,10 +26,17 @@ this benchmark guards both its *speed* and its *answers*:
   is timed with the serial and shared-memory *node-level* backends;
   service times must be identical, and on hosts with >=8 cores the
   fan-out must reach the >=3x wall-clock target at full scale.
+* **Sweep-level parallelism** -- an exact-mode ``qps_sweep`` is timed
+  with the serial and process sweep backends (reports must be
+  bit-identical), recording points/sec and the batch dedup ratio, then
+  re-run cold and warm against a persistent service-time store: the warm
+  pass must perform *zero* exact batch simulations (store misses == 0)
+  in every mode, and on hosts with >=4 cores the process sweep must
+  reach the >=3x wall-clock target at full scale.
 * **Regression floor** -- in every mode (including ``run_all.py --smoke``
-  / CI) the measured single-channel throughput must stay within 2x of
-  the recorded post-optimisation value, so future PRs cannot silently
-  re-slow the hot path.
+  / CI) the measured single-channel throughput and serial sweep
+  points/sec must stay within 2x of the recorded post-optimisation
+  values, so future PRs cannot silently re-slow the hot paths.
 
 Results are printed as a ``SIM_PERF_JSON:`` record for
 ``BENCH_results.json``.  Set ``REPRO_PERF_WRITE_REFERENCE=1`` to refresh
@@ -39,6 +46,7 @@ the ``recorded`` throughput section after an intentional perf change
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -79,6 +87,16 @@ PYTHON_KERNEL_FLOOR = 1.05
 #: at least one core per node.
 NODE_PARALLEL_TARGET = 3.0
 NODE_COUNT = 8
+#: Sweep-level configuration: an exact-mode ``qps_sweep`` over this many
+#: offered-load points, timed per sweep backend, then cold/warm against
+#: a persistent service-time store.
+SWEEP_POINTS = smoke_scaled(8, 3)
+SWEEP_QUERIES = smoke_scaled(24, 8)
+SWEEP_POOLING = smoke_scaled(16, 8)
+SWEEP_BACKENDS = ("serial", "process")
+#: Full-scale parallel-sweep wall-clock target, only meaningful on hosts
+#: with at least one core per in-flight sweep point.
+SWEEP_SPEEDUP_TARGET = 3.0
 
 
 def _workloads():
@@ -199,6 +217,112 @@ def _node_parallel_comparison():
     return entry
 
 
+def _sweep_inputs():
+    """The query-stream factory and QPS grid of the sweep benchmark."""
+    from repro.serving import PoissonArrivalProcess, queries_from_traces
+    from repro.traces import make_production_table_traces
+
+    traces = make_production_table_traces(
+        num_lookups_per_table=SWEEP_QUERIES * SWEEP_POOLING * 4,
+        num_rows=NUM_ROWS, num_tables=4, seed=0)
+
+    def make_queries(qps):
+        return queries_from_traces(
+            traces, SWEEP_QUERIES,
+            PoissonArrivalProcess(rate_qps=qps, seed=1),
+            batch_size=2, pooling_factor=SWEEP_POOLING)
+
+    qps_points = [40_000.0 + 20_000.0 * i for i in range(SWEEP_POINTS)]
+    return make_queries, qps_points
+
+
+def _run_sweep(backend, make_queries, qps_points, service_store=None):
+    """One exact-mode qps_sweep on a fresh 2-node cluster.
+
+    Returns the per-point reports as plain dicts (the byte-identity
+    currency of the serial-vs-parallel and cold-vs-warm comparisons),
+    the wall-clock seconds of the sweep itself, and the cluster's
+    service cache/store stats.
+    """
+    from repro.serving import (
+        BatchingFrontend,
+        ShardedServingCluster,
+        qps_sweep,
+    )
+
+    with ShardedServingCluster(
+            num_nodes=2, node_system="recnmp-opt", table_rows=NUM_ROWS,
+            vector_size_bytes=VECTOR_BYTES,
+            service_store=service_store) as cluster:
+        frontend = BatchingFrontend(max_queries=4, max_delay_us=200.0)
+        start = time.perf_counter()
+        reports = qps_sweep(cluster, make_queries, qps_points,
+                            frontend=frontend, service_model="exact",
+                            backend=backend)
+        seconds = time.perf_counter() - start
+        stats = cluster.service_stats()
+    return [r.as_dict() for r in reports], seconds, stats
+
+
+def _sweep_comparison(store_dir):
+    """Serial-vs-process sweep timing plus a cold/warm store pass."""
+    make_queries, qps_points = _sweep_inputs()
+    entry = {"num_points": len(qps_points), "backends": {}}
+    fields = {}
+    stats_records = {}
+    for backend in SWEEP_BACKENDS:
+        reports, seconds, stats = _run_sweep(backend, make_queries,
+                                             qps_points)
+        fields[backend] = reports
+        stats_records["sweep-" + backend] = stats
+        entry["backends"][backend] = {
+            "seconds": round(seconds, 5),
+            "points_per_sec": round(len(qps_points) / seconds, 3),
+        }
+    for backend in SWEEP_BACKENDS[1:]:
+        assert fields[backend] == fields["serial"], \
+            "%s sweep reports diverged from the serial loop" % backend
+    entry["parallel_speedup"] = round(
+        entry["backends"]["serial"]["seconds"]
+        / entry["backends"]["process"]["seconds"], 3)
+    # Dedup effectiveness of the serial sweep: every batch the engine
+    # consumed vs the exact simulations actually run (the rest were
+    # served by in-batch dedup or the memoised cache).
+    cache = stats_records["sweep-serial"]["cache"]
+    resolved = cache["hits"] + cache["misses"]
+    entry["batches_resolved"] = resolved
+    entry["exact_simulations"] = \
+        stats_records["sweep-serial"]["exact_simulations"]
+    entry["dedup_ratio"] = round(
+        1.0 - entry["exact_simulations"] / resolved, 4) if resolved else 0.0
+
+    # Cold vs warm persistent store: same sweep twice against the same
+    # store file, each on a fresh cluster (cold in-memory cache both
+    # times, so the second run isolates the store tier).
+    store_path = store_dir / "sweep_store.sqlite"
+    cold_reports, cold_seconds, cold_stats = _run_sweep(
+        "serial", make_queries, qps_points, service_store=store_path)
+    warm_reports, warm_seconds, warm_stats = _run_sweep(
+        "serial", make_queries, qps_points, service_store=store_path)
+    assert warm_reports == cold_reports, \
+        "warm-store sweep reports diverged from the cold run"
+    assert warm_stats["exact_simulations"] == 0, \
+        "warm-store sweep ran %d exact simulations (expected zero)" \
+        % warm_stats["exact_simulations"]
+    assert warm_stats["store"]["misses"] == 0, \
+        "warm-store sweep missed the store %d times (expected zero)" \
+        % warm_stats["store"]["misses"]
+    stats_records["sweep-store-cold"] = cold_stats
+    stats_records["sweep-store-warm"] = warm_stats
+    entry["store"] = {
+        "entries": warm_stats["store"]["entries"],
+        "cold_seconds": round(cold_seconds, 5),
+        "warm_seconds": round(warm_seconds, 5),
+        "warm_speedup": round(cold_seconds / warm_seconds, 3),
+    }
+    return entry, stats_records
+
+
 def compute_simulator_perf():
     report = {"mode": MODE, "kernel_flavor": kernels.active_flavor(),
               "workloads": {}}
@@ -238,6 +362,9 @@ def compute_simulator_perf():
             / entry["multi4_backends"]["shared-memory"]["seconds"], 3)
         report["workloads"][kind] = entry
     report["node8"] = _node_parallel_comparison()
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-store-") as tmp:
+        report["sweep"], report["sweep_service_stats"] = \
+            _sweep_comparison(Path(tmp))
     return report
 
 
@@ -271,6 +398,16 @@ def _maybe_write_reference(reference, report):
         "parallel_speedup": report["node8"]["parallel_speedup"],
         "cpu_count": os.cpu_count(),
     }
+    sweep = report["sweep"]
+    recorded["sweep"] = {
+        "num_points": sweep["num_points"],
+        "serial_points_per_sec":
+            sweep["backends"]["serial"]["points_per_sec"],
+        "parallel_speedup": sweep["parallel_speedup"],
+        "dedup_ratio": sweep["dedup_ratio"],
+        "warm_speedup": sweep["store"]["warm_speedup"],
+        "cpu_count": os.cpu_count(),
+    }
     REFERENCE_PATH.write_text(json.dumps(reference, indent=2) + "\n")
 
 
@@ -302,12 +439,32 @@ def bench_simulator_perf(benchmark):
                      node8["backends"][backend]["seconds"], "-",
                      node8["parallel_speedup"]
                      if backend == "shared-memory" else "-"))
+    sweep = report["sweep"]
+    for backend in SWEEP_BACKENDS:
+        rows.append(("sweep", "%dpt/%s" % (sweep["num_points"], backend),
+                     sweep["backends"][backend]["seconds"],
+                     "%.2f pts/s"
+                     % sweep["backends"][backend]["points_per_sec"],
+                     sweep["parallel_speedup"]
+                     if backend != "serial" else "-"))
+    rows.append(("sweep", "store/cold", sweep["store"]["cold_seconds"],
+                 "-", "-"))
+    rows.append(("sweep", "store/warm", sweep["store"]["warm_seconds"],
+                 "-", sweep["store"]["warm_speedup"]))
     print()
     print(format_table(
         "Exact-simulator throughput (%s mode, best of %d, kernels: %s)"
         % (MODE, REPEATS, report["kernel_flavor"]),
         ["workload", "config", "seconds", "insts/sec", "vs serial"], rows))
+    print("sweep dedup: %d/%d batches exact-simulated (dedup ratio %.2f), "
+          "warm store re-run: %d exact sims"
+          % (sweep["exact_simulations"], sweep["batches_resolved"],
+             sweep["dedup_ratio"],
+             report["sweep_service_stats"]["sweep-store-warm"]
+             ["exact_simulations"]))
     print("SIM_PERF_JSON: %s" % json.dumps(report))
+    print("SERVICE_STATS_JSON: %s"
+          % json.dumps(report["sweep_service_stats"]))
 
     for kind, entry in report["workloads"].items():
         # Backend equivalence: every backend must report identical cycles
@@ -341,6 +498,17 @@ def bench_simulator_perf(benchmark):
         print("note: 8-node fan-out speedup %.2fx on a %s-core host "
               "(node-level parallelism needs cores to pay off)"
               % (node8["parallel_speedup"], os.cpu_count()))
+
+    # Sweep-level fan-out target: needs a core per in-flight point.
+    if not SMOKE_MODE and os.cpu_count() and os.cpu_count() >= 4:
+        assert sweep["parallel_speedup"] >= SWEEP_SPEEDUP_TARGET, \
+            "process sweep %.2fx below the %.1fx target on a %d-core " \
+            "host" % (sweep["parallel_speedup"], SWEEP_SPEEDUP_TARGET,
+                      os.cpu_count())
+    elif sweep["parallel_speedup"] < 1.0:
+        print("note: process sweep speedup %.2fx on a %s-core host "
+              "(sweep-level parallelism needs cores to pay off)"
+              % (sweep["parallel_speedup"], os.cpu_count()))
 
     if reference is None:
         return
@@ -395,3 +563,15 @@ def bench_simulator_perf(benchmark):
             assert multi_speedup >= MULTI_SPEEDUP_TARGET, \
                 "4-channel process-backend speedup %.2fx below the %.1fx " \
                 "target on %s" % (multi_speedup, MULTI_SPEEDUP_TARGET, kind)
+    # Loose CI floor on the serial sweep rate, same mechanism as the
+    # single-channel throughput floor above.
+    recorded_sweep = mode_reference.get("recorded", {}).get("sweep")
+    if recorded_sweep and not WRITE_REFERENCE:
+        floor = recorded_sweep["serial_points_per_sec"] / REGRESSION_FLOOR
+        measured = sweep["backends"]["serial"]["points_per_sec"]
+        assert measured >= floor, \
+            "serial sweep rate %.2f points/sec regressed >%.0fx below " \
+            "the recorded %.2f points/sec (refresh with " \
+            "REPRO_PERF_WRITE_REFERENCE=1 if this host is legitimately " \
+            "slower)" % (measured, REGRESSION_FLOOR,
+                         recorded_sweep["serial_points_per_sec"])

@@ -72,6 +72,25 @@ def slo_summaries(output):
     return [match.group(1) for match in SLO_SUMMARY_RECORD.finditer(output)]
 
 
+def format_service_stats(label, stats):
+    """One ``service cache ...; store ...`` line from a
+    :meth:`ShardedServingCluster.service_stats` record."""
+
+    def tier(tier_stats):
+        hits = tier_stats.get("hits", 0)
+        misses = tier_stats.get("misses", 0)
+        lookups = hits + misses
+        rate = 100.0 * hits / lookups if lookups else 0.0
+        return "%d entries, %d hits, %d misses (%.1f%% hit rate)" % (
+            tier_stats.get("entries", 0), hits, misses, rate)
+
+    line = "service cache [%s]: %s" % (label, tier(stats.get("cache", {})))
+    store = stats.get("store")
+    if store is not None:
+        line += "; store: %s" % tier(store)
+    return line
+
+
 def baseline_cache_record(output):
     """The benchmark session's baseline-cache stats, or None."""
     match = BASELINE_CACHE_RECORD.search(output)
@@ -217,6 +236,14 @@ def main(argv=None):
                      cache_stats.get("misses", 0)), flush=True)
         for summary in record.get("slo_summaries", ()):
             print("  slo: %s" % summary, flush=True)
+        # Serving benchmarks report their per-cluster service-time cache
+        # and persistent-store effectiveness as SERVICE_STATS_JSON; the
+        # line rides next to the baseline-cache one above.
+        service_stats = record.get("reports", {}).get("SERVICE_STATS_JSON")
+        if isinstance(service_stats, dict):
+            for label in sorted(service_stats):
+                print("  %s" % format_service_stats(
+                    label, service_stats[label]), flush=True)
         results.append(record)
 
     summary = {

@@ -25,6 +25,13 @@ Subcommands
     ``--admission`` places an admission controller in front of the
     batcher (``none`` / ``token-bucket`` / ``queue-depth`` /
     ``deadline``) so overload sheds instead of queueing without bound.
+    Exact-mode batch service times persist across runs in a sqlite
+    service-time store (default path under the user cache dir, or a
+    directory named by ``--service-store-dir``), so repeating a
+    ``serve`` warm-starts with zero cycle simulations;
+    ``--no-service-store`` keeps everything in memory.  The report ends
+    with the service cache/store entries/hits/misses alongside the
+    baseline-cache accounting.
 
 ``profile``
     cProfile a system's workload run and print the hottest functions
@@ -187,6 +194,27 @@ def _build_arrivals(args):
                                                seed=args.seed)
 
 
+def _service_store_arg(args):
+    """``service_store=`` value for the serve cluster from the CLI flags."""
+    if args.no_service_store:
+        return None
+    if args.service_store_dir is not None:
+        from pathlib import Path
+
+        from repro.perf.service_store import STORE_FILENAME
+
+        return Path(args.service_store_dir) / STORE_FILENAME
+    return "default"
+
+
+def _format_tier_stats(stats):
+    """``entries, hits, misses (rate)`` line for a cache/store snapshot."""
+    lookups = stats["hits"] + stats["misses"]
+    rate = 100.0 * stats["hits"] / lookups if lookups else 0.0
+    return "%d entries, %d hits, %d misses (%.1f%% hit rate)" % (
+        stats["entries"], stats["hits"], stats["misses"], rate)
+
+
 def cmd_serve(args):
     if args.slo_us is not None and args.slo_us <= 0:
         raise SystemExit("error: --slo-us must be positive")
@@ -228,6 +256,7 @@ def cmd_serve(args):
             num_frontends=args.frontends,
             table_rows=args.num_rows,
             backend=args.backend, jobs=args.jobs,
+            service_store=_service_store_arg(args),
             vector_size_bytes=args.vector_bytes, **sharding)
     except KeyError as error:     # unknown registry name from build_system
         raise SystemExit("error: %s" % error.args[0])
@@ -249,8 +278,13 @@ def cmd_serve(args):
                                       max_delay_us=args.max_delay_us),
             engine=args.engine, service_model=service_model,
             slo_policy=args.slo_us, admission=args.admission)
+        # Collected inside the context: the store's entry count needs
+        # its connection, which close() releases.
+        service_stats = cluster.service_stats()
     if args.json:
-        json.dump(report.as_dict(), sys.stdout, indent=2)
+        payload = report.as_dict()
+        payload["service_stats"] = service_stats
+        json.dump(payload, sys.stdout, indent=2)
         print()
         return 0
     print("%s serving %d queries at %.0f QPS offered (%s arrivals)" %
@@ -281,6 +315,14 @@ def cmd_serve(args):
               % (slo["admission"], slo["num_shed"], slo["num_offered"],
                  100 * slo["shed_rate"]))
         print("  goodput        : %.0f QPS" % slo["goodput_qps"])
+    print("  service cache  : %s" % _format_tier_stats(
+        service_stats["cache"]))
+    if "store" in service_stats:
+        print("  service store  : %s" % _format_tier_stats(
+            service_stats["store"]))
+    print("  exact sims     : %d batch simulations (%d duplicates "
+          "collapsed)" % (service_stats["exact_simulations"],
+                          service_stats["dedup_hits"]))
     return 0
 
 
@@ -449,6 +491,14 @@ def build_parser():
                        default="exact",
                        help="per-batch service times: exact cycle "
                             "simulation or calibrated-grid interpolation")
+    serve.add_argument("--service-store-dir", default=None,
+                       help="directory of the persistent service-time "
+                            "store (default: the user cache dir, or "
+                            "$REPRO_SERVICE_STORE_DIR)")
+    serve.add_argument("--no-service-store", action="store_true",
+                       help="keep batch service times in memory only; "
+                            "repeated runs re-simulate instead of "
+                            "warm-starting from the store")
     return parser
 
 

@@ -179,6 +179,94 @@ def _preflight_node_spec(node_system, node_overrides, backend_name):
             % (backend_name, culprit, error)) from error
 
 
+#: Per-worker cache of rebuilt sweep clusters, keyed by the pickled
+#: sweep spec.  A worker serving several points of the same sweep
+#: rebuilds the cluster once; its service-time cache then answers
+#: compositions repeated across that worker's points.
+_WORKER_SWEEP_CLUSTERS = {}
+
+#: Per-worker cache of unpickled sweep parameters (frontend, engine,
+#: service model, SLO policy, admission controller), keyed by payload.
+_WORKER_SWEEP_PARAMS = {}
+
+
+def _sweep_cluster_for(spec_payload):
+    """Rebuild (or fetch the cached) sweep cluster for a pickled spec."""
+    cluster = _WORKER_SWEEP_CLUSTERS.get(spec_payload)
+    if cluster is None:
+        from repro.serving.cluster import build_sweep_cluster
+
+        cluster = build_sweep_cluster(pickle.loads(spec_payload))
+        _WORKER_SWEEP_CLUSTERS[spec_payload] = cluster
+    return cluster
+
+
+def _sweep_params_for(params_payload):
+    """Unpickle (or fetch the cached) shared sweep parameters."""
+    params = _WORKER_SWEEP_PARAMS.get(params_payload)
+    if params is None:
+        params = pickle.loads(params_payload)
+        _WORKER_SWEEP_PARAMS[params_payload] = params
+    return params
+
+
+def _preflight_sweep_pickle(value, backend_name, what):
+    """Pickle a sweep input up front with an actionable error."""
+    try:
+        return pickle.dumps(value)
+    except Exception as error:
+        raise ValueError(
+            "the %s backend runs sweep points in worker processes and "
+            "needs %s to be picklable (%s) -- run the sweep with "
+            "backend='serial' or 'thread' instead" % (backend_name, what,
+                                                      error)) from error
+
+
+def _run_sweep_point(job):
+    """Simulate one QPS point on a worker-local cluster rebuild.
+
+    The cluster is rebuilt from the pickled sweep spec (cached per
+    worker) and the shared simulate parameters come from their own
+    cached payload.  ``simulate`` resets routing state per run, so a
+    point's report is a pure function of its query stream -- identical
+    whether it runs here or in the parent.  Returns the report plus the
+    *new* service-cache entries and counter deltas this point produced
+    (and the baseline-cache deltas, as every process-family job does) so
+    the parent can merge them.
+    """
+    slot, spec_payload, params_payload, queries = job
+    cluster = _sweep_cluster_for(spec_payload)
+    frontend, engine, model, slo_policy, admission = \
+        _sweep_params_for(params_payload)
+    before = cluster.export_service_state()
+    before_keys = {key for key, _ in before["entries"]}
+    baseline_before_keys = {key for key, _ in export_baseline_entries()}
+    baseline_before = baseline_cache_stats()
+    report = cluster.simulate(queries, frontend=frontend, engine=engine,
+                              service_model=model, slo_policy=slo_policy,
+                              admission=admission)
+    after = cluster.export_service_state()
+    delta = {
+        "entries": [(key, value) for key, value in after["entries"]
+                    if key not in before_keys],
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+        "exact_simulations": (after["exact_simulations"]
+                              - before["exact_simulations"]),
+        "dedup_hits": after["dedup_hits"] - before["dedup_hits"],
+    }
+    for counter in ("store_hits", "store_misses", "store_puts"):
+        if counter in after:
+            delta[counter] = after[counter] - before.get(counter, 0)
+    baseline_entries = [(key, value)
+                        for key, value in export_baseline_entries()
+                        if key not in baseline_before_keys]
+    baseline_after = baseline_cache_stats()
+    return (slot, report, delta, baseline_entries,
+            baseline_after["hits"] - baseline_before["hits"],
+            baseline_after["misses"] - baseline_before["misses"])
+
+
 def _run_node_job(job):
     """Node-level serving job: one node's shard of one batch.
 
@@ -402,6 +490,26 @@ class ParallelBackend(abc.ABC):
         """
         return [node.service_time_us(shard) for _, node, shard in jobs]
 
+    def run_sweep_points(self, cluster, point_queries, frontend=None,
+                         engine=None, service_model=None, slo_policy=None,
+                         admission=None):
+        """Simulate one QPS sweep point per query stream, in order.
+
+        ``point_queries`` holds the materialised query stream of every
+        sweep point.  Points are independent given fresh routing state
+        (``simulate`` resets it per run), so the parallel backends fan
+        them out -- per-point cluster clones on threads, worker-side
+        cluster rebuilds in processes -- and merge each worker's
+        service-time cache/store deltas back into ``cluster``, exactly
+        like the baseline-cache merge of the channel jobs.  Reports are
+        bit-identical to this default, the serial loop on the cluster
+        itself.
+        """
+        return [cluster.simulate(queries, frontend=frontend, engine=engine,
+                                 service_model=service_model,
+                                 slo_policy=slo_policy, admission=admission)
+                for queries in point_queries]
+
     def shutdown(self):
         """Release any pooled workers (idempotent)."""
 
@@ -455,12 +563,84 @@ class ThreadBackend(ParallelBackend):
     def run_service_jobs(self, cluster, jobs):
         if len(jobs) <= 1 or self.max_workers == 1:
             return ParallelBackend.run_service_jobs(self, cluster, jobs)
-        workers = len(jobs) if self.max_workers is None else \
-            min(self.max_workers, len(jobs))
+        # Batched service resolution can place the same node object in
+        # several jobs (one per pending batch), and a node system is not
+        # safe to run concurrently with itself -- so jobs are grouped by
+        # node and each group runs serially on one worker, preserving
+        # per-node job order.
+        groups, order = {}, []
+        for position, (_, node, shard) in enumerate(jobs):
+            group = groups.get(id(node))
+            if group is None:
+                group = groups[id(node)] = (node, [])
+                order.append(id(node))
+            group[1].append((position, shard))
+
+        def run_group(node, work):
+            return [(position, node.service_time_us(shard))
+                    for position, shard in work]
+
+        workers = len(order) if self.max_workers is None else \
+            min(self.max_workers, len(order))
+        results = [None] * len(jobs)
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(node.service_time_us, shard)
-                       for _, node, shard in jobs]
-            return [future.result() for future in futures]
+            futures = [pool.submit(run_group, *groups[node_id])
+                       for node_id in order]
+            for future in futures:
+                for position, value in future.result():
+                    results[position] = value
+        return results
+
+    def run_sweep_points(self, cluster, point_queries, frontend=None,
+                         engine=None, service_model=None, slo_policy=None,
+                         admission=None):
+        """Run each point on its own in-process cluster clone.
+
+        The clones isolate everything a point mutates -- routing
+        counters, service cache, node state -- so points can run
+        concurrently; their service-time entries and counters are merged
+        back into the parent cluster in point order.  The cycle loops
+        hold the GIL, so like the channel path this buys overlap rather
+        than multi-core scaling -- use ``process`` for that.
+        """
+        if len(point_queries) <= 1 or self.max_workers == 1:
+            return ParallelBackend.run_sweep_points(
+                self, cluster, point_queries, frontend=frontend,
+                engine=engine, service_model=service_model,
+                slo_policy=slo_policy, admission=admission)
+        import copy
+
+        from repro.serving.cluster import build_sweep_cluster
+
+        spec = cluster.sweep_spec()
+
+        def run_point(queries):
+            clone = build_sweep_cluster(spec)
+            try:
+                # Admission controllers (token levels) and SLO policies
+                # carry per-run state; every point gets its own copies,
+                # which reset-per-run semantics make identical to the
+                # serial loop's shared, reset instances.
+                report = clone.simulate(
+                    queries, frontend=copy.deepcopy(frontend),
+                    engine=engine, service_model=service_model,
+                    slo_policy=copy.deepcopy(slo_policy),
+                    admission=copy.deepcopy(admission))
+                return report, clone.export_service_state()
+            finally:
+                clone.close()
+
+        workers = len(point_queries) if self.max_workers is None else \
+            min(self.max_workers, len(point_queries))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_point, queries)
+                       for queries in point_queries]
+            outcomes = [future.result() for future in futures]
+        reports = []
+        for report, state in outcomes:
+            cluster.merge_service_state(state)
+            reports.append(report)
+        return reports
 
 
 class ProcessBackend(ParallelBackend):
@@ -514,6 +694,53 @@ class ProcessBackend(ParallelBackend):
         futures = [pool.submit(_run_node_job, (slot, spec_payload, shard))
                    for slot, _, shard in jobs]
         return self._collect_results(futures)
+
+    def run_sweep_points(self, cluster, point_queries, frontend=None,
+                         engine=None, service_model=None, slo_policy=None,
+                         admission=None):
+        """Fan the sweep points out to worker processes, one per point.
+
+        Workers rebuild the cluster from its picklable sweep spec
+        (cached per worker, so several points in one worker share a
+        rebuild and its service cache) and receive the simulate
+        parameters through one shared payload.  Each point's query
+        stream is pickled into its job; the worker's report comes back
+        with its service-cache and baseline-cache deltas, which are
+        merged into the parent in point order -- statistics cover the
+        whole sweep and later runs on any backend hit what the workers
+        simulated.
+        """
+        if len(point_queries) <= 1:
+            return ParallelBackend.run_sweep_points(
+                self, cluster, point_queries, frontend=frontend,
+                engine=engine, service_model=service_model,
+                slo_policy=slo_policy, admission=admission)
+        spec_payload = _preflight_sweep_pickle(
+            cluster.sweep_spec(), self.name, "the cluster's sweep spec")
+        params_payload = _preflight_sweep_pickle(
+            (frontend, engine, service_model, slo_policy, admission),
+            self.name, "the sweep parameters (frontend, engine, service "
+            "model, SLO policy, admission controller)")
+        pool = self._ensure_pool(len(point_queries))
+        futures = [pool.submit(_run_sweep_point,
+                               (slot, spec_payload, params_payload, queries))
+                   for slot, queries in enumerate(point_queries)]
+        reports = [None] * len(futures)
+        baseline_merged = {}
+        baseline_hits = baseline_misses = 0
+        for position, future in enumerate(futures):
+            (_, report, delta, baseline_entries,
+             job_hits, job_misses) = future.result()
+            reports[position] = report
+            cluster.merge_service_state(delta)
+            baseline_merged.update(baseline_entries)
+            baseline_hits += job_hits
+            baseline_misses += job_misses
+        if baseline_merged or baseline_hits or baseline_misses:
+            merge_baseline_entries(baseline_merged.items(),
+                                   hits=baseline_hits,
+                                   misses=baseline_misses)
+        return reports
 
     def _collect_results(self, futures):
         """Gather job results in order, merging baseline-cache deltas."""

@@ -68,6 +68,22 @@ class ExactServiceModel(ServiceTimeModel):
     def service_time_us(self, cluster, batch):
         return cluster.service_time_us(batch)
 
+    def service_times_us(self, cluster, batches):
+        """Resolve the whole batch list through the cluster in one call.
+
+        The cluster's batched path fingerprints every batch up front,
+        collapses duplicate compositions, answers cache/store hits in
+        place and fans only the unique misses out through its node-level
+        backend as one flat job list -- bit-identical to the
+        one-batch-at-a-time loop, without serialising the event engine
+        on each simulation in turn.  Cluster-likes without the batched
+        entry point fall back to the base-class loop.
+        """
+        batched = getattr(cluster, "service_times_us", None)
+        if batched is None:
+            return super().service_times_us(cluster, batches)
+        return batched(batches)
+
 
 class InterpolatingServiceModel(ServiceTimeModel):
     """Interpolate service times from a calibrated grid of simulations.
@@ -223,6 +239,24 @@ class InterpolatingServiceModel(ServiceTimeModel):
         return {"exact_calls": self._exact_calls,
                 "interpolated_calls": self._interpolated_calls,
                 "grids": len(self._grids)}
+
+    def __getstate__(self):
+        """Pickle without the calibration grids.
+
+        Grid entries pin their clusters (see :meth:`_grid_for`), so a
+        pickled model would drag whole clusters -- backends, pools and
+        all -- across the process boundary.  A model shipped to a sweep
+        worker therefore starts cold and recalibrates against the
+        worker's own cluster, which is exactly the grid it needs.
+        """
+        state = self.__dict__.copy()
+        state["_grids"] = self._grids.max_entries
+        return state
+
+    def __setstate__(self, state):
+        state = dict(state)
+        state["_grids"] = LRUCache(max_entries=state["_grids"])
+        self.__dict__.update(state)
 
 
 #: Model registry: name -> class (interp needs constructor arguments, so

@@ -21,6 +21,11 @@ of the batcher (:mod:`repro.serving.admission`), reporting goodput, SLO
 attainment and shed rate in ``extras["slo"]``.
 """
 
+from repro.perf.service_store import (
+    ServiceTimeStore,
+    resolve_service_store,
+    stable_fingerprint,
+)
 from repro.serving.batcher import BatchingFrontend, QueryBatch
 from repro.serving.engine import resolve_engine
 from repro.serving.sharding import TableSharder, partition_by_assignment
@@ -76,6 +81,16 @@ class ShardedServingCluster:
         ``backend=``/``max_workers=`` -- the pre-node-parallelism knob.
         Nesting process pools inside process-backend workers is
         possible but rarely useful; pick one level.
+    service_store:
+        Optional persistent tier beneath the in-memory service-time
+        cache (:mod:`repro.perf.service_store`): ``None`` (the default)
+        keeps everything in memory, a path or ``"default"`` opens a
+        sqlite store so batch service times survive process restarts,
+        keyed by the cluster's configuration fingerprint, the active
+        kernel flavor and the batch content.  A ready
+        :class:`~repro.perf.service_store.ServiceTimeStore` is shared
+        (and left open on ``close``); stores this cluster opened itself
+        are closed with it.
     node_overrides:
         Keyword overrides forwarded to ``build_system`` for every node.
         ``compare_baseline`` defaults to False here: serving only needs the
@@ -86,7 +101,7 @@ class ShardedServingCluster:
                  sharder=None, shard_policy=None, num_frontends=1,
                  service_cache_entries=DEFAULT_SERVICE_CACHE_ENTRIES,
                  backend=None, jobs=None, channel_backend=None,
-                 channel_jobs=None, **node_overrides):
+                 channel_jobs=None, service_store=None, **node_overrides):
         from repro.core.backend import resolve_backend
 
         if num_nodes <= 0:
@@ -131,64 +146,253 @@ class ShardedServingCluster:
         self.nodes = [build_system(node_system, **node_overrides)
                       for _ in range(self.num_nodes)]
         self._service_cache = LRUCache(max_entries=service_cache_entries)
+        # A ready store is shared infrastructure; one resolved from a
+        # path/"default" belongs to this cluster and is closed with it.
+        self._owns_store = not isinstance(service_store, ServiceTimeStore)
+        self.service_store = resolve_service_store(service_store)
+        self._config_fp = None
+        self._exact_simulations = 0
+        self._dedup_hits = 0
 
     # ------------------------------------------------------------------ #
-    def service_time_us(self, batch):
-        """Simulated execution time of one batch on the sharded cluster.
+    def _batch_key(self, batch, requests):
+        """Content key of a batch, advancing stateful routing.
 
-        The batch's SLS requests are partitioned by table placement; every
-        node executes its shard and the batch completes when the slowest
-        shard does.  Results are memoised by batch *content* (the queries'
-        lookup fingerprints, not their ids or arrival times) in a bounded
-        LRU, so QPS sweeps that re-batch the same queries only simulate
-        new compositions while different workloads never collide.  With a
-        *stateful* sharder (replication routes by running load counters)
-        the same content can land on different nodes over time, so the
-        cache key also carries the per-request node assignment -- routing
-        state always advances, cached or not.
+        Returns ``(key, assignment)``: the service-cache key and, for
+        stateful sharders, the (committed) per-request node assignment
+        the key embeds.  Stateless sharders return ``assignment=None``
+        -- their assignment is a pure function of content, so a cache
+        hit needs no assignment pass at all.
         """
-        requests = batch.requests()
         key = tuple(query.fingerprint() for query in batch.queries)
         if self.sharder.stateful:
             # Routing state must advance for every batch, cached or not,
             # and the assignment is part of the key.
             assignment = self.sharder.assign_requests(requests)
-            key = (key, tuple(assignment))
-        else:
-            # Stateless sharders assign deterministically, so a cache hit
-            # needs no assignment pass at all.
-            assignment = None
-        cached = self._service_cache.get(key)
-        if cached is not None:
-            return cached
+            return (key, tuple(assignment)), assignment
+        return key, None
+
+    def _batch_jobs(self, base_slot, batch, requests, assignment):
+        """Per-node ``(slot, node, shard)`` jobs of one batch."""
         if assignment is None:
             assignment = self.sharder.assign_requests(requests)
         partitions = partition_by_assignment(requests, assignment,
                                              self.num_nodes)
-        jobs = [(slot, node, shard)
-                for slot, (node, shard)
+        jobs = [(base_slot + index, node, shard)
+                for index, (node, shard)
                 in enumerate(zip(self.nodes, partitions)) if shard]
         if not jobs:
             raise ValueError("batch dispatched no requests to any node")
-        # The busy nodes' shard simulations fan out through the cluster's
-        # node-level backend; the batch completes with its slowest shard.
-        latency_us = max(self.backend.run_service_jobs(self, jobs))
-        if latency_us <= 0.0:
-            raise ValueError("batch dispatched no requests to any node")
-        self._service_cache.put(key, latency_us)
-        return latency_us
+        return jobs
+
+    def config_fingerprint(self):
+        """Stable digest of everything that shapes a batch service time.
+
+        The persistent service store's namespace key: node system, node
+        count, build overrides and the sharder's placement all change
+        what a batch costs, so they are all in the digest.  Stateful
+        sharders additionally embed the per-request assignment in each
+        batch key, so two runs only share stored entries when placement
+        *and* routing agree.
+        """
+        if self._config_fp is None:
+            sharder = self.sharder
+            sharder_parts = [type(sharder).__name__, sharder.num_nodes,
+                             sharder.policy]
+            replicas = getattr(sharder, "replicas", None)
+            if replicas is not None:
+                sharder_parts += [sorted(replicas.items()),
+                                  getattr(sharder, "seed", None),
+                                  getattr(sharder,
+                                          "request_overhead_lookups", None)]
+            self._config_fp = stable_fingerprint(
+                ("service-config", self.node_system, self.num_nodes,
+                 self.node_overrides, tuple(sharder_parts)))
+        return self._config_fp
+
+    def service_time_us(self, batch):
+        """Simulated execution time of one batch on the sharded cluster.
+
+        The single-batch entry point of :meth:`service_times_us`; see
+        there for the caching and dispatch semantics.
+        """
+        return self.service_times_us([batch])[0]
+
+    def service_times_us(self, batches):
+        """Service times of a batch list, deduplicated and backend-fanned.
+
+        Each batch's SLS requests are partitioned by table placement;
+        every node executes its shard and the batch completes when the
+        slowest shard does.  Results are memoised by batch *content*
+        (the queries' lookup fingerprints, not their ids or arrival
+        times) in a bounded LRU, with the optional persistent store as a
+        second tier beneath it, so runs that re-batch the same queries
+        only simulate new compositions while different workloads never
+        collide.  With a *stateful* sharder (replication routes by
+        running load counters) the same content can land on different
+        nodes over time, so the cache key also carries the per-request
+        node assignment -- routing state always advances, cached or not.
+
+        The whole list is fingerprinted up front: repeated compositions
+        collapse onto one pending simulation, cache/store hits are
+        answered in place, and only the *unique misses* fan out through
+        the node-level backend as one flat job list -- so a parallel
+        backend overlaps the shards of different batches instead of
+        blocking on each batch in turn.  Keys are computed in list
+        order, simulations are deterministic, and the per-batch result
+        is the max over its own shards, so the returned vector is
+        bit-identical to resolving the batches one at a time.
+        """
+        batches = list(batches)
+        keyed = []
+        for batch in batches:
+            requests = batch.requests()
+            key, assignment = self._batch_key(batch, requests)
+            keyed.append((batch, requests, key, assignment))
+        results = [None] * len(batches)
+        pending = {}                    # key -> [batch indices]
+        dedup_hits = 0
+        for index, (batch, requests, key, assignment) in enumerate(keyed):
+            if key in pending:
+                # Duplicate of an in-flight miss: one simulation serves
+                # every occurrence (a hit on the one-at-a-time path).
+                pending[key].append(index)
+                dedup_hits += 1
+                continue
+            cached = self._service_cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+            if self.service_store is not None:
+                stored = self.service_store.get(self.config_fingerprint(),
+                                                key)
+                if stored is not None:
+                    self._service_cache.put(key, stored)
+                    results[index] = stored
+                    continue
+            pending[key] = [index]
+        # One flat job list over every unique miss: the busy nodes' shard
+        # simulations of *all* pending batches fan out through the
+        # cluster's node-level backend together.
+        flat_jobs, spans = [], []
+        for key, indices in pending.items():
+            batch, requests, _, assignment = keyed[indices[0]]
+            jobs = self._batch_jobs(len(flat_jobs), batch, requests,
+                                    assignment)
+            spans.append((key, len(flat_jobs), len(jobs)))
+            flat_jobs.extend(jobs)
+        if flat_jobs:
+            times = self.backend.run_service_jobs(self, flat_jobs)
+            self._exact_simulations += len(spans)
+            stored_pairs = []
+            for key, start, count in spans:
+                # The batch completes with its slowest shard.
+                latency_us = max(times[start:start + count])
+                if latency_us <= 0.0:
+                    raise ValueError(
+                        "batch dispatched no requests to any node")
+                self._service_cache.put(key, latency_us)
+                stored_pairs.append((key, latency_us))
+                for index in pending[key]:
+                    results[index] = latency_us
+            if self.service_store is not None:
+                self.service_store.put_many(self.config_fingerprint(),
+                                            stored_pairs)
+        if dedup_hits:
+            # Count collapsed duplicates as cache hits: that is what the
+            # one-at-a-time path would have recorded for them.
+            self._service_cache.merge_entries([], hits=dedup_hits)
+            self._dedup_hits += dedup_hits
+        return results
 
     def service_cache_stats(self):
         """Hit/miss/occupancy snapshot of the service-time cache."""
         return self._service_cache.stats()
 
+    def service_stats(self):
+        """Cache, store and simulation accounting for this cluster.
+
+        ``cache`` is the in-memory LRU snapshot, ``exact_simulations``
+        the number of batch compositions actually simulated,
+        ``dedup_hits`` the duplicates collapsed by batched resolution,
+        and ``store`` (present when a persistent store is attached) the
+        disk tier's hit/miss/put counters.
+        """
+        stats = {"cache": self._service_cache.stats(),
+                 "exact_simulations": self._exact_simulations,
+                 "dedup_hits": self._dedup_hits}
+        if self.service_store is not None:
+            stats["store"] = self.service_store.stats()
+        return stats
+
+    def export_service_state(self):
+        """Snapshot of cache entries and counters for a sweep merge.
+
+        A sweep worker (thread clone or process rebuild) runs its points
+        on its own cluster object; the parent folds the worker's
+        service-time entries and counter deltas back with
+        :meth:`merge_service_state`, exactly like the baseline-cache
+        merge of the process backends.
+        """
+        cache = self._service_cache.stats()
+        state = {"entries": self._service_cache.export_entries(),
+                 "hits": cache["hits"],
+                 "misses": cache["misses"],
+                 "exact_simulations": self._exact_simulations,
+                 "dedup_hits": self._dedup_hits}
+        if self.service_store is not None:
+            store = self.service_store.stats()
+            state["store_hits"] = store["hits"]
+            state["store_misses"] = store["misses"]
+            state["store_puts"] = store["puts"]
+        return state
+
+    def merge_service_state(self, state):
+        """Fold a worker's :meth:`export_service_state` into this cluster."""
+        self._service_cache.merge_entries(state["entries"],
+                                          hits=state["hits"],
+                                          misses=state["misses"])
+        self._exact_simulations += state["exact_simulations"]
+        self._dedup_hits += state["dedup_hits"]
+        if self.service_store is not None:
+            self.service_store.merge_counters(
+                hits=state.get("store_hits", 0),
+                misses=state.get("store_misses", 0),
+                puts=state.get("store_puts", 0))
+
+    def sweep_spec(self):
+        """Picklable recipe for an equivalent cluster in a sweep worker.
+
+        Captures the node build, frontends, cache bound, sharder and the
+        store *path* (workers open their own connection); the worker's
+        node-level backend stays serial -- one process per sweep point
+        is the parallelism level, nesting pools under it buys nothing.
+        """
+        return {
+            "num_nodes": self.num_nodes,
+            "node_system": self.node_system,
+            "node_overrides": dict(self.node_overrides),
+            "num_frontends": self.num_frontends,
+            "service_cache_entries": self._service_cache.max_entries,
+            "sharder": self.sharder,
+            "service_store": None if self.service_store is None
+            else str(self.service_store.path),
+        }
+
     def reset(self):
-        """Reset every node, the memoised service times and the routing."""
+        """Reset every node, the memoised service times and the routing.
+
+        The persistent store is deliberately left alone -- surviving
+        resets and process restarts is its purpose; use
+        ``service_store.invalidate()`` to drop stored entries.
+        """
         for node in self.nodes:
             node.reset()
         if self.sharder.stateful:
             self.sharder.reset_routing()
         self._service_cache.clear()
+        self._exact_simulations = 0
+        self._dedup_hits = 0
 
     def close(self):
         """Release the node-level backend and every node's own workers."""
@@ -197,6 +401,8 @@ class ShardedServingCluster:
             close = getattr(node, "close", None)
             if close is not None:
                 close()
+        if self.service_store is not None and self._owns_store:
+            self.service_store.close()
 
     def __enter__(self):
         """Clusters are context managers: exit releases pooled workers."""
@@ -327,8 +533,31 @@ class ShardedServingCluster:
         return "%dx %s" % (self.num_nodes, self.node_system)
 
 
+def build_sweep_cluster(spec):
+    """Rebuild an equivalent cluster from a sweep spec.
+
+    The sharder is deep-copied so the rebuilt cluster owns its routing
+    state (thread-backend clones would otherwise share counters with the
+    parent); everything else in the spec is plain configuration.  The
+    clone's node-level backend is serial and its store -- when the spec
+    names one -- is a fresh connection to the shared database file.
+    """
+    import copy
+
+    spec = dict(spec)
+    return ShardedServingCluster(
+        num_nodes=spec["num_nodes"],
+        node_system=spec["node_system"],
+        sharder=copy.deepcopy(spec["sharder"]),
+        num_frontends=spec["num_frontends"],
+        service_cache_entries=spec["service_cache_entries"],
+        service_store=spec["service_store"],
+        **spec["node_overrides"])
+
+
 def qps_sweep(cluster, make_queries, qps_points, frontend=None, engine=None,
-              service_model=None, slo_policy=None, admission=None):
+              service_model=None, slo_policy=None, admission=None,
+              backend=None, jobs=None):
     """Latency/throughput curve over offered load.
 
     ``make_queries(qps)`` must return the query stream offered at that rate
@@ -339,7 +568,20 @@ def qps_sweep(cluster, make_queries, qps_points, frontend=None, engine=None,
     service model is not re-instantiated at every QPS point, and
     admission controllers reset their per-run state at each point.
     Returns the list of :class:`ServingReport`, one per point, in order.
+
+    ``backend``/``jobs`` select the *sweep-level* execution backend
+    (default serial): sweep points are independent given fresh routing
+    state -- ``simulate`` already resets it per run -- so ``"thread"``
+    runs each point on a per-point cluster clone and ``"process"`` /
+    ``"shared-memory"`` rebuild the cluster in worker processes, one
+    point per worker.  Query streams are materialised in the parent
+    (``make_queries`` itself never crosses a process boundary), every
+    worker's service-time cache/store deltas are merged back into
+    ``cluster``, and the reports are bit-identical to the serial loop.
+    A backend passed by name is shut down when the sweep returns; a
+    ready instance is left running for the caller to reuse.
     """
+    from repro.core.backend import ParallelBackend, resolve_backend
     from repro.perf.service_model import resolve_service_model
     from repro.serving.admission import resolve_admission
     from repro.serving.slo import resolve_slo_policy
@@ -348,11 +590,14 @@ def qps_sweep(cluster, make_queries, qps_points, frontend=None, engine=None,
     service_model = resolve_service_model(service_model)
     slo_policy = resolve_slo_policy(slo_policy)
     admission = resolve_admission(admission)
-    reports = []
-    for qps in qps_points:
-        reports.append(cluster.simulate(make_queries(qps),
-                                        frontend=frontend, engine=engine,
-                                        service_model=service_model,
-                                        slo_policy=slo_policy,
-                                        admission=admission))
-    return reports
+    owns_backend = not isinstance(backend, ParallelBackend)
+    sweep_backend = resolve_backend(backend, max_workers=jobs)
+    point_queries = [list(make_queries(qps)) for qps in qps_points]
+    try:
+        return sweep_backend.run_sweep_points(
+            cluster, point_queries, frontend=frontend, engine=engine,
+            service_model=service_model, slo_policy=slo_policy,
+            admission=admission)
+    finally:
+        if owns_backend:
+            sweep_backend.shutdown()

@@ -21,6 +21,18 @@ instead of FIFO) or passed as instances;
 :meth:`ShardedServingCluster.simulate` and ``qps_sweep`` accept either
 through their ``engine=`` parameter, with the analytic engine as the
 backward-compatible default.
+
+Engines consume the *whole* per-run service-time vector in one
+``summarize`` call -- they never resolve service times themselves.  The
+cluster produces that vector through
+:meth:`ServiceTimeModel.service_times_us`, whose exact mode
+batch-deduplicates and fans the unique misses out through the cluster's
+node-level backend, so the engine layer stays oblivious to caching,
+persistence and parallel resolution.  ``summarize`` must also stay a
+pure function of its arguments (every built-in engine is): parallel
+``qps_sweep`` backends run points on cluster clones and worker-process
+rebuilds, where cross-point engine state would silently diverge from
+the serial loop.
 """
 
 import abc

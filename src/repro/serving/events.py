@@ -72,7 +72,25 @@ def simulate_batch_queue(ready_times_us, service_times_us, num_servers=1,
     arrival_order = np.argsort(ready, kind="stable")
     starts = np.empty_like(ready)
     completes = np.empty_like(ready)
-    if order == "fifo":
+    if order == "fifo" and num_servers == 1:
+        # Single-server FIFO is a pure running recurrence -- start[i] =
+        # max(ready[i], complete[i-1]) -- with the closed form
+        # complete[i] = max_{j<=i}(ready[j] - C[j-1]) + C[i] over the
+        # service prefix sums C, so the whole queue is three vector ops
+        # instead of a heap loop.  The prefix-sum reassociation can
+        # differ from the sequential recurrence in the last floating-
+        # point ulp; it is exact on integer-valued times below 2**53.
+        sorted_ready = ready[arrival_order]
+        sorted_services = services[arrival_order]
+        csum = np.cumsum(sorted_services)
+        exclusive = np.concatenate(([0.0], csum[:-1]))
+        sorted_completes = np.maximum.accumulate(sorted_ready - exclusive) \
+            + csum
+        sorted_starts = np.maximum(sorted_ready,
+                                   sorted_completes - sorted_services)
+        starts[arrival_order] = sorted_starts
+        completes[arrival_order] = sorted_completes
+    elif order == "fifo":
         free_at = [float(ready[arrival_order[0]])] * num_servers
         heapq.heapify(free_at)
         for index in arrival_order:
@@ -108,16 +126,18 @@ def simulate_batch_queue(ready_times_us, service_times_us, num_servers=1,
             starts[index] = start
             completes[index] = complete
             heapq.heappush(free_at, complete)
-    # Waiting-queue depth: a batch occupies the queue from ready to start.
-    # Departures sort before arrivals at equal times, so a batch that
-    # starts immediately never counts.
-    events = sorted([(float(t), 1) for t in ready]
-                    + [(float(t), -1) for t in starts],
-                    key=lambda event: (event[0], event[1]))
-    depth = max_depth = 0
-    for _, delta in events:
-        depth += delta
-        max_depth = max(max_depth, depth)
+    # Waiting-queue depth: a batch occupies the queue from ready to start,
+    # and the depth only peaks just after an arrival -- so instead of
+    # replaying a sorted 2B-event list, evaluate the depth at each sorted
+    # arrival time directly from the already-computed start times:
+    # arrivals so far minus starts at or before that instant (counting
+    # ``start <= t`` reproduces the old tie rule that departures precede
+    # arrivals, so a batch that starts immediately never counts).
+    sorted_ready_times = ready[arrival_order]
+    departed = np.searchsorted(np.sort(starts), sorted_ready_times,
+                               side="right")
+    depth_after_arrival = np.arange(1, ready.size + 1) - departed
+    max_depth = max(0, int(depth_after_arrival.max()))
     return starts, completes, max_depth
 
 

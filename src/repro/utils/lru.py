@@ -68,6 +68,37 @@ class LRUCache:
             self._hits = 0
             self._misses = 0
 
+    def export_entries(self):
+        """Snapshot the cache as ``(key, value)`` pairs, LRU first.
+
+        The worker-to-parent merge primitive of the parallel serving
+        paths (mirroring
+        :func:`repro.perf.baseline_cache.export_baseline_entries`): a
+        worker exports the entries its simulations produced so the
+        parent can fold them back with :meth:`merge_entries`.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
+    def merge_entries(self, pairs, hits=0, misses=0):
+        """Merge ``(key, value)`` pairs from a worker-side cache.
+
+        Existing entries win (the first simulation of a composition is
+        authoritative; a re-merged identical value is a no-op either
+        way), merged entries count as freshly used, and the capacity
+        bound is enforced after the merge.  ``hits``/``misses`` fold the
+        worker's counter deltas into this cache's statistics.
+        """
+        with self._lock:
+            for key, value in pairs:
+                if key not in self._entries:
+                    self._entries[key] = value
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            self._hits += int(hits)
+            self._misses += int(misses)
+
     def stats(self):
         """``{"entries", "max_entries", "hits", "misses"}`` snapshot."""
         with self._lock:
@@ -75,3 +106,23 @@ class LRUCache:
                     "max_entries": self.max_entries,
                     "hits": self._hits,
                     "misses": self._misses}
+
+    def __getstate__(self):
+        """Pickle support: the lock is recreated on unpickle.
+
+        Lets objects holding an LRU (service-time models, cluster
+        sweep specs) cross a process boundary; the entries travel with
+        the cache, the lock does not.
+        """
+        with self._lock:
+            return {"max_entries": self.max_entries,
+                    "entries": list(self._entries.items()),
+                    "hits": self._hits,
+                    "misses": self._misses}
+
+    def __setstate__(self, state):
+        self.max_entries = state["max_entries"]
+        self._entries = OrderedDict(state["entries"])
+        self._lock = threading.Lock()
+        self._hits = state["hits"]
+        self._misses = state["misses"]

@@ -1,0 +1,18 @@
+"""Shared test fixtures.
+
+The only global one keeps the persistent service-time store hermetic:
+any test that opens a default-path store (CLI runs, ``"default"``
+resolution) would otherwise write under the user's real cache directory
+and leak warm entries between unrelated test runs.  Pointing
+``REPRO_SERVICE_STORE_DIR`` at a per-test tmp directory makes every
+default store private and disposable.
+"""
+
+import pytest
+
+from repro.perf.service_store import STORE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_service_store(tmp_path, monkeypatch):
+    monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "service-store"))

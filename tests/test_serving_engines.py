@@ -154,6 +154,100 @@ class TestFifoSimulation:
             simulate_fifo_queue([0.0], [1.0], 0)
 
 
+def fifo_recurrence(ready, services):
+    """The sequential single-server FIFO recurrence (reference)."""
+    order = np.argsort(ready, kind="stable")
+    starts = np.empty_like(ready)
+    completes = np.empty_like(ready)
+    free_at = float(ready[order[0]])
+    for index in order:
+        start = max(float(ready[index]), free_at)
+        free_at = start + float(services[index])
+        starts[index] = start
+        completes[index] = free_at
+    return starts, completes
+
+
+def replay_queue_depth(ready, starts):
+    """The pre-optimisation event-replay waiting-queue depth (reference).
+
+    One +1 event per arrival, one -1 event per service start, sorted by
+    time with departures preceding arrivals at ties.
+    """
+    events = sorted([(float(t), 1) for t in ready]
+                    + [(float(t), 0) for t in starts])
+    depth = max_depth = 0
+    for _, kind in events:
+        depth += 1 if kind else -1
+        max_depth = max(max_depth, depth)
+    return max_depth
+
+
+class TestVectorisedFifo:
+    """The closed-form single-server FIFO path vs the heap recurrence."""
+
+    def test_matches_recurrence_on_integer_times(self):
+        # Integer-valued times: the prefix-sum closed form is exact, so
+        # the vectorised path must agree bit-for-bit.
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            n = int(rng.integers(1, 200))
+            ready = rng.integers(0, 500, size=n).astype(np.float64)
+            services = rng.integers(1, 50, size=n).astype(np.float64)
+            starts, completes, _ = simulate_fifo_queue(ready, services,
+                                                       num_servers=1)
+            ref_starts, ref_completes = fifo_recurrence(ready, services)
+            assert starts.tolist() == ref_starts.tolist(), trial
+            assert completes.tolist() == ref_completes.tolist(), trial
+
+    def test_matches_recurrence_on_float_times(self):
+        rng = np.random.default_rng(1)
+        for trial in range(20):
+            n = int(rng.integers(1, 200))
+            ready = np.sort(rng.exponential(10.0, size=n))
+            rng.shuffle(ready)                # exercise unsorted input
+            services = rng.exponential(5.0, size=n) + 1e-9
+            starts, completes, _ = simulate_fifo_queue(ready, services,
+                                                       num_servers=1)
+            ref_starts, ref_completes = fifo_recurrence(ready, services)
+            np.testing.assert_allclose(starts, ref_starts, rtol=1e-12)
+            np.testing.assert_allclose(completes, ref_completes,
+                                       rtol=1e-12)
+
+    def test_queue_depth_matches_event_replay(self):
+        from repro.serving.events import simulate_batch_queue
+
+        rng = np.random.default_rng(2)
+        for trial in range(20):
+            n = int(rng.integers(1, 120))
+            ready = rng.integers(0, 300, size=n).astype(np.float64)
+            services = rng.integers(1, 40, size=n).astype(np.float64)
+            servers = int(rng.integers(1, 4))
+            for order, priorities in (("fifo", None),
+                                      ("edf", rng.integers(
+                                          0, 1000, size=n).astype(
+                                              np.float64))):
+                starts, _, depth = simulate_batch_queue(
+                    ready, services, num_servers=servers, order=order,
+                    priorities=priorities)
+                assert depth == replay_queue_depth(ready, starts), \
+                    (trial, order, servers)
+
+    def test_queue_depth_fixtures(self):
+        # The documented fixture values must survive the accounting
+        # rewrite (computed from start times, not an event list).
+        _, _, depth = simulate_fifo_queue([0.0, 1.0, 2.0],
+                                          [5.0, 5.0, 5.0], num_servers=1)
+        assert depth == 2
+        _, _, depth = simulate_fifo_queue([0.0, 0.0, 0.0],
+                                          [10.0, 10.0, 10.0],
+                                          num_servers=2)
+        assert depth == 1
+        _, _, depth = simulate_fifo_queue([0.0, 100.0], [10.0, 10.0],
+                                          num_servers=1)
+        assert depth == 0
+
+
 class TestEngineResolution:
     def test_names_and_instances(self):
         assert isinstance(resolve_engine(None), AnalyticEngine)
