@@ -46,7 +46,7 @@ def clear_parent_baseline_cache():
     try:
         sys.path.insert(0, str(REPO_ROOT / "src"))
         from repro.perf.baseline_cache import clear_baseline_cache
-    except Exception:
+    except Exception:  # repro-lint: allow-broad-except-audit (failure-tolerant lazy import: a broken library module must fail one benchmark record, never the driver)
         return
     finally:
         sys.path.pop(0)

@@ -39,6 +39,15 @@ Subcommands
     command-issue kernel flavour -- the before/after instrument for
     performance work on the cycle simulator.
 
+``lint``
+    Run the repo's invariant linter (:mod:`repro.analysis`) over the
+    given files/directories (default: the installed ``repro`` package).
+    ``--rule NAME`` (repeatable) restricts to specific rules and
+    ``--json`` emits machine-readable findings.  Exit code 0 means the
+    tree is clean, 1 means findings were reported, and 2 is a usage
+    error (unknown rule, missing path).  Suppress an intentional
+    pattern in place with ``# repro-lint: allow-<rule> (reason)``.
+
 ``run``, ``serve`` and ``profile`` accept ``--backend
 {serial,thread,process,shared-memory}`` and ``--jobs N`` to pick the
 execution backend: for ``run``/``profile`` it drives the multi-channel
@@ -383,6 +392,49 @@ def cmd_profile(args):
     return 0
 
 
+def cmd_lint(args):
+    """Run the invariant linter; exit 0 clean / 1 findings / 2 usage."""
+    from repro.analysis import LintUsageError, available_rules, lint_paths
+
+    if args.rule:
+        unknown = [name for name in args.rule
+                   if name not in available_rules()]
+        if unknown:
+            print("error: unknown rule%s %s; available: %s"
+                  % ("s" if len(unknown) > 1 else "",
+                     ", ".join(repr(name) for name in unknown),
+                     ", ".join(available_rules())), file=sys.stderr)
+            return 2
+    paths = args.paths
+    if not paths:
+        from pathlib import Path
+
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    try:
+        findings = lint_paths(paths, rules=args.rule or None)
+    except LintUsageError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    rules_run = sorted(args.rule) if args.rule else available_rules()
+    if args.json:
+        json.dump({"paths": [str(p) for p in paths],
+                   "rules": rules_run,
+                   "num_findings": len(findings),
+                   "findings": [f.as_dict() for f in findings]},
+                  sys.stdout, indent=2)
+        print()
+        return 1 if findings else 0
+    for finding in findings:
+        print(finding.format())
+    print("%d finding%s (%d rule%s over %s)"
+          % (len(findings), "s" if len(findings) != 1 else "",
+             len(rules_run), "s" if len(rules_run) != 1 else "",
+             ", ".join(str(p) for p in paths)))
+    return 1 if findings else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -436,6 +488,18 @@ def build_parser():
                          help="run the workload once unprofiled first to "
                               "exclude one-time setup (JIT compilation, "
                               "worker pools)")
+
+    lint = sub.add_parser(
+        "lint", help="run the repo invariant linter (repro.analysis)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--rule", action="append", default=None,
+                      metavar="NAME",
+                      help="run only this rule (repeatable; default: "
+                           "all registered rules)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as JSON")
 
     serve = sub.add_parser("serve",
                            help="drive a sharded serving cluster")
@@ -510,6 +574,8 @@ def main(argv=None):
         return cmd_run(args)
     if args.command == "profile":
         return cmd_profile(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     return cmd_serve(args)
 
 

@@ -1,0 +1,54 @@
+"""Rule ``broad-except-audit``: every ``except Exception`` states why.
+
+A broad handler that silently swallows is how a cache tier hides a
+corrupted database, a worker pool hides a pickling bug, and a benchmark
+driver hides a broken import.  The repo *does* use broad excepts
+deliberately -- the service store degrades to a miss rather than crash a
+run, backend preflights probe "does this pickle at all" -- but each such
+site must say so where it stands: a pragma with a written reason.
+
+Flagged: ``except Exception``, ``except BaseException``, and bare
+``except:`` (including tuples containing them) without a
+``# repro-lint: allow-broad-except-audit (reason)`` pragma on the
+handler line.
+"""
+
+import ast
+
+from repro.analysis.linter import Rule, register_rule
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_name(type_node):
+    """The broad exception name a handler catches, or ``None``."""
+    if type_node is None:
+        return "bare except"
+    if isinstance(type_node, ast.Name) and type_node.id in _BROAD_NAMES:
+        return type_node.id
+    if isinstance(type_node, ast.Tuple):
+        for element in type_node.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+@register_rule
+class BroadExceptAuditRule(Rule):
+    name = "broad-except-audit"
+    description = ("except Exception / bare except requires a pragma "
+                   "with a written reason")
+
+    def check_module(self, module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _broad_name(node.type)
+            if caught is not None:
+                yield module.finding(
+                    self.name, node,
+                    "broad handler (%s) swallows every failure mode -- "
+                    "catch the specific exceptions, or document the "
+                    "degradation contract with '# repro-lint: "
+                    "allow-broad-except-audit (reason)'" % caught)

@@ -1,0 +1,126 @@
+"""Rule ``fingerprint-hygiene``: content-stable keys, never addresses.
+
+``stable_fingerprint`` / the batch cache keys are the namespace of the
+persistent service-time store: if a fingerprint embeds a memory address
+or dict construction order, two identical runs key differently (silent
+cache misses) or -- far worse -- two *different* configurations collide.
+This rule statically audits the key-construction code:
+
+* Inside any function whose name marks it as fingerprint/cache-key
+  construction (``fingerprint``, ``_stable_repr``, ``cache_key``,
+  ``batch_key``, ``key_digest``):
+
+  - ``id(...)`` is banned: it is a memory address.
+  - ``repr(...)`` (called, or passed around e.g. as a sort key) is
+    flagged: the default object ``__repr__`` embeds an address, so a
+    bare ``repr`` is only safe on scalar leaves -- say so in a pragma.
+  - iterating ``.keys()`` / ``.values()`` / ``.items()`` without a
+    ``sorted(...)`` wrapper is flagged: insertion order leaks
+    construction history into the key.
+
+* Anywhere in the tree, assigning an expression containing ``id(...)``
+  to a name matching ``key`` / ``fingerprint`` / ``digest`` is flagged:
+  an identity memo keyed by address must at minimum document why reuse
+  of a collected object's id cannot serve stale data.
+"""
+
+import ast
+import re
+
+from repro.analysis.linter import Rule, register_rule
+
+#: Function names treated as fingerprint / cache-key construction.
+FINGERPRINT_FUNC_RE = re.compile(
+    r"fingerprint|stable_repr|cache_key|batch_key|key_digest")
+
+#: Assignment targets that make an ``id(...)`` value a cache key.
+_KEYISH_NAME_RE = re.compile(r"key|fingerprint|digest")
+
+_DICT_VIEW_ATTRS = {"keys", "values", "items"}
+
+
+def _contains_id_call(node):
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) \
+                and isinstance(child.func, ast.Name) \
+                and child.func.id == "id":
+            return True
+    return False
+
+
+@register_rule
+class FingerprintHygieneRule(Rule):
+    name = "fingerprint-hygiene"
+    description = ("fingerprint/cache-key code must not use id(), bare "
+                   "repr(), or unsorted dict iteration")
+
+    def check_module(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and FINGERPRINT_FUNC_RE.search(node.name):
+                yield from self._check_fingerprint_function(module, node)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_keyish_assignment(module, node)
+
+    # ------------------------------------------------------------------ #
+    def _check_fingerprint_function(self, module, func):
+        call_funcs = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                # repro-lint: allow-fingerprint-hygiene (AST-node identity within one walk; nothing here persists as a key)
+                call_funcs.add(id(node.func))
+                if isinstance(node.func, ast.Name):
+                    if node.func.id == "id":
+                        yield module.finding(
+                            self.name, node,
+                            "id() in fingerprint function %r is a memory "
+                            "address -- it changes every run and can be "
+                            "reused after collection" % func.name)
+                    elif node.func.id == "repr":
+                        yield module.finding(
+                            self.name, node,
+                            "repr() in fingerprint function %r embeds an "
+                            "address for objects with the default "
+                            "__repr__ -- render content explicitly, or "
+                            "pragma the scalar-leaf fallback" % func.name)
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Name) and node.id == "repr"
+                    and isinstance(node.ctx, ast.Load)
+                    # repro-lint: allow-fingerprint-hygiene (AST-node identity check within one walk, not a cache key)
+                    and id(node) not in call_funcs):
+                yield module.finding(
+                    self.name, node,
+                    "bare `repr` passed around in fingerprint function "
+                    "%r (e.g. as a sort key) orders objects by their "
+                    "default address-bearing repr" % func.name)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_dict_iteration(module, node.iter,
+                                                      func)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_dict_iteration(
+                        module, generator.iter, func)
+
+    def _check_dict_iteration(self, module, iter_node, func):
+        if isinstance(iter_node, ast.Call) \
+                and isinstance(iter_node.func, ast.Attribute) \
+                and iter_node.func.attr in _DICT_VIEW_ATTRS:
+            yield module.finding(
+                self.name, iter_node,
+                "unsorted .%s() iteration in fingerprint function %r "
+                "leaks dict construction order into the key -- wrap it "
+                "in sorted(...)" % (iter_node.func.attr, func.name))
+
+    def _check_keyish_assignment(self, module, node):
+        names = [target.id for target in node.targets
+                 if isinstance(target, ast.Name)]
+        if not any(_KEYISH_NAME_RE.search(name) for name in names):
+            return
+        if _contains_id_call(node.value):
+            yield module.finding(
+                self.name, node,
+                "cache key %r built from id(...) is a memory address -- "
+                "a collected object's id can be reused and serve stale "
+                "entries; key by content, or document the identity "
+                "guard in a pragma" % names[0])

@@ -1,0 +1,324 @@
+"""AST-based invariant linter: framework, pragma handling, rule registry.
+
+The repo's headline results rest on contracts that are otherwise only
+enforced *dynamically* -- kernel flavors must be bit-identical,
+process-backend payloads must pickle, ``stable_fingerprint`` must never
+embed memory addresses, simulation paths must be seeded and
+order-independent.  This module is the static half of that enforcement:
+every rule in :mod:`repro.analysis` walks the AST of the source tree
+(plus a few registry-level consistency checks) and reports violations
+*before* any simulation runs.
+
+Vocabulary
+----------
+:class:`Finding`
+    One diagnostic: ``(rule, path, line, message)``.
+:class:`Rule`
+    A named check.  ``check_module(module)`` yields findings for one
+    parsed file; ``check_project(modules)`` runs once over the whole
+    linted set (used by registry-level rules).  Concrete rules register
+    themselves with :func:`register_rule` at import time.
+:class:`SourceModule`
+    One parsed file: path, source lines, AST, and its lint pragmas.
+
+Pragmas
+-------
+A finding is suppressed by a pragma comment naming its rule with a
+written reason::
+
+    risky_line()  # repro-lint: allow-<rule> (why this is intentional)
+
+The pragma applies to its own line; a comment-only pragma line applies
+to the next statement line as well.  A pragma without a reason, or one
+naming an unknown rule, is itself reported (rule ``pragma-audit``) --
+the repo-wide contract is that every suppression documents *why* the
+pattern is safe.
+"""
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "LintUsageError",
+    "Pragma",
+    "Rule",
+    "RULES",
+    "SourceModule",
+    "available_rules",
+    "lint_paths",
+    "register_rule",
+]
+
+#: ``# repro-lint: allow-<rule> (reason)`` -- the reason is mandatory
+#: (an empty or missing one is a ``pragma-audit`` finding).
+PRAGMA_RE = re.compile(
+    r"repro-lint:\s*allow-([A-Za-z][A-Za-z0-9-]*)"
+    r"(?:\s*\(([^()]*)\))?")
+
+
+class LintUsageError(Exception):
+    """A caller error (missing path, unknown rule) -- CLI exit code 2."""
+
+
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    __slots__ = ("rule", "path", "line", "message")
+
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = str(path)
+        self.line = int(line)
+        self.message = message
+
+    def as_dict(self):
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+    def format(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+    def __repr__(self):
+        return "Finding(%r, %r, %d, %r)" % (self.rule, self.path,
+                                            self.line, self.message)
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+
+class Pragma:
+    """One ``allow-<rule>`` pragma and the source lines it covers."""
+
+    __slots__ = ("rule", "reason", "line", "covers")
+
+    def __init__(self, rule, reason, line, covers):
+        self.rule = rule
+        self.reason = (reason or "").strip()
+        self.line = line
+        self.covers = covers            # set of suppressed line numbers
+
+
+def _extract_pragmas(source):
+    """Parse every lint pragma out of a file's comment tokens.
+
+    Comment positions come from :mod:`tokenize`, so a ``repro-lint:``
+    inside a string literal never counts.  A pragma on a code line
+    covers that line; a comment-only pragma line also covers the next
+    line that holds code (so a pragma can sit above a long statement).
+    """
+    lines = source.splitlines()
+    comments = []                       # (line, column, text)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1],
+                                 token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # A file that does not tokenize is reported as a parse error by
+        # lint_paths; pragma extraction just stops at the break.
+        pass
+
+    def next_code_line(after):
+        for number in range(after + 1, len(lines) + 1):
+            text = lines[number - 1].strip()
+            if text and not text.startswith("#"):
+                return number
+        return None
+
+    pragmas = []
+    for line, column, text in comments:
+        comment_only = not lines[line - 1][:column].strip()
+        for match in PRAGMA_RE.finditer(text):
+            covers = {line}
+            if comment_only:
+                code_line = next_code_line(line)
+                if code_line is not None:
+                    covers.add(code_line)
+            pragmas.append(Pragma(match.group(1), match.group(2),
+                                  line, covers))
+    return pragmas
+
+
+class SourceModule:
+    """One parsed Python file handed to the rules."""
+
+    def __init__(self, path, source, tree, pragmas):
+        self.path = Path(path)
+        self.source = source
+        self.tree = tree
+        self.pragmas = pragmas
+
+    @classmethod
+    def load(cls, path):
+        """Parse ``path``; a syntax error yields ``tree=None``."""
+        source = Path(path).read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            tree = None
+        return cls(path, source, tree, _extract_pragmas(source))
+
+    def finding(self, rule, node_or_line, message):
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(rule, self.path, line, message)
+
+    def suppressed_lines(self, rule):
+        """Every line a pragma for ``rule`` covers in this file."""
+        covered = set()
+        for pragma in self.pragmas:
+            if pragma.rule == rule:
+                covered |= pragma.covers
+        return covered
+
+
+class Rule:
+    """Base class for lint rules; subclasses override one hook."""
+
+    #: Registry name; also the pragma suffix (``allow-<name>``).
+    name = ""
+    #: One-line summary shown by ``lint --list`` style introspection.
+    description = ""
+
+    def check_module(self, module):
+        """Findings for one parsed :class:`SourceModule`."""
+        return ()
+
+    def check_project(self, modules):
+        """Findings computed once over the whole linted file set."""
+        return ()
+
+
+#: Rule registry: name -> rule instance (populated at import time by the
+#: concrete rule modules; see repro.analysis.__init__).
+RULES = {}
+
+
+def register_rule(rule):
+    """Register a rule instance (class decorator friendly)."""
+    if isinstance(rule, type):
+        rule = rule()
+    if not rule.name:
+        raise ValueError("rules must define a non-empty name")
+    RULES[rule.name] = rule
+    return rule
+
+
+def available_rules():
+    """Sorted names of every registered rule."""
+    return sorted(RULES)
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    files = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise LintUsageError("no such file or directory: %s" % path)
+    return sorted(files)
+
+
+class _PragmaAuditRule(Rule):
+    """Every pragma must name a registered rule and carry a reason."""
+
+    name = "pragma-audit"
+    description = ("lint pragmas must name a known rule and document "
+                   "a reason in parentheses")
+
+    def check_module(self, module):
+        for pragma in module.pragmas:
+            if pragma.rule not in RULES:
+                yield module.finding(
+                    self.name, pragma.line,
+                    "pragma allows unknown rule %r (known: %s)"
+                    % (pragma.rule, ", ".join(available_rules())))
+            if not pragma.reason:
+                yield module.finding(
+                    self.name, pragma.line,
+                    "pragma 'allow-%s' carries no reason; write "
+                    "'# repro-lint: allow-%s (why this is safe)'"
+                    % (pragma.rule, pragma.rule))
+
+
+register_rule(_PragmaAuditRule)
+
+
+def _load_pragma_lines(path, rule, cache):
+    """Suppressed lines of ``rule`` in an arbitrary file (memoised).
+
+    Project-level rules may anchor findings in files outside the linted
+    set (e.g. the CLI module); their pragmas still apply.
+    """
+    key = str(path)
+    if key not in cache:
+        try:
+            pragmas = _extract_pragmas(Path(path).read_text())
+        except OSError:
+            pragmas = []
+        cache[key] = pragmas
+    covered = set()
+    for pragma in cache[key]:
+        if pragma.rule == rule:
+            covered |= pragma.covers
+    return covered
+
+
+def lint_paths(paths, rules=None):
+    """Lint ``paths`` (files or directories) and return the findings.
+
+    ``rules`` selects a subset by name (default: every registered rule);
+    an unknown name raises :class:`LintUsageError`.  Findings suppressed
+    by a pragma are dropped; the remainder comes back deduplicated and
+    sorted by ``(path, line, rule)``.
+    """
+    if rules is None:
+        selected = [RULES[name] for name in available_rules()]
+    else:
+        unknown = [name for name in rules if name not in RULES]
+        if unknown:
+            raise LintUsageError(
+                "unknown rule%s %s; available: %s"
+                % ("s" if len(unknown) > 1 else "",
+                   ", ".join(repr(name) for name in unknown),
+                   ", ".join(available_rules())))
+        selected = [RULES[name] for name in rules]
+    files = iter_python_files(paths)
+    modules = []
+    findings = []
+    for path in files:
+        module = SourceModule.load(path)
+        if module.tree is None:
+            findings.append(Finding("parse-error", path, 1,
+                                    "file does not parse; fix the "
+                                    "syntax error before linting"))
+            continue
+        modules.append(module)
+    by_path = {str(module.path): module for module in modules}
+    for rule in selected:
+        for module in modules:
+            findings.extend(rule.check_module(module))
+        findings.extend(rule.check_project(modules))
+    pragma_cache = {}
+    kept = {}
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None:
+            covered = module.suppressed_lines(finding.rule)
+        else:
+            covered = _load_pragma_lines(finding.path, finding.rule,
+                                         pragma_cache)
+        if finding.line in covered:
+            continue
+        kept[(finding.rule, finding.path, finding.line,
+              finding.message)] = finding
+    return sorted(kept.values(), key=Finding.sort_key)

@@ -169,6 +169,11 @@ class force_flavor:
     Only affects :class:`RankNMP` objects *constructed inside* the
     context: the kernel binding happens at construction time.
     ``force_flavor("numba")`` raises on hosts without numba.
+
+    Exception-safe: the previous flavor is restored even when the body
+    raises, one instance may be entered reentrantly (each exit pops one
+    level), and ``__exit__`` without a matching ``__enter__`` is a
+    no-op rather than clobbering an enclosing context's override.
     """
 
     def __init__(self, flavor):
@@ -178,17 +183,18 @@ class force_flavor:
         if flavor == "numba" and _njit is None:
             raise RuntimeError("numba is not importable on this host")
         self.flavor = flavor
-        self._previous = None
+        self._previous = []         # one entry per active __enter__
 
     def __enter__(self):
         global _FORCED_FLAVOR
-        self._previous = _FORCED_FLAVOR
+        self._previous.append(_FORCED_FLAVOR)
         _FORCED_FLAVOR = self.flavor
         return self
 
     def __exit__(self, exc_type, exc, tb):
         global _FORCED_FLAVOR
-        _FORCED_FLAVOR = self._previous
+        if self._previous:
+            _FORCED_FLAVOR = self._previous.pop()
         return False
 
 

@@ -179,6 +179,7 @@ class InterpolatingServiceModel(ServiceTimeModel):
         reference pins at most ``max_grids`` clusters, and the identity
         check recalibrates if an id is ever reused anyway.
         """
+        # repro-lint: allow-fingerprint-hygiene (identity memo, not a persisted key: the entry pins a strong reference and the `is cluster` re-check below recalibrates on id reuse)
         key = id(cluster)
         entry = self._grids.get(key)
         if entry is not None and entry[0] is cluster:

@@ -77,15 +77,16 @@ def _stable_repr(value):
             "%s." % _stable_repr(type(self_obj))
         return "<callable %s%s.%s>" % (
             prefix, getattr(value, "__module__", "?"),
-            getattr(value, "__qualname__", repr(value)))
+            getattr(value, "__qualname__", type(value).__name__))
     if isinstance(value, dict):
         return "{%s}" % ", ".join(
             "%s: %s" % (_stable_repr(k), _stable_repr(value[k]))
-            for k in sorted(value, key=repr))
+            for k in sorted(value, key=_stable_repr))
     if isinstance(value, (list, tuple)):
         body = ", ".join(_stable_repr(v) for v in value)
         return "[%s]" % body if isinstance(value, list) \
             else "(%s)" % body
+    # repro-lint: allow-fingerprint-hygiene (scalar-leaf fallback: str, int, float, bool and None all have content-stable reprs)
     return repr(value)
 
 
@@ -97,6 +98,7 @@ def batch_key_digest(batch_key):
     node assignment for stateful sharders -- both repr-stable -- so one
     sha1 over the repr is a safe fixed-size column value.
     """
+    # repro-lint: allow-fingerprint-hygiene (keys are tuples of hex-string fingerprints and ints, repr-stable by construction)
     return hashlib.sha1(repr(batch_key).encode()).hexdigest()
 
 
@@ -124,13 +126,12 @@ class ServiceTimeStore:
             self._connection.execute("PRAGMA journal_mode=WAL")
             self._connection.execute("PRAGMA busy_timeout=30000")
             self._ensure_schema()
-        except Exception:
-            # An unusable store is a permanent miss, never a crash.
+        except Exception:  # repro-lint: allow-broad-except-audit (an unusable store degrades to a permanent miss, never a crash)
             self._broken = True
             if self._connection is not None:
                 try:
                     self._connection.close()
-                except Exception:
+                except Exception:  # repro-lint: allow-broad-except-audit (best-effort close of a connection already known to be broken)
                     pass
                 self._connection = None
 
@@ -171,7 +172,7 @@ class ServiceTimeStore:
                 "AND flavor = ? AND batch = ?",
                 (config_fingerprint, self._flavor(),
                  batch_key_digest(batch_key))).fetchone()
-        except Exception:
+        except Exception:  # repro-lint: allow-broad-except-audit (a failing read degrades to a miss and marks the store broken)
             self._broken = True
             row = None
         if row is None:
@@ -197,7 +198,7 @@ class ServiceTimeStore:
             self._connection.executemany(
                 "INSERT OR REPLACE INTO service_times VALUES (?, ?, ?, ?)",
                 rows)
-        except Exception:
+        except Exception:  # repro-lint: allow-broad-except-audit (a failing write is dropped and marks the store broken; callers never crash a run over the cache)
             self._broken = True
             return
         self._puts += len(rows)
@@ -225,7 +226,7 @@ class ServiceTimeStore:
                 self._connection.execute(
                     "DELETE FROM service_times WHERE config = ?",
                     (config_fingerprint,))
-        except Exception:
+        except Exception:  # repro-lint: allow-broad-except-audit (a failing invalidate marks the store broken so stale entries can never be served)
             self._broken = True
 
     def __len__(self):
@@ -234,7 +235,7 @@ class ServiceTimeStore:
         try:
             row = self._connection.execute(
                 "SELECT COUNT(*) FROM service_times").fetchone()
-        except Exception:
+        except Exception:  # repro-lint: allow-broad-except-audit (a failing count reports an empty store and marks it broken)
             self._broken = True
             return 0
         return int(row[0])
@@ -252,7 +253,7 @@ class ServiceTimeStore:
         if self._connection is not None:
             try:
                 self._connection.close()
-            except Exception:
+            except Exception:  # repro-lint: allow-broad-except-audit (close is best-effort; the store is marked broken either way)
                 pass
             self._connection = None
             self._broken = True

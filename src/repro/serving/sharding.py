@@ -171,17 +171,20 @@ def calibrate_request_overhead_from_queries(node, queries):
 # Placement policies: {table_id: load} -> {table_id: node}.
 # --------------------------------------------------------------------- #
 def _place_round_robin(table_loads, num_nodes):
+    """Table ``t`` on node ``t % num_nodes``, ignoring load."""
     return {table: table % num_nodes for table in table_loads}
 
 
 def _place_hash(table_loads, num_nodes):
+    """Knuth multiplicative hash of the table id, modulo nodes."""
     return {table: _knuth_hash(table) % num_nodes for table in table_loads}
 
 
 def _place_load_aware(table_loads, num_nodes):
-    # Greedy LPT bin-packing: heaviest table first onto the least-loaded
-    # node.  Ties break on (load, node, table) so the packing is a pure
-    # function of the load map -- every frontend computes the same one.
+    """Greedy LPT bin-packing of tables by load onto nodes."""
+    # Heaviest table first onto the least-loaded node.  Ties break on
+    # (load, node, table) so the packing is a pure function of the load
+    # map -- every frontend computes the same one.
     node_load = [0.0] * num_nodes
     placement = {}
     for table in sorted(table_loads,

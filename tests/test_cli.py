@@ -146,3 +146,54 @@ class TestParseErrors:
         for flag in ("--slo-us", "--admission", "--arrival",
                      "--request-overhead"):
             assert flag in flat
+
+
+class TestLint:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""A module with no violations."""\n'
+                         "import random\n\n"
+                         "rng = random.Random(7)\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_violation_exits_one_and_names_the_rule(self, tmp_path,
+                                                    capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n\nrng = random.Random()\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "[determinism]" in out
+        assert "%s:3" % bad in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert main(["lint", "--rule", "no-such-rule",
+                     str(tmp_path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n\nrng = random.Random()\n")
+        assert main(["lint", "--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_findings"] == 1
+        finding = payload["findings"][0]
+        assert finding["rule"] == "determinism"
+        assert finding["path"] == str(bad)
+        assert finding["line"] == 3
+        assert payload["rules"] == sorted(payload["rules"])
+
+    def test_rule_subset_runs_only_selected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nrng = random.Random()\n"
+                       "try:\n    rng\nexcept Exception:\n    pass\n")
+        assert main(["lint", "--rule", "broad-except-audit",
+                     str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "[broad-except-audit]" in out
+        assert "[determinism]" not in out

@@ -95,6 +95,37 @@ class TestFlavorSelection:
             assert rank._kernel is None
             assert not rank.supports_packed
 
+    def test_force_flavor_restores_after_body_exception(self):
+        before = kernels._FORCED_FLAVOR
+        with pytest.raises(RuntimeError, match="boom"):
+            with kernels.force_flavor("python"):
+                assert kernels._FORCED_FLAVOR == "python"
+                raise RuntimeError("boom")
+        assert kernels._FORCED_FLAVOR == before
+
+    def test_force_flavor_exit_without_enter_is_noop(self):
+        stray = kernels.force_flavor("python")
+        with kernels.force_flavor("disabled"):
+            stray.__exit__(None, None, None)
+            assert kernels._FORCED_FLAVOR == "disabled"
+
+    def test_force_flavor_reentrant_same_instance(self):
+        before = kernels._FORCED_FLAVOR
+        cm = kernels.force_flavor("python")
+        with cm:
+            with cm:
+                assert kernels._FORCED_FLAVOR == "python"
+            assert kernels._FORCED_FLAVOR == "python"
+        assert kernels._FORCED_FLAVOR == before
+
+    def test_force_flavor_nested_distinct_instances(self):
+        before = kernels._FORCED_FLAVOR
+        with kernels.force_flavor("python"):
+            with kernels.force_flavor("disabled"):
+                assert kernels._FORCED_FLAVOR == "disabled"
+            assert kernels._FORCED_FLAVOR == "python"
+        assert kernels._FORCED_FLAVOR == before
+
 
 class TestRankTriParity:
     """python / flat-python / disabled agree on randomized streams."""
