@@ -1,0 +1,242 @@
+"""Serving-scale benchmark: end-to-end queries/sec on million-query runs.
+
+Measures the full serving pipeline -- arrival generation, column-backed
+query construction, admission-free batching, the compiled event-loop
+kernels and report summarisation -- at 100k and 1M queries per run
+(interpolating service model, warm service cache) for every available
+event-kernel flavor, against the pre-PR baseline: materialised
+``ServingQuery`` objects driven through the legacy heap-based event
+loop (``force_flavor("disabled")``).
+
+All timed runs stream queries through ``simulate(stream_chunk=...)`` so
+memory stays O(chunk); the reports are asserted byte-identical across
+every flavor, against the legacy object path, and against a one-shot
+materialised run.  Recorded throughput floors live in the
+``serving_scale`` block of ``perf_reference.json`` next to the exact-sim
+floors and are enforced with the same loose ``REGRESSION_FLOOR``
+mechanism (refresh with ``REPRO_PERF_WRITE_REFERENCE=1``).
+"""
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.kernels import KERNEL_FLAVOR
+from repro.perf.service_model import InterpolatingServiceModel
+from repro.serving import (
+    BatchingFrontend,
+    PoissonArrivalProcess,
+    QueryStream,
+    ShardedServingCluster,
+    queries_from_traces,
+    query_columns_from_traces,
+)
+from repro.serving.event_kernels import force_flavor
+from repro.traces import make_production_table_traces
+
+from workloads import NUM_ROWS, VECTOR_BYTES, address_of, format_table, \
+    smoke_scaled
+
+SMOKE_MODE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+MODE = "smoke" if SMOKE_MODE else "full"
+REFERENCE_PATH = Path(__file__).resolve().parent / "perf_reference.json"
+WRITE_REFERENCE = os.environ.get("REPRO_PERF_WRITE_REFERENCE", "") \
+    not in ("", "0")
+#: Loose CI floor: fail only when measured throughput drops more than
+#: this factor below the recorded reference (same knob as
+#: bench_simulator_perf).
+REGRESSION_FLOOR = 2.0
+
+#: Query counts per timed run.  Full mode is the headline measurement
+#: (100k and 1M); smoke keeps the same shape at CI-friendly sizes while
+#: still spanning several stream chunks.
+SIZES = smoke_scaled((100_000, 1_000_000), (2_000, 8_000))
+STREAM_CHUNK = smoke_scaled(65_536, 1_024)
+OFFERED_QPS = 120_000.0
+NUM_NODES = 2
+NUM_FRONTENDS = 4
+NUM_TABLES = smoke_scaled(8, 4)
+QUERY_BATCH = 4
+QUERY_POOLING = smoke_scaled(20, 8)
+NODE_SYSTEM = "recnmp-opt"
+#: Multi-frontend FIFO dispatch: the event engine path the compiled
+#: kernels replace.
+ENGINE = "event"
+
+#: Full-mode speedup targets at the largest size, streamed columns vs
+#: the legacy object path.  The interpreted twins already clear 1.5x;
+#: the jitted kernels must clear 5x (asserted only when numba is the
+#: active flavor).
+TWIN_SPEEDUP_TARGET = 1.5
+NUMBA_SPEEDUP_TARGET = 5.0
+
+
+def _arrivals():
+    return PoissonArrivalProcess(rate_qps=OFFERED_QPS, seed=1)
+
+
+def _flavors():
+    flavors = ["python", "flat-python"]
+    if KERNEL_FLAVOR == "numba":
+        flavors.append("numba")
+    return flavors
+
+
+def compute_serving_scale():
+    traces = make_production_table_traces(
+        num_lookups_per_table=QUERY_BATCH * QUERY_POOLING * 8,
+        num_rows=NUM_ROWS, num_tables=NUM_TABLES, seed=0)
+    model = InterpolatingServiceModel(traces)
+    frontend = BatchingFrontend(max_queries=8, max_delay_us=100.0)
+    report = {"engine": ENGINE, "stream_chunk": STREAM_CHUNK,
+              "flavors": _flavors(), "sizes": {}}
+    with ShardedServingCluster(
+            num_nodes=NUM_NODES, node_system=NODE_SYSTEM,
+            num_frontends=NUM_FRONTENDS, address_of=address_of,
+            vector_size_bytes=VECTOR_BYTES) as cluster:
+
+        def stream_run(num_queries, flavor):
+            """One timed end-to-end run: generation included."""
+            with force_flavor(flavor):
+                start = time.perf_counter()
+                stream = QueryStream(traces, _arrivals(),
+                                     num_queries=num_queries,
+                                     batch_size=QUERY_BATCH,
+                                     pooling_factor=QUERY_POOLING)
+                result = cluster.simulate(
+                    stream, frontend=frontend, engine=ENGINE,
+                    service_model=model, stream_chunk=STREAM_CHUNK)
+                seconds = time.perf_counter() - start
+            return result, seconds
+
+        def legacy_run(num_queries):
+            """Pre-PR baseline: object queries, heap event loop."""
+            with force_flavor("disabled"):
+                start = time.perf_counter()
+                queries = queries_from_traces(
+                    traces, num_queries, _arrivals(),
+                    batch_size=QUERY_BATCH, pooling_factor=QUERY_POOLING)
+                result = cluster.simulate(
+                    queries, frontend=frontend, engine=ENGINE,
+                    service_model=model)
+                seconds = time.perf_counter() - start
+            return result, seconds
+
+        # Warm the interpolation grid and the content-keyed service
+        # cache so every timed run sees the same steady state (the
+        # cycled request pool bounds the distinct batch compositions).
+        stream_run(min(SIZES), "flat-python")
+
+        for num_queries in SIZES:
+            entry = {"num_queries": num_queries, "runs": {}}
+            baseline_report, seconds = legacy_run(num_queries)
+            entry["runs"]["legacy-objects"] = {
+                "seconds": round(seconds, 4),
+                "queries_per_sec": round(num_queries / seconds, 1)}
+            baseline = dataclasses.asdict(baseline_report)
+            for flavor in _flavors():
+                flavor_report, seconds = stream_run(num_queries, flavor)
+                entry["runs"][flavor] = {
+                    "seconds": round(seconds, 4),
+                    "queries_per_sec": round(num_queries / seconds, 1)}
+                assert dataclasses.asdict(flavor_report) == baseline, \
+                    "streamed %s report diverged from the legacy object " \
+                    "path at %d queries" % (flavor, num_queries)
+            legacy_rate = \
+                entry["runs"]["legacy-objects"]["queries_per_sec"]
+            for flavor in _flavors():
+                entry["runs"][flavor]["speedup_vs_legacy"] = round(
+                    entry["runs"][flavor]["queries_per_sec"]
+                    / legacy_rate, 2)
+            report["sizes"][str(num_queries)] = entry
+
+        # Chunked streaming is byte-identical to a one-shot materialised
+        # columns run (same batcher, no chunk boundaries).
+        num_queries = min(SIZES)
+        columns = query_columns_from_traces(
+            traces, num_queries, _arrivals(),
+            batch_size=QUERY_BATCH, pooling_factor=QUERY_POOLING)
+        oneshot = cluster.simulate(columns, frontend=frontend,
+                                   engine=ENGINE, service_model=model)
+        chunked, _ = stream_run(num_queries, "flat-python")
+        assert dataclasses.asdict(oneshot) == dataclasses.asdict(chunked), \
+            "one-shot columns run diverged from the chunked stream"
+    return report
+
+
+def _load_reference():
+    if not REFERENCE_PATH.exists():
+        return None
+    return json.loads(REFERENCE_PATH.read_text())
+
+
+def _maybe_write_reference(reference, report):
+    """Refresh the ``serving_scale`` throughput floors for this mode."""
+    if not WRITE_REFERENCE or reference is None:
+        return
+    recorded = reference.setdefault(MODE, {}).setdefault("recorded", {})
+    recorded["serving_scale"] = {
+        "stream_chunk": report["stream_chunk"],
+        "sizes": {
+            size: {name: run["queries_per_sec"]
+                   for name, run in entry["runs"].items()}
+            for size, entry in report["sizes"].items()},
+    }
+    REFERENCE_PATH.write_text(json.dumps(reference, indent=2) + "\n")
+
+
+def bench_serving_scale(benchmark):
+    report = benchmark.pedantic(compute_serving_scale, rounds=1,
+                                iterations=1)
+    reference = _load_reference()
+    _maybe_write_reference(reference, report)
+    rows = []
+    for size, entry in report["sizes"].items():
+        for name, run in entry["runs"].items():
+            rows.append((size, name, run["seconds"],
+                         round(run["queries_per_sec"]),
+                         run.get("speedup_vs_legacy", "")))
+    print()
+    print(format_table(
+        "Serving scale: end-to-end queries/sec (%s engine, chunk %d)"
+        % (ENGINE, report["stream_chunk"]),
+        ["queries", "pipeline", "seconds", "queries/sec", "vs legacy"],
+        rows))
+
+    largest = report["sizes"][str(max(SIZES))]
+    if not SMOKE_MODE:
+        # Headline PR targets at the million-query size.
+        for flavor in ("python", "flat-python"):
+            speedup = largest["runs"][flavor]["speedup_vs_legacy"]
+            assert speedup >= TWIN_SPEEDUP_TARGET, \
+                "%s twin %.2fx vs the legacy object path at %d queries " \
+                "is below the %.1fx target" \
+                % (flavor, speedup, max(SIZES), TWIN_SPEEDUP_TARGET)
+        if "numba" in largest["runs"]:
+            speedup = largest["runs"]["numba"]["speedup_vs_legacy"]
+            assert speedup >= NUMBA_SPEEDUP_TARGET, \
+                "numba kernels %.2fx vs the legacy object path at %d " \
+                "queries is below the %.1fx target" \
+                % (speedup, max(SIZES), NUMBA_SPEEDUP_TARGET)
+
+    # Loose CI floors vs the recorded throughput, same mechanism as the
+    # exact-sim floors in bench_simulator_perf.
+    recorded = ((reference or {}).get(MODE, {})
+                .get("recorded", {}).get("serving_scale"))
+    if recorded and not WRITE_REFERENCE:
+        for size, entry in report["sizes"].items():
+            pinned = recorded["sizes"].get(size, {})
+            for name, run in entry["runs"].items():
+                if name not in pinned:
+                    continue
+                floor = pinned[name] / REGRESSION_FLOOR
+                assert run["queries_per_sec"] >= floor, \
+                    "serving-scale throughput on %s at %s queries " \
+                    "regressed >%.0fx below the recorded %.0f " \
+                    "queries/sec (refresh with " \
+                    "REPRO_PERF_WRITE_REFERENCE=1 if this host is " \
+                    "legitimately slower)" \
+                    % (name, size, REGRESSION_FLOOR, pinned[name])
+    print("SERVING_SCALE_JSON: %s" % json.dumps(report))

@@ -31,7 +31,14 @@ Subcommands
     ``serve`` warm-starts with zero cycle simulations;
     ``--no-service-store`` keeps everything in memory.  The report ends
     with the service cache/store entries/hits/misses alongside the
-    baseline-cache accounting.
+    baseline-cache accounting.  Large ``--queries`` runs (hundreds of
+    thousands and up) should add ``--stream-chunk N``: queries are then
+    generated and simulated in arrival-ordered chunks of ``N`` through
+    the array-backed streaming path, keeping memory O(chunk) while the
+    report stays byte-identical to the one-shot run (pair it with
+    ``--service-model interp``; streaming is incompatible with
+    ``--shard-policy load-aware`` / ``--replicas``, whose placement is
+    fed by the materialised query list).
 
 ``profile``
     cProfile a system's workload run and print the hottest functions
@@ -75,6 +82,7 @@ from repro.serving import (
     BatchingFrontend,
     MMPPArrivalProcess,
     PoissonArrivalProcess,
+    QueryStream,
     ReplicatedTableSharder,
     ShardedServingCluster,
     TraceReplayArrivalProcess,
@@ -232,12 +240,29 @@ def cmd_serve(args):
                          "slack; pass --slo-us to assign one")
     if args.request_overhead is not None and args.request_overhead < 0:
         raise SystemExit("error: --request-overhead must be non-negative")
+    if args.stream_chunk is not None:
+        if args.stream_chunk < args.max_batch:
+            raise SystemExit("error: --stream-chunk must be >= "
+                             "--max-batch (%d)" % args.max_batch)
+        if args.shard_policy == "load-aware" or args.replicas > 1:
+            raise SystemExit("error: --stream-chunk streams queries in "
+                             "chunks, but load-aware placement and "
+                             "replication are fed by the materialised "
+                             "query list; drop --stream-chunk or use "
+                             "--shard-policy hash")
     traces = _build_traces(args.trace, args.tables, args.num_rows,
                            max(args.batch * args.pooling * 4, 2_000),
                            args.seed)
-    queries = queries_from_traces(
-        traces, args.queries, _build_arrivals(args),
-        batch_size=args.batch, pooling_factor=args.pooling)
+    if args.stream_chunk is not None:
+        # Chunked generation: arrivals and query columns materialise
+        # O(stream_chunk) at a time inside simulate().
+        queries = QueryStream(
+            traces, _build_arrivals(args), num_queries=args.queries,
+            batch_size=args.batch, pooling_factor=args.pooling)
+    else:
+        queries = queries_from_traces(
+            traces, args.queries, _build_arrivals(args),
+            batch_size=args.batch, pooling_factor=args.pooling)
     if args.shard_policy == "load-aware" or args.replicas > 1:
         # Replication and load-aware placement are fed by the measured
         # per-table lookup loads of the offered stream, priced with the
@@ -286,7 +311,8 @@ def cmd_serve(args):
             frontend=BatchingFrontend(max_queries=args.max_batch,
                                       max_delay_us=args.max_delay_us),
             engine=args.engine, service_model=service_model,
-            slo_policy=args.slo_us, admission=args.admission)
+            slo_policy=args.slo_us, admission=args.admission,
+            stream_chunk=args.stream_chunk)
         # Collected inside the context: the store's entry count needs
         # its connection, which close() releases.
         service_stats = cluster.service_stats()
@@ -538,6 +564,11 @@ def build_parser():
                             "from the node's measured service times)")
     serve.add_argument("--frontends", type=int, default=1,
                        help="concurrent dispatch servers on the batch queue")
+    serve.add_argument("--stream-chunk", type=int, default=None,
+                       help="generate and simulate queries in arrival-"
+                            "ordered chunks of this many (memory stays "
+                            "O(chunk); report identical to one-shot) -- "
+                            "for large --queries runs")
     serve.add_argument("--shard-policy",
                        choices=("round-robin", "hash", "load-aware"),
                        default="round-robin",

@@ -13,8 +13,10 @@ suite otherwise only checks dynamically:
     Classes in process-backend payload modules carry no
     lambdas/locks/connections/pools without a ``__getstate__``.
 ``kernel-twin-sync``
-    The numba kernel and its CPython twin in ``core/kernels.py`` stay
-    structurally identical modulo an explicit substitution table.
+    Every registered numba-kernel/CPython-twin pair (the DDR state
+    machine in ``core/kernels.py``, the serving event loops in
+    ``serving/event_kernels.py``) stays structurally identical modulo
+    an explicit substitution table.
 ``broad-except-audit``
     Every ``except Exception`` documents its degradation contract in a
     pragma.

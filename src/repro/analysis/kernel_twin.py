@@ -1,18 +1,24 @@
 """Rule ``kernel-twin-sync``: the two kernel flavors cannot drift apart.
 
-``repro/core/kernels.py`` holds the DDR bank state machine twice: the
-canonical struct-of-arrays kernel ``_execute_window_flat`` (the function
-numba jits; its un-jitted source is the ``flat-python`` flavor) and the
-hand-tuned CPython twin ``_execute_window_python``.  The runtime parity
+The repo keeps every performance kernel twice: the canonical
+struct-of-arrays function numba jits (whose un-jitted source is the
+``flat-python`` flavor) and a CPython twin that must implement the same
+arithmetic.  ``repro/core/kernels.py`` holds the DDR bank state machine
+as ``_execute_window_flat`` / ``_execute_window_python``;
+``repro/serving/event_kernels.py`` holds the serving event loops (FIFO
+dispatch, EDF dispatch, admission) the same way.  The runtime parity
 tests prove the flavors bit-identical -- but only on the compositions
 they run, and only on hosts that exercise both flavors.  An edit to one
 twin's timing arithmetic that is not mirrored into the other is exactly
 the kind of drift that survives a partial test matrix.
 
-This rule proves the drift cannot happen silently: it extracts the DDR
-state-machine region from both twins (the ``else`` branch of their
-``if hit:`` dispatch -- precharge/activate, the burst read loop, and the
-busy accounting tail) and requires the two regions to be structurally
+This rule proves the drift cannot happen silently.  Every pair in the
+:data:`TWIN_PAIRS` registry is compared structurally: the region under
+the pair's *anchor* statement (for the DDR kernels, the ``else`` branch
+of their ``if hit:`` dispatch -- precharge/activate, the burst read
+loop, and the busy accounting tail), or the whole function body minus
+any docstring when the pair has no anchor (the event kernels, whose
+twins are full-body identical).  The two regions must be structurally
 identical ASTs after normalisation:
 
 * line numbers, column offsets and comments are ignored (pure AST
@@ -37,11 +43,19 @@ import copy
 
 from repro.analysis.linter import Rule, register_rule
 
-#: Function pairs that must stay structurally identical, and the name
-#: of the variable whose ``if <name>:`` statement anchors the compared
-#: region (its ``else`` branch -- the DDR state machine).
+#: Function pairs that must stay structurally identical.  The third
+#: field names the variable whose ``if <name>:`` statement anchors the
+#: compared region (its ``else`` branch), or is ``None`` to compare the
+#: whole function body minus any leading docstring.  Pairs are matched
+#: by name in whatever module defines both -- a module holding neither
+#: twin of a pair is exempt from it.
 TWIN_PAIRS = (
+    # DDR bank state machine (repro/core/kernels.py).
     ("_execute_window_flat", "_execute_window_python", "hit"),
+    # Serving event loops (repro/serving/event_kernels.py).
+    ("_fifo_events_flat", "_fifo_events_python", None),
+    ("_edf_events_flat", "_edf_events_python", None),
+    ("_admission_events_flat", "_admission_events_python", None),
 )
 
 #: The flavor-specific spellings the twins may differ in.  Each entry is
@@ -138,7 +152,20 @@ def _canonical_dump(stmt):
 
 
 def _twin_region(func, anchor):
-    """The ``else`` branch of the ``if <anchor>:`` statement, or None."""
+    """The compared statement region of one twin.
+
+    With an anchor: the ``else`` branch of the ``if <anchor>:``
+    statement, or ``None`` when the anchor is missing.  Without one
+    (``anchor=None``): the whole function body, minus a leading
+    docstring expression.
+    """
+    if anchor is None:
+        body = func.body
+        if body and isinstance(body[0], ast.Expr) \
+                and isinstance(body[0].value, ast.Constant) \
+                and isinstance(body[0].value.value, str):
+            body = body[1:]
+        return body
     for node in ast.walk(func):
         if isinstance(node, ast.If) and isinstance(node.test, ast.Name) \
                 and node.test.id == anchor:
@@ -158,16 +185,15 @@ def compare_twin_regions(flat_func, python_func, anchor="hit"):
     if flat_region is None or python_region is None:
         missing = flat_func.name if flat_region is None \
             else python_func.name
-        return ("twin %r lost its 'if %s:' anchor -- the compared DDR "
-                "state-machine region cannot be located" % (missing,
-                                                            anchor),
+        return ("twin %r lost its 'if %s:' anchor -- the compared "
+                "kernel region cannot be located" % (missing, anchor),
                 flat_func.lineno, python_func.lineno)
     flat_dumps = [_canonical_dump(stmt) for stmt in flat_region]
     python_dumps = [_canonical_dump(stmt) for stmt in python_region]
     limit = min(len(flat_dumps), len(python_dumps))
     for index in range(limit):
         if flat_dumps[index] != python_dumps[index]:
-            return ("statement %d of the DDR state-machine region "
+            return ("statement %d of the compared kernel region "
                     "differs between %r (line %d) and %r (line %d) "
                     "beyond the allowed substitutions -- the kernel "
                     "twins have drifted apart"
@@ -180,10 +206,10 @@ def compare_twin_regions(flat_func, python_func, anchor="hit"):
         longer, region = (flat_func, flat_region) \
             if len(flat_dumps) > len(python_dumps) \
             else (python_func, python_region)
-        return ("twin %r has %d extra statement(s) in its DDR "
-                "state-machine region" % (longer.name,
-                                          abs(len(flat_dumps)
-                                              - len(python_dumps))),
+        return ("twin %r has %d extra statement(s) in its compared "
+                "kernel region" % (longer.name,
+                                   abs(len(flat_dumps)
+                                       - len(python_dumps))),
                 region[limit].lineno, region[limit].lineno)
     return None
 

@@ -137,6 +137,20 @@ def kernels_enabled():
     return active_flavor() != "disabled"
 
 
+def maybe_jit(fn):
+    """Jit ``fn`` when the import-time flavor is numba, else return it.
+
+    The hook other kernel modules (:mod:`repro.serving.event_kernels`)
+    use to apply this module's flavor selection to their own flat
+    kernels: one numba probe, one ``REPRO_DISABLE_KERNELS`` switch, one
+    ``force_flavor`` override governing every compiled kernel in the
+    tree.
+    """
+    if KERNEL_FLAVOR == "numba":
+        return _njit(cache=True)(fn)
+    return fn
+
+
 #: Packet sizes below which the legacy object path beats the packed
 #: kernel path: the numpy packing and kernel-call fixed costs only
 #: amortise on large packets.  The jitted flavour recoups its call

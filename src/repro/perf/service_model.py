@@ -138,7 +138,12 @@ class InterpolatingServiceModel(ServiceTimeModel):
     @staticmethod
     def _query_shape(batch):
         """Observed per-request poolings and per-pooling lookups."""
-        num_requests = sum(len(query.requests) for query in batch.queries)
+        # Batch classes carry a cached request count; duck-typed batches
+        # without one fall back to the object walk.
+        num_requests = getattr(batch, "num_requests", None)
+        if num_requests is None:
+            num_requests = sum(len(query.requests)
+                               for query in batch.queries)
         if num_requests == 0:
             raise ValueError(
                 "batch carries no SLS requests; cannot derive a "
@@ -204,24 +209,44 @@ class InterpolatingServiceModel(ServiceTimeModel):
             return float(values[-1] + slope * (total_poolings - xs[-1]))
         return float(np.interp(total_poolings, xs, values))
 
+    @staticmethod
+    def _interp_row_vector(row, total_poolings):
+        """Vectorised :meth:`_interp_row` over a total-poolings array.
+
+        ``np.interp`` evaluates each element with the same operations as
+        the scalar call, and the extrapolation branch applies the same
+        slope expression, so every element matches the scalar path
+        bitwise.
+        """
+        xs, values = row
+        result = np.interp(total_poolings, xs, values)
+        beyond = total_poolings > xs[-1]
+        if beyond.any():
+            slope = (values[-1] - values[-2]) / (xs[-1] - xs[-2])
+            result[beyond] = values[-1] \
+                + slope * (total_poolings[beyond] - xs[-1])
+        return result
+
+    def _pf_rows_for(self, observed_pf):
+        """The pooling-factor row(s) answering an observed factor."""
+        if self.pooling_factors is None:
+            return (observed_pf,)
+        # Bracket the observed pooling factor with permitted rows; clamp
+        # to the nearest row outside the grid (never extrapolate across
+        # the whole pooling-factor range).
+        below = [p for p in self.pooling_factors if p <= observed_pf]
+        above = [p for p in self.pooling_factors if p >= observed_pf]
+        if not below:
+            return (above[0],)
+        if not above:
+            return (below[-1],)
+        return tuple(sorted({below[-1], above[0]}))
+
     def service_time_us(self, cluster, batch):
         grid = self._grid_for(cluster)
         poolings, observed_pf = self._query_shape(batch)
         total_poolings = float(batch.total_poolings)
-        if self.pooling_factors is None:
-            pf_rows = [observed_pf]
-        else:
-            # Bracket the observed pooling factor with permitted rows;
-            # clamp to the nearest row outside the grid (never
-            # extrapolate across the whole pooling-factor range).
-            below = [p for p in self.pooling_factors if p <= observed_pf]
-            above = [p for p in self.pooling_factors if p >= observed_pf]
-            if not below:
-                pf_rows = [above[0]]
-            elif not above:
-                pf_rows = [below[-1]]
-            else:
-                pf_rows = sorted({below[-1], above[0]})
+        pf_rows = self._pf_rows_for(observed_pf)
         self._interpolated_calls += 1
         if len(pf_rows) == 1:
             return self._interp_row(
@@ -234,6 +259,51 @@ class InterpolatingServiceModel(ServiceTimeModel):
             self._row(grid, cluster, poolings, high), total_poolings)
         weight = (observed_pf - low) / (high - low)
         return value_low + weight * (value_high - value_low)
+
+    def service_times_us(self, cluster, batches):
+        """Grouped-and-vectorised batch answering (the engine-facing
+        call).
+
+        One pass over the batches reads their (cached) shape aggregates
+        and calibrates any missing grid rows in first-encounter order --
+        exactly the calibration sequence of the one-batch-at-a-time
+        loop -- then batches sharing a shape are answered with one
+        vectorised row interpolation each.  Values are bit-identical to
+        the scalar path (:meth:`_interp_row_vector`).
+        """
+        batches = list(batches)
+        if not batches:
+            return []
+        grid = self._grid_for(cluster)
+        shapes = []
+        total_poolings = np.empty(len(batches), dtype=np.float64)
+        for index, batch in enumerate(batches):
+            poolings, observed_pf = self._query_shape(batch)
+            pf_rows = self._pf_rows_for(observed_pf)
+            for pf_row in pf_rows:
+                self._row(grid, cluster, poolings, pf_row)
+            self._interpolated_calls += 1
+            shapes.append((poolings, pf_rows, observed_pf))
+            total_poolings[index] = float(batch.total_poolings)
+        groups = {}
+        for index, shape in enumerate(shapes):
+            groups.setdefault(shape, []).append(index)
+        out = np.empty(len(batches), dtype=np.float64)
+        for (poolings, pf_rows, observed_pf), indices in groups.items():
+            points = total_poolings[indices]
+            if len(pf_rows) == 1:
+                values = self._interp_row_vector(
+                    grid[(poolings, pf_rows[0])], points)
+            else:
+                low, high = pf_rows
+                value_low = self._interp_row_vector(
+                    grid[(poolings, low)], points)
+                value_high = self._interp_row_vector(
+                    grid[(poolings, high)], points)
+                weight = (observed_pf - low) / (high - low)
+                values = value_low + weight * (value_high - value_low)
+            out[indices] = values
+        return out.tolist()
 
     def stats(self):
         """Calibration-vs-interpolation call accounting."""

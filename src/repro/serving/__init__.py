@@ -36,6 +36,15 @@ from repro.serving.arrival import (
     queries_from_traces,
 )
 from repro.serving.batcher import BatchingFrontend, QueryBatch
+from repro.serving.query_columns import (
+    BatchColumns,
+    ColumnBatch,
+    ColumnQueryView,
+    QueryColumns,
+    QueryStream,
+    form_batch_columns,
+    query_columns_from_traces,
+)
 from repro.serving.slo import (
     SLO_POLICIES,
     FixedSLOPolicy,
@@ -101,6 +110,13 @@ __all__ = [
     "queries_from_traces",
     "BatchingFrontend",
     "QueryBatch",
+    "BatchColumns",
+    "ColumnBatch",
+    "ColumnQueryView",
+    "QueryColumns",
+    "QueryStream",
+    "form_batch_columns",
+    "query_columns_from_traces",
     "SLO_POLICIES",
     "SLOPolicy",
     "FixedSLOPolicy",

@@ -230,6 +230,39 @@ def resolve_admission(admission):
     return factory()
 
 
+def admission_kernel_spec(controller, capacity_qps):
+    """Kernel parameters for a built-in controller, None for customs.
+
+    Returns ``(mode, param0, param1, initial_tokens)`` consumable by
+    :func:`repro.serving.event_kernels.admission_mask`, or ``None`` when
+    ``controller`` is not an *exact* instance of one of the four
+    built-in classes -- subclasses may override ``admit``/``reset``
+    arbitrarily, so they stay on the per-query object path.
+    ``capacity_qps`` resolves the token bucket's default refill rate,
+    mirroring :meth:`TokenBucketAdmission.configure`.
+    """
+    from repro.serving import event_kernels
+
+    kind = type(controller)
+    if kind is NoAdmission:
+        return (event_kernels.ADMISSION_MODE_NONE, 0.0, 0.0, 0.0)
+    if kind is TokenBucketAdmission:
+        rate_qps = controller.rate_qps if controller.rate_qps is not None \
+            else float(capacity_qps)
+        if rate_qps <= 0:
+            raise ValueError("token refill rate must be positive; pass "
+                             "rate_qps explicitly")
+        return (event_kernels.ADMISSION_MODE_TOKEN_BUCKET, rate_qps,
+                controller.burst, controller.burst)
+    if kind is QueueDepthAdmission:
+        return (event_kernels.ADMISSION_MODE_QUEUE_DEPTH,
+                float(controller.max_depth), 0.0, 0.0)
+    if kind is DeadlineAwareAdmission:
+        return (event_kernels.ADMISSION_MODE_DEADLINE, controller.margin,
+                0.0, 0.0)
+    return None
+
+
 def apply_admission(queries, controller, num_servers, est_query_us,
                     est_batch_us=None):
     """Filter a query stream through an admission controller.

@@ -71,6 +71,168 @@ class ServingQuery:
         return self._fingerprint
 
 
+class _ExponentialDraws:
+    """Order-preserving standard-exponential draw buffer.
+
+    Blocked ``standard_exponential`` refills consume the generator's
+    underlying bit stream exactly like repeated scalar draws (and
+    ``exponential(scale)`` equals ``scale * standard_exponential()``
+    draw for draw), so consumers that mix one-at-a-time draws with
+    vectorised runs reproduce a scalar drawing loop bit for bit.
+    """
+
+    def __init__(self, rng, block=8192):
+        self._rng = rng
+        self._block = int(block)
+        self._draws = np.empty(0, dtype=np.float64)
+        self._position = 0
+
+    def _refill(self):
+        self._draws = self._rng.standard_exponential(self._block)
+        self._position = 0
+
+    def next_scaled(self, scale):
+        """One draw, scaled (an ``exponential(scale)`` variate)."""
+        if self._position >= self._draws.size:
+            self._refill()
+        value = self._draws[self._position] * scale
+        self._position += 1
+        return float(value)
+
+    def buffered_scaled(self, scale):
+        """The un-consumed buffered draws, scaled, without consuming.
+
+        Refills first when the buffer is empty, so the returned run is
+        never zero-length; callers account for what they actually used
+        via :meth:`consume`.
+        """
+        if self._position >= self._draws.size:
+            self._refill()
+        return self._draws[self._position:] * scale
+
+    def consume(self, count):
+        """Mark ``count`` draws from the last buffered run as used."""
+        self._position += count
+
+
+class _CumulativeGapStream:
+    """Resumable arrival stream over per-chunk gap vectors.
+
+    Subclasses supply the next ``count`` inter-arrival gaps; this base
+    turns them into absolute times with a carried last-arrival clock.
+    The carry is summed *inside* the ``cumsum`` (as a leading element),
+    so the sequential association matches one global ``cumsum`` over the
+    whole gap stream -- ``take(a)`` then ``take(b)`` is bit-identical to
+    one ``take(a + b)``.
+    """
+
+    def __init__(self):
+        self._now_us = 0.0
+
+    def _next_gaps(self, count):
+        raise NotImplementedError
+
+    def take(self, count):
+        """The next ``count`` arrival times (us), continuing the stream."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        gaps = self._next_gaps(count)
+        times = np.cumsum(np.concatenate(([self._now_us], gaps)))[1:]
+        if count:
+            self._now_us = float(times[-1])
+        return times
+
+
+class _PoissonArrivalStream(_CumulativeGapStream):
+    """Resumable draw-order-preserving Poisson arrival stream."""
+
+    def __init__(self, process):
+        super().__init__()
+        self._rng = np.random.default_rng(process.seed)
+        self._mean_gap_us = 1e6 / process.rate_qps
+
+    def _next_gaps(self, count):
+        return self._rng.exponential(self._mean_gap_us, size=count)
+
+
+class _TraceReplayArrivalStream(_CumulativeGapStream):
+    """Resumable cycled-gap replay stream."""
+
+    def __init__(self, process):
+        super().__init__()
+        self._gaps_us = process.gaps_us
+        self._offset = 0
+
+    def _next_gaps(self, count):
+        size = self._gaps_us.size
+        positions = (self._offset + np.arange(count, dtype=np.int64)) \
+            % size
+        self._offset = int((self._offset + count) % size)
+        return self._gaps_us[positions]
+
+
+class _MMPPArrivalStream:
+    """Resumable two-state MMPP arrival stream, vectorised per state.
+
+    Replaces the per-draw scalar loop of
+    :meth:`MMPPArrivalProcess.arrival_times_us` with runs over a shared
+    draw buffer: one draw per state sojourn, one per candidate gap --
+    including the discarded overflow gap that ends a state -- consumed
+    in exactly the order the scalar loop drew them, so the generated
+    times are bit-identical.  When a ``take`` quota fills mid-state the
+    overflow draw is *not* consumed (the scalar loop stops before
+    drawing it); the next ``take`` resumes inside the same sojourn.
+    """
+
+    def __init__(self, process, block=8192):
+        self._process = process
+        self._draws = _ExponentialDraws(
+            np.random.default_rng(process.seed), block)
+        self._now_us = 0.0
+        self._high = False              # start in the (longer) low state
+        self._limit_us = None           # end of the in-progress sojourn
+        self._t_us = 0.0                # last candidate time in the state
+
+    def take(self, count):
+        """The next ``count`` arrival times (us), continuing the stream."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        process = self._process
+        out = np.empty(count, dtype=np.float64)
+        filled = 0
+        while filled < count:
+            if self._limit_us is None:
+                mean_sojourn = process.mean_high_us if self._high \
+                    else process.mean_low_us
+                sojourn_us = self._draws.next_scaled(mean_sojourn)
+                self._limit_us = self._now_us + sojourn_us
+                self._t_us = self._now_us
+            rate_qps = process.rate_high_qps if self._high \
+                else process.rate_low_qps
+            gaps = self._draws.buffered_scaled(1e6 / rate_qps)
+            times = np.cumsum(np.concatenate(([self._t_us], gaps)))[1:]
+            # Arrivals stay in the state while t <= limit (a query landing
+            # exactly at the boundary still belongs to the sojourn).
+            over_at = int(np.searchsorted(times, self._limit_us,
+                                          side="right"))
+            emit = min(over_at, count - filled)
+            if emit:
+                out[filled:filled + emit] = times[:emit]
+                filled += emit
+                self._t_us = float(times[emit - 1])
+                self._draws.consume(emit)
+            if over_at < times.shape[0] and filled < count:
+                # The state expired inside the buffered run and the quota
+                # still has room: the overflow draw is consumed (and
+                # discarded -- the leftover gap is memoryless) and the
+                # process flips states.
+                self._draws.consume(1)
+                self._now_us = self._limit_us
+                self._limit_us = None
+                self._high = not self._high
+        return out
+
+
 class PoissonArrivalProcess:
     """Memoryless arrivals at a target rate (the classic traffic model)."""
 
@@ -88,6 +250,11 @@ class PoissonArrivalProcess:
         mean_gap_us = 1e6 / self.rate_qps
         gaps = rng.exponential(mean_gap_us, size=num_queries)
         return np.cumsum(gaps)
+
+    def stream(self):
+        """Resumable arrival stream: ``take(a)`` then ``take(b)`` equals
+        ``arrival_times_us(a + b)`` bit for bit."""
+        return _PoissonArrivalStream(self)
 
 
 class TraceReplayArrivalProcess:
@@ -138,9 +305,11 @@ class TraceReplayArrivalProcess:
         """Cumulative arrival times (us) of ``num_queries`` queries."""
         if num_queries < 0:
             raise ValueError("num_queries must be non-negative")
-        repeats = -(-num_queries // self.gaps_us.size) if num_queries else 0
-        gaps = np.tile(self.gaps_us, max(repeats, 1))[:num_queries]
-        return np.cumsum(gaps)
+        return self.stream().take(num_queries)
+
+    def stream(self):
+        """Resumable arrival stream continuing the gap cycle across takes."""
+        return _TraceReplayArrivalStream(self)
 
 
 class MMPPArrivalProcess:
@@ -208,30 +377,21 @@ class MMPPArrivalProcess:
             / (high_weight + low_weight)
 
     def arrival_times_us(self, num_queries):
-        """Cumulative arrival times (us) of ``num_queries`` queries."""
+        """Cumulative arrival times (us) of ``num_queries`` queries.
+
+        Vectorised per state sojourn over a shared draw buffer
+        (:class:`_MMPPArrivalStream`); bit-identical to the original
+        per-draw scalar loop, which ``tests/test_arrival_streams.py``
+        keeps as the pinned specification.
+        """
         if num_queries < 0:
             raise ValueError("num_queries must be non-negative")
-        rng = np.random.default_rng(self.seed)
-        times = []
-        now_us = 0.0
-        high = False                    # start in the (longer) low state
-        while len(times) < num_queries:
-            rate_qps = self.rate_high_qps if high else self.rate_low_qps
-            mean_sojourn = self.mean_high_us if high else self.mean_low_us
-            sojourn_us = rng.exponential(mean_sojourn)
-            # Poisson arrivals inside the sojourn: draw exponential gaps
-            # until the state expires (the leftover gap is memoryless, so
-            # restarting in the next state is exact).
-            mean_gap_us = 1e6 / rate_qps
-            t = now_us
-            while len(times) < num_queries:
-                t += rng.exponential(mean_gap_us)
-                if t > now_us + sojourn_us:
-                    break
-                times.append(t)
-            now_us += sojourn_us
-            high = not high
-        return np.asarray(times[:num_queries], dtype=np.float64)
+        return self.stream().take(num_queries)
+
+    def stream(self):
+        """Resumable arrival stream: ``take(a)`` then ``take(b)`` equals
+        ``arrival_times_us(a + b)`` bit for bit."""
+        return _MMPPArrivalStream(self)
 
 
 def _per_table(value, num_tables, name):

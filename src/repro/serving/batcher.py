@@ -18,12 +18,38 @@ from dataclasses import dataclass, field
 
 @dataclass
 class QueryBatch:
-    """A dispatched batch of serving queries."""
+    """A dispatched batch of serving queries.
+
+    The lookup/pooling aggregates are computed once on first access and
+    cached (one walk over the request lists instead of one per
+    property read -- the interpolating service model reads several per
+    batch).  The cache keys on the query list's length, so the batcher
+    appending queries during formation invalidates nothing; replacing
+    or mutating queries *in place* after an aggregate was read is not
+    supported.
+    """
 
     queries: list = field(default_factory=list)
     open_us: float = 0.0
     formed_us: float = 0.0
     trigger: str = "size"
+    _aggregates: tuple = field(default=None, init=False, repr=False,
+                               compare=False)
+
+    def _aggregate(self, index):
+        cached = self._aggregates
+        if cached is None or cached[0] != len(self.queries):
+            lookups = 0
+            poolings = 0
+            num_requests = 0
+            for query in self.queries:
+                lookups += query.total_lookups
+                num_requests += len(query.requests)
+                for request in query.requests:
+                    poolings += len(request.lengths)
+            cached = (len(self.queries), lookups, poolings, num_requests)
+            self._aggregates = cached
+        return cached[index]
 
     @property
     def size(self):
@@ -31,7 +57,7 @@ class QueryBatch:
 
     @property
     def total_lookups(self):
-        return sum(query.total_lookups for query in self.queries)
+        return self._aggregate(1)
 
     @property
     def total_poolings(self):
@@ -42,14 +68,27 @@ class QueryBatch:
         request per table, which is how the interpolating service-time
         model (:mod:`repro.perf.service_model`) keys its calibration grid.
         """
-        return sum(len(request.lengths) for query in self.queries
-                   for request in query.requests)
+        return self._aggregate(2)
+
+    @property
+    def num_pooling_ops(self):
+        """Alias of :attr:`total_poolings` (the SLS batch dimension)."""
+        return self._aggregate(2)
+
+    @property
+    def num_requests(self):
+        """SLS requests across the batch (queries x tables touched)."""
+        return self._aggregate(3)
 
     @property
     def mean_pooling_factor(self):
         """Average lookups per pooling operation across the batch."""
         poolings = self.total_poolings
         return self.total_lookups / poolings if poolings else 0.0
+
+    def query_fingerprints(self):
+        """Per-query content digests (the service-cache key body)."""
+        return [query.fingerprint() for query in self.queries]
 
     @property
     def earliest_deadline_us(self):
@@ -128,8 +167,23 @@ class BatchingFrontend:
             batches.append(open_batch)
         return batches
 
+    def form_batch_columns(self, columns, final=True):
+        """Array-path batch formation over sorted query columns.
+
+        Delegates to :func:`repro.serving.query_columns
+        .form_batch_columns` with this frontend's triggers; see there
+        for the carry contract of ``final=False``.
+        """
+        from repro.serving.query_columns import form_batch_columns
+
+        return form_batch_columns(columns, self.max_queries,
+                                  self.max_delay_us, final=final)
+
     def trigger_counts(self, batches):
         """``{"size": n, "deadline": m}`` over a batch list."""
+        array_counts = getattr(batches, "trigger_counts", None)
+        if array_counts is not None:
+            return array_counts()
         counts = {"size": 0, "deadline": 0}
         for batch in batches:
             counts[batch.trigger] = counts.get(batch.trigger, 0) + 1

@@ -21,6 +21,8 @@ of the batcher (:mod:`repro.serving.admission`), reporting goodput, SLO
 attainment and shed rate in ``extras["slo"]``.
 """
 
+import numpy as np
+
 from repro.perf.service_store import (
     ServiceTimeStore,
     resolve_service_store,
@@ -36,6 +38,12 @@ from repro.utils.lru import LRUCache
 #: replays stream millions of distinct batch compositions through a
 #: cluster; an unbounded cache would retain every one of them.
 DEFAULT_SERVICE_CACHE_ENTRIES = 4096
+
+#: Default queries per chunk when ``simulate`` drains a
+#: :class:`~repro.serving.query_columns.QueryStream` without an explicit
+#: ``stream_chunk``: large enough to amortise the per-chunk passes, small
+#: enough that a 10M-query run never materialises the stream.
+DEFAULT_STREAM_CHUNK = 65536
 
 
 class ShardedServingCluster:
@@ -164,7 +172,13 @@ class ShardedServingCluster:
         -- their assignment is a pure function of content, so a cache
         hit needs no assignment pass at all.
         """
-        key = tuple(query.fingerprint() for query in batch.queries)
+        fingerprints = getattr(batch, "query_fingerprints", None)
+        if fingerprints is not None:
+            # Batch-level digests: QueryBatch walks its queries once,
+            # ColumnBatch answers from the provider's residue memo.
+            key = tuple(fingerprints())
+        else:
+            key = tuple(query.fingerprint() for query in batch.queries)
         if self.sharder.stateful:
             # Routing state must advance for every batch, cached or not,
             # and the assignment is part of the key.
@@ -435,6 +449,18 @@ class ShardedServingCluster:
             self.sharder.reset_routing()
         frontend = frontend or BatchingFrontend()
         model = resolve_service_model(service_model)
+        if hasattr(queries, "sorted_by_arrival"):
+            # Array-path probe over QueryColumns: same first
+            # max_queries rows, same content fingerprints, so it shares
+            # the service-cache entry with the object-path probe.
+            from repro.serving.query_columns import ColumnBatch
+
+            columns = queries.sorted_by_arrival()
+            count = min(len(columns), frontend.max_queries)
+            open_us = float(columns.arrival_us[0])
+            batch = ColumnBatch(columns, 0, count, open_us, open_us,
+                                "size")
+            return model.service_time_us(self, batch) / count
         probe = sorted(queries,
                        key=lambda q: (q.arrival_us, q.query_id))
         probe = probe[:frontend.max_queries]
@@ -444,7 +470,8 @@ class ShardedServingCluster:
         return model.service_time_us(self, batch) / len(probe)
 
     def simulate(self, queries, frontend=None, engine=None,
-                 service_model=None, slo_policy=None, admission=None):
+                 service_model=None, slo_policy=None, admission=None,
+                 stream_chunk=None):
         """Serve a query stream; returns a
         :class:`~repro.serving.queueing.ServingReport`.
 
@@ -471,20 +498,45 @@ class ShardedServingCluster:
         routing state (stateful sharders reset their replica counters),
         so a report is a pure function of the query stream -- repeated
         ``simulate`` calls and reordered ``qps_sweep`` points agree.
+
+        ``queries`` may also be a
+        :class:`~repro.serving.query_columns.QueryColumns` (the
+        struct-of-arrays query path) or a
+        :class:`~repro.serving.query_columns.QueryStream`; both run the
+        array pipeline and produce a byte-identical report.
+        ``stream_chunk`` (valid for any query source) processes the run
+        in chunks of that many queries with carried batcher, sharder and
+        admission state -- O(chunk) memory for streams of any length,
+        byte-identical to the one-shot run.  A ``QueryStream`` without
+        an explicit ``stream_chunk`` uses ``DEFAULT_STREAM_CHUNK``.
         """
         from repro.perf.service_model import resolve_service_model
         from repro.serving.admission import (
             apply_admission,
             resolve_admission,
         )
+        from repro.serving.query_columns import QueryColumns, QueryStream
         from repro.serving.slo import resolve_slo_policy
 
-        queries = list(queries)
         frontend = frontend or BatchingFrontend()
         engine = resolve_engine(engine)
         model = resolve_service_model(service_model)
         policy = resolve_slo_policy(slo_policy)
         controller = resolve_admission(admission)
+        if stream_chunk is not None:
+            stream_chunk = int(stream_chunk)
+            if stream_chunk < frontend.max_queries:
+                raise ValueError(
+                    "stream_chunk must be >= the frontend's max_queries "
+                    "(%d)" % frontend.max_queries)
+        if isinstance(queries, (QueryColumns, QueryStream)) \
+                or stream_chunk is not None:
+            if isinstance(queries, QueryStream) and stream_chunk is None:
+                stream_chunk = DEFAULT_STREAM_CHUNK
+            return self._simulate_columns(queries, frontend, engine,
+                                          model, policy, controller,
+                                          stream_chunk)
+        queries = list(queries)
         if policy is not None:
             policy.assign_deadlines(queries)
         slo_info = None
@@ -529,8 +581,189 @@ class ShardedServingCluster:
                     "service_model": model.name},
             slo_info=slo_info)
 
+    def _simulate_columns(self, queries, frontend, engine, model, policy,
+                          controller, stream_chunk):
+        """Array-path run: columns in, one :class:`ServingReport` out.
+
+        Chunks flow through deadline assignment, admission, batching and
+        service-time resolution with carried state between chunks (the
+        admission fluid model, the batcher's open batch, the sharder's
+        routing counters), then a single ``engine.summarize`` sees the
+        whole run -- so the report is byte-identical whatever the chunk
+        size, including the one-shot ``stream_chunk=None``.
+        """
+        from repro.serving import event_kernels
+        from repro.serving.admission import admission_kernel_spec
+        from repro.serving.query_columns import BatchColumns, QueryColumns
+
+        est_query_us = est_batch_us = None
+        kernel_spec = None
+        admission_state = None
+        backlog_us = 0.0                # custom-controller fluid model
+        last_us = None
+        num_offered = 0
+        num_admitted = 0
+        first_arrival = None
+        last_arrival = None
+        carry = None
+        batch_parts = []
+        services = []
+        routing_reset = False
+        for chunk, is_final in _column_chunks(queries, stream_chunk):
+            num_offered += len(chunk)
+            if first_arrival is None:
+                first_arrival = float(chunk.arrival_us[0])
+            last_arrival = float(chunk.arrival_us[-1])
+            if policy is not None:
+                policy.assign_deadlines_columns(chunk)
+            if controller is not None and est_query_us is None:
+                # Probe on the first chunk: chunking is monotone in
+                # arrival order, so it holds the globally earliest
+                # queries -- all the whole-stream estimate ever reads.
+                est_query_us = self.estimate_query_service_us(
+                    chunk, frontend=frontend, service_model=model)
+                est_batch_us = est_query_us * frontend.max_queries
+                capacity_qps = self.num_frontends / est_query_us * 1e6
+                controller.configure(capacity_qps, est_query_us,
+                                     est_batch_us, self.num_frontends)
+                controller.reset()
+                kernel_spec = admission_kernel_spec(controller,
+                                                    capacity_qps)
+                if kernel_spec is not None \
+                        and event_kernels.active_flavor() != "disabled":
+                    admission_state = event_kernels.new_admission_state(
+                        first_arrival, kernel_spec[3])
+                else:
+                    # Custom controller (or kernels disabled): per-query
+                    # object loop, same fluid model, carried by hand.
+                    kernel_spec = None
+                    last_us = first_arrival
+            if not routing_reset:
+                # After the probe (which advances stateful routing),
+                # before the first real batch: the same reset point as
+                # the object path.
+                if self.sharder.stateful:
+                    self.sharder.reset_routing()
+                routing_reset = True
+            if controller is None:
+                admitted = chunk
+                num_admitted += len(chunk)
+            else:
+                if kernel_spec is not None:
+                    mode, param0, param1, _ = kernel_spec
+                    slacks = chunk.deadline_us - chunk.arrival_us
+                    mask = event_kernels.admission_mask(
+                        chunk.arrival_us, slacks, admission_state,
+                        self.num_frontends, est_query_us, est_batch_us,
+                        mode, param0, param1)
+                else:
+                    mask = np.empty(len(chunk), dtype=bool)
+                    for position in range(len(chunk)):
+                        view = chunk.view(position)
+                        now_us = view.arrival_us
+                        backlog_us = max(
+                            0.0, backlog_us - (now_us - last_us)
+                            * self.num_frontends)
+                        last_us = now_us
+                        wait_us = backlog_us / self.num_frontends
+                        admit = controller.admit(view, now_us, wait_us)
+                        mask[position] = admit
+                        if admit:
+                            backlog_us += est_query_us
+                admitted = chunk if mask.all() \
+                    else chunk.take(np.flatnonzero(mask))
+                num_admitted += len(admitted)
+            piece = admitted
+            if carry is not None:
+                piece = QueryColumns.concat([carry, piece]) \
+                    if len(piece) else carry
+                carry = None
+            if not len(piece):
+                continue
+            formed, carry = frontend.form_batch_columns(piece,
+                                                        final=is_final)
+            if len(formed):
+                batch_parts.append(formed)
+                services.extend(model.service_times_us(self, formed))
+        if controller is not None and num_offered and not num_admitted:
+            raise ValueError(
+                "admission controller %r shed every query; offered "
+                "load is far beyond capacity or the controller is "
+                "misconfigured" % controller.describe())
+        slo_info = None
+        if policy is not None or controller is not None:
+            slo_info = {
+                "num_offered": num_offered,
+                "num_shed": num_offered - num_admitted,
+                "offered_span_us": (last_arrival - first_arrival)
+                if num_offered else 0.0,
+                "admission": controller.name if controller is not None
+                else "none",
+                "slo_policy": policy.describe() if policy is not None
+                else None,
+            }
+        if not batch_parts:
+            raise ValueError("need at least one batch")
+        batches = BatchColumns.concat(batch_parts)
+        return engine.summarize(
+            self.describe(), batches, services,
+            num_servers=self.num_frontends,
+            trigger_counts=frontend.trigger_counts(batches),
+            extras={"num_nodes": self.num_nodes,
+                    "node_system": self.node_system,
+                    "shard_policy": self.sharder.policy,
+                    "sharder": self.sharder.describe(),
+                    "service_model": model.name},
+            slo_info=slo_info)
+
     def describe(self):
         return "%dx %s" % (self.num_nodes, self.node_system)
+
+
+def _column_chunks(queries, stream_chunk):
+    """Yield ``(chunk, is_final)`` pairs in global (arrival, id) order.
+
+    ``queries`` is a :class:`QueryStream` (drained ``stream_chunk`` at a
+    time; must be bounded), a :class:`QueryColumns`, or any iterable of
+    :class:`ServingQuery` objects (both materialised forms are sorted
+    once and sliced).  Streamed chunks are required to arrive in
+    non-decreasing arrival order -- every built-in arrival process
+    generates monotone times -- because carried batching state is only
+    meaningful over a globally sorted stream.
+    """
+    from repro.serving.query_columns import QueryColumns, QueryStream
+
+    if isinstance(queries, QueryStream):
+        if queries.num_queries is None:
+            raise ValueError("chunked simulation needs a bounded stream; "
+                             "construct the QueryStream with num_queries")
+        last_arrival = -np.inf
+        while True:
+            chunk = queries.take(stream_chunk)
+            if not len(chunk):
+                break
+            arrivals = chunk.arrival_us
+            if arrivals[0] < last_arrival \
+                    or np.any(np.diff(arrivals) < 0.0):
+                raise ValueError(
+                    "streamed arrivals must be non-decreasing")
+            last_arrival = float(arrivals[-1])
+            is_final = queries.remaining == 0
+            yield chunk, is_final
+            if is_final:
+                break
+        return
+    columns = queries if isinstance(queries, QueryColumns) \
+        else QueryColumns.from_queries(list(queries))
+    columns = columns.sorted_by_arrival()
+    size = len(columns)
+    if stream_chunk is None:
+        if size:
+            yield columns, True
+        return
+    for start in range(0, size, stream_chunk):
+        stop = min(start + stream_chunk, size)
+        yield columns.slice(start, stop), stop == size
 
 
 def build_sweep_cluster(spec):

@@ -81,6 +81,18 @@ class ServingEngine(abc.ABC):
         if record is not None:
             extras.setdefault("slo", record)
 
+    def _attach_slo_columns(self, extras, batch_columns, latencies_us,
+                            slo_info):
+        """Array-path :meth:`_attach_slo` over batched query columns."""
+        from repro.serving.slo import maybe_summarize_slo_arrays
+
+        columns = batch_columns.columns
+        slack = columns.deadline_us - columns.arrival_us
+        record = maybe_summarize_slo_arrays(columns.arrival_us, slack,
+                                            latencies_us, slo_info)
+        if record is not None:
+            extras.setdefault("slo", record)
+
 
 class AnalyticEngine(ServingEngine):
     """Closed-form M/G/c engine (the PR-1 model, now multi-server aware).

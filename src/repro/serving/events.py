@@ -34,6 +34,7 @@ import heapq
 
 import numpy as np
 
+from repro.serving import event_kernels
 from repro.serving.engine import ENGINES, ServingEngine
 from repro.serving.queueing import (
     ServingReport,
@@ -91,41 +92,53 @@ def simulate_batch_queue(ready_times_us, service_times_us, num_servers=1,
         starts[arrival_order] = sorted_starts
         completes[arrival_order] = sorted_completes
     elif order == "fifo":
-        free_at = [float(ready[arrival_order[0]])] * num_servers
-        heapq.heapify(free_at)
-        for index in arrival_order:
-            start = max(float(ready[index]), heapq.heappop(free_at))
-            complete = start + float(services[index])
-            starts[index] = start
-            completes[index] = complete
-            heapq.heappush(free_at, complete)
+        if event_kernels.active_flavor() != "disabled":
+            starts, completes = event_kernels.fifo_queue_times(
+                ready, services, arrival_order, num_servers)
+        else:
+            # Legacy heapq loop: the readable specification the compiled
+            # kernels are pinned against (and the "disabled" flavor).
+            free_at = [float(ready[arrival_order[0]])] * num_servers
+            heapq.heapify(free_at)
+            for index in arrival_order:
+                start = max(float(ready[index]), heapq.heappop(free_at))
+                complete = start + float(services[index])
+                starts[index] = start
+                completes[index] = complete
+                heapq.heappush(free_at, complete)
     else:
         if priorities is None:
             raise ValueError("EDF order needs one priority per batch")
         priority = np.asarray(priorities, dtype=np.float64)
         if priority.size != ready.size:
             raise ValueError("need one priority per batch")
-        free_at = [float(ready[arrival_order[0]])] * num_servers
-        heapq.heapify(free_at)
-        pending = []                   # (priority, ready, index)
-        next_arrival = 0
-        for _ in range(ready.size):
-            now = heapq.heappop(free_at)
-            if not pending:
-                # The earliest-free server idles until the next arrival.
-                now = max(now, float(ready[arrival_order[next_arrival]]))
-            while next_arrival < ready.size and \
-                    float(ready[arrival_order[next_arrival]]) <= now:
-                index = int(arrival_order[next_arrival])
-                heapq.heappush(pending, (float(priority[index]),
-                                         float(ready[index]), index))
-                next_arrival += 1
-            _, batch_ready, index = heapq.heappop(pending)
-            start = max(batch_ready, now)
-            complete = start + float(services[index])
-            starts[index] = start
-            completes[index] = complete
-            heapq.heappush(free_at, complete)
+        if event_kernels.active_flavor() != "disabled":
+            starts, completes = event_kernels.edf_queue_times(
+                ready, services, priority, arrival_order, num_servers)
+        else:
+            free_at = [float(ready[arrival_order[0]])] * num_servers
+            heapq.heapify(free_at)
+            pending = []                   # (priority, ready, index)
+            next_arrival = 0
+            for _ in range(ready.size):
+                now = heapq.heappop(free_at)
+                if not pending:
+                    # The earliest-free server idles until the next
+                    # arrival.
+                    now = max(now, float(ready[arrival_order[
+                        next_arrival]]))
+                while next_arrival < ready.size and \
+                        float(ready[arrival_order[next_arrival]]) <= now:
+                    index = int(arrival_order[next_arrival])
+                    heapq.heappush(pending, (float(priority[index]),
+                                             float(ready[index]), index))
+                    next_arrival += 1
+                _, batch_ready, index = heapq.heappop(pending)
+                start = max(batch_ready, now)
+                complete = start + float(services[index])
+                starts[index] = start
+                completes[index] = complete
+                heapq.heappush(free_at, complete)
     # Waiting-queue depth: a batch occupies the queue from ready to start,
     # and the depth only peaks just after an arrival -- so instead of
     # replaying a sorted 2B-event list, evaluate the depth at each sorted
@@ -179,27 +192,56 @@ class EventEngine(ServingEngine):
             raise ValueError("need one service time per batch")
         if not len(batches):
             raise ValueError("need at least one batch")
-        ready = np.asarray([batch.formed_us for batch in batches],
-                           dtype=np.float64)
+        is_columns = getattr(batches, "is_columns", False)
+        if is_columns:
+            ready = batches.formed_us
+        else:
+            ready = np.asarray([batch.formed_us for batch in batches],
+                               dtype=np.float64)
         priorities = None
         if self.order == "edf":
             # Deadline-free batches sort after every constrained one
             # (+inf priority); ready-time tie-breaks keep FIFO among them.
-            priorities = [
-                float("inf") if deadline is None else deadline
-                for deadline in (batch.earliest_deadline_us
-                                 for batch in batches)]
+            if is_columns:
+                earliest = batches.earliest_deadline_us()
+                priorities = np.where(np.isnan(earliest), np.inf, earliest)
+            else:
+                priorities = [
+                    float("inf") if deadline is None else deadline
+                    for deadline in (batch.earliest_deadline_us
+                                     for batch in batches)]
         starts, completes, max_depth = simulate_batch_queue(
             ready, services, num_servers, order=self.order,
             priorities=priorities)
         waits = starts - ready
 
-        latencies = []
-        for batch, complete in zip(batches, completes):
-            for query in batch.queries:
-                latencies.append(float(complete) - query.arrival_us)
-        queries, delays, offered_qps, batch_rate_per_us = \
-            traffic_stats(batches)
+        if is_columns:
+            # The per-query loops below as array ops: batch order equals
+            # query order within the columns, so np.repeat reproduces
+            # the flattened zip exactly (and bitwise: the same float64
+            # subtractions in the same order).
+            sizes = batches.sizes
+            arrivals = batches.columns.arrival_us
+            latencies = np.repeat(completes, sizes) - arrivals
+            delays = np.repeat(ready, sizes) - arrivals
+            num_queries = batches.num_queries
+            span_us = arrivals.max() - arrivals.min()
+            offered_qps = ((num_queries - 1) / span_us * 1e6
+                           if num_queries > 1 and span_us > 0.0 else 0.0)
+            if len(batches) > 1:
+                batch_span_us = ready.max() - ready.min()
+                batch_rate_per_us = ((len(batches) - 1) / batch_span_us
+                                     if batch_span_us > 0.0 else 0.0)
+            else:
+                batch_rate_per_us = 0.0
+        else:
+            latencies = []
+            for batch, complete in zip(batches, completes):
+                for query in batch.queries:
+                    latencies.append(float(complete) - query.arrival_us)
+            queries, delays, offered_qps, batch_rate_per_us = \
+                traffic_stats(batches)
+            num_queries = len(queries)
 
         rho = mgc_utilization(batch_rate_per_us, services, num_servers)
         busy_span_us = max(float(completes.max() - ready.min()), 1e-9)
@@ -207,7 +249,7 @@ class EventEngine(ServingEngine):
             / (num_servers * busy_span_us)
 
         mean_service = float(services.mean())
-        sustainable_qps = saturation_qps(len(queries), len(batches),
+        sustainable_qps = saturation_qps(num_queries, len(batches),
                                          mean_service, num_servers)
 
         run_extras = self._tag_extras(extras)
@@ -216,12 +258,16 @@ class EventEngine(ServingEngine):
         run_extras.setdefault("measured_utilization", measured_utilization)
         run_extras.setdefault("max_queue_depth", int(max_depth))
         run_extras.setdefault("p99_wait_us", percentile(waits, 99.0))
-        self._attach_slo(run_extras, queries, latencies, slo_info)
+        if is_columns:
+            self._attach_slo_columns(run_extras, batches, latencies,
+                                     slo_info)
+        else:
+            self._attach_slo(run_extras, queries, latencies, slo_info)
         return ServingReport(
             system=system_name,
-            num_queries=len(queries),
+            num_queries=num_queries,
             num_batches=len(batches),
-            offered_qps=offered_qps,
+            offered_qps=float(offered_qps),
             utilization=rho,
             mean_service_us=mean_service,
             mean_batch_delay_us=float(np.mean(delays)),

@@ -1,0 +1,687 @@
+"""Struct-of-arrays query path for million-query serving runs.
+
+The object query path builds one :class:`~repro.serving.arrival.ServingQuery`
+per query and re-walks Python object graphs for every aggregate -- fine
+for thousands of queries, the bottleneck at millions.  This module keeps
+the *stream* of queries in flat numpy columns and materialises objects
+only where a caller actually needs one:
+
+* :class:`QueryColumns` -- the per-query arrays (ids, arrivals,
+  deadlines, per-query lookup/pooling counts) plus a *request provider*
+  that lazily resolves each query's SLS requests and content
+  fingerprint.  Slicing, sorting and concatenation are array ops.
+* :class:`ColumnQueryView` -- a zero-copy view of one row that quacks
+  like a ``ServingQuery`` (``arrival_us``, ``deadline_us``,
+  ``slack_us``, ``requests``, ``fingerprint()``), so object-path
+  consumers (custom SLO policies, admission controllers, the exact
+  service path) keep working unchanged.
+* :func:`form_batch_columns` -- the two-trigger batcher
+  (:class:`~repro.serving.batcher.BatchingFrontend` semantics) as a
+  per-*batch* ``searchsorted`` scan instead of a per-query loop, with a
+  carry-out open batch so chunked streaming reproduces the one-shot
+  batching byte for byte.
+* :class:`BatchColumns` / :class:`ColumnBatch` -- the formed batches as
+  arrays (formation times, sizes, triggers, per-batch deadline minima)
+  plus per-batch views compatible with
+  :class:`~repro.serving.batcher.QueryBatch`.
+* :class:`QueryStream` -- a resumable generator of ``QueryColumns``
+  chunks from traces plus an arrival process, the O(chunk)-memory
+  source behind ``ShardedServingCluster.simulate(stream_chunk=N)``.
+
+Everything here is representation, not policy: batch boundaries,
+formation times, aggregates and fingerprints are defined by the object
+path and reproduced exactly (equivalence is pinned by
+``tests/test_query_columns.py``).
+"""
+
+import hashlib
+import math
+
+import numpy as np
+
+from repro.serving.arrival import _per_table
+from repro.traces.synthetic import batched_requests_from_trace
+
+#: Residue-pattern periods above this fall back to a per-pattern dict;
+#: below it, one digest per ``row % period`` covers every query.
+_MAX_DIGEST_PERIOD = 1 << 16
+
+
+class _CycledRequests:
+    """Request provider cycling per-table candidate requests by row id.
+
+    The provider behind :func:`query_columns_from_traces` and
+    :class:`QueryStream`: row ``r`` carries request
+    ``candidates[r % len(candidates)]`` from every table, exactly like
+    :func:`repro.serving.arrival.queries_from_traces`.  Fingerprints are
+    memoised per *residue pattern*: the request content of row ``r``
+    repeats with period lcm(candidate counts), so a million-query stream
+    usually needs only a handful of distinct digests.
+    """
+
+    def __init__(self, per_table_requests):
+        if not per_table_requests:
+            raise ValueError("need at least one table of requests")
+        self.per_table = [list(requests) for requests in per_table_requests]
+        if any(not requests for requests in self.per_table):
+            raise ValueError("every table needs at least one request")
+        self._counts = [len(requests) for requests in self.per_table]
+        period = 1
+        for count in self._counts:
+            period = math.lcm(period, count)
+        #: Row-content period; 0 disables the periodic digest cache.
+        self.period = period if period <= _MAX_DIGEST_PERIOD else 0
+        self._content = [[None] * count for count in self._counts]
+        self._digests = {}
+
+    def row_requests(self, row):
+        """The SLS requests of row ``row`` (shared candidate objects)."""
+        return [requests[row % count] for requests, count
+                in zip(self.per_table, self._counts)]
+
+    def _candidate_content(self, table, candidate):
+        """Fingerprint bytes of one candidate request (memoised)."""
+        content = self._content[table][candidate]
+        if content is None:
+            request = self.per_table[table][candidate]
+            content = (str(request.table_id).encode()
+                       + np.ascontiguousarray(request.indices).tobytes()
+                       + np.ascontiguousarray(request.lengths).tobytes())
+            self._content[table][candidate] = content
+        return content
+
+    def _pattern_digest(self, key, residues):
+        digest = hashlib.sha1()
+        for table, residue in enumerate(residues):
+            digest.update(self._candidate_content(table, residue))
+        hexdigest = digest.hexdigest()
+        self._digests[key] = hexdigest
+        return hexdigest
+
+    def row_fingerprint(self, row):
+        """Content digest of row ``row`` -- equal to the digest a
+        ``ServingQuery`` with the same requests would report."""
+        if self.period:
+            key = row % self.period
+            cached = self._digests.get(key)
+            if cached is not None:
+                return cached
+            residues = [key % count for count in self._counts]
+        else:
+            residues = tuple(row % count for count in self._counts)
+            key = residues
+            cached = self._digests.get(key)
+            if cached is not None:
+                return cached
+        return self._pattern_digest(key, residues)
+
+    def fingerprints_for(self, rows):
+        """Digest list for an array of row ids (vectorised memo lookup)."""
+        if self.period:
+            keys = np.asarray(rows, dtype=np.int64) % self.period
+            for key in np.unique(keys):
+                key = int(key)
+                if key not in self._digests:
+                    self._pattern_digest(
+                        key, [key % count for count in self._counts])
+            return [self._digests[int(key)] for key in keys]
+        return [self.row_fingerprint(int(row)) for row in rows]
+
+
+class _ExplicitRequests:
+    """Request provider over materialised :class:`ServingQuery` objects.
+
+    Used by :meth:`QueryColumns.from_queries`: requests and fingerprints
+    delegate to the original objects, so digests memoised there are
+    shared with the object path.
+    """
+
+    def __init__(self, queries):
+        self.queries = list(queries)
+
+    def row_requests(self, row):
+        return self.queries[row].requests
+
+    def row_fingerprint(self, row):
+        return self.queries[row].fingerprint()
+
+    def fingerprints_for(self, rows):
+        return [self.queries[int(row)].fingerprint() for row in rows]
+
+
+class ColumnQueryView:
+    """One row of a :class:`QueryColumns`, quacking like a ServingQuery.
+
+    Attribute reads resolve against the backing arrays, so views are
+    cheap to create and always current; assigning ``deadline_us`` writes
+    through to the column (the array is the source of truth -- the
+    originating ``ServingQuery`` object, if any, is *not* updated).
+    """
+
+    __slots__ = ("_columns", "_position")
+
+    def __init__(self, columns, position):
+        self._columns = columns
+        self._position = position
+
+    @property
+    def query_id(self):
+        return int(self._columns.query_id[self._position])
+
+    @property
+    def arrival_us(self):
+        return float(self._columns.arrival_us[self._position])
+
+    @property
+    def deadline_us(self):
+        deadline = self._columns.deadline_us[self._position]
+        return None if deadline != deadline else float(deadline)
+
+    @deadline_us.setter
+    def deadline_us(self, value):
+        self._columns.deadline_us[self._position] = \
+            np.nan if value is None else float(value)
+
+    @property
+    def requests(self):
+        return self._columns.provider.row_requests(
+            int(self._columns.rows[self._position]))
+
+    @property
+    def total_lookups(self):
+        return int(self._columns.lookups[self._position])
+
+    @property
+    def num_tables(self):
+        return int(self._columns.num_requests[self._position])
+
+    @property
+    def slack_us(self):
+        deadline = self._columns.deadline_us[self._position]
+        if deadline != deadline:
+            return None
+        return float(deadline) - float(
+            self._columns.arrival_us[self._position])
+
+    def fingerprint(self):
+        return self._columns.provider.row_fingerprint(
+            int(self._columns.rows[self._position]))
+
+    def __repr__(self):
+        return ("ColumnQueryView(query_id=%d, arrival_us=%s)"
+                % (self.query_id, self.arrival_us))
+
+
+class QueryColumns:
+    """A query stream as flat per-query arrays plus a request provider.
+
+    ``deadline_us`` uses NaN for "no deadline" (the array analogue of
+    ``ServingQuery.deadline_us = None``).  ``rows`` indexes the shared
+    ``provider``, which owns request materialisation and fingerprints;
+    slices and takes reuse the provider, so digests are memoised once
+    per stream however it is chunked.
+    """
+
+    def __init__(self, query_id, arrival_us, deadline_us, lookups,
+                 poolings, num_requests, rows, provider):
+        self.query_id = np.ascontiguousarray(query_id, dtype=np.int64)
+        self.arrival_us = np.ascontiguousarray(arrival_us,
+                                               dtype=np.float64)
+        self.deadline_us = np.ascontiguousarray(deadline_us,
+                                                dtype=np.float64)
+        self.lookups = np.ascontiguousarray(lookups, dtype=np.int64)
+        self.poolings = np.ascontiguousarray(poolings, dtype=np.int64)
+        self.num_requests = np.ascontiguousarray(num_requests,
+                                                 dtype=np.int64)
+        self.rows = np.ascontiguousarray(rows, dtype=np.int64)
+        self.provider = provider
+        size = self.query_id.shape[0]
+        for array in (self.arrival_us, self.deadline_us, self.lookups,
+                      self.poolings, self.num_requests, self.rows):
+            if array.shape[0] != size:
+                raise ValueError("query columns must have equal length")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_queries(cls, queries):
+        """Columns over existing :class:`ServingQuery` objects.
+
+        Requests and fingerprints stay delegated to the originals; the
+        arrays snapshot ids, arrivals, deadlines and lookup counts at
+        conversion time (later edits to the arrays do not write back).
+        """
+        queries = list(queries)
+        size = len(queries)
+        deadline = np.full(size, np.nan, dtype=np.float64)
+        lookups = np.empty(size, dtype=np.int64)
+        poolings = np.empty(size, dtype=np.int64)
+        num_requests = np.empty(size, dtype=np.int64)
+        query_id = np.empty(size, dtype=np.int64)
+        arrival = np.empty(size, dtype=np.float64)
+        for index, query in enumerate(queries):
+            query_id[index] = query.query_id
+            arrival[index] = query.arrival_us
+            if query.deadline_us is not None:
+                deadline[index] = query.deadline_us
+            lookups[index] = query.total_lookups
+            poolings[index] = sum(len(request.lengths)
+                                  for request in query.requests)
+            num_requests[index] = len(query.requests)
+        return cls(query_id, arrival, deadline, lookups, poolings,
+                   num_requests, np.arange(size, dtype=np.int64),
+                   _ExplicitRequests(queries))
+
+    # ------------------------------------------------------------------ #
+    def __len__(self):
+        return self.query_id.shape[0]
+
+    def view(self, position):
+        """A :class:`ColumnQueryView` of one row."""
+        return ColumnQueryView(self, position)
+
+    def views(self):
+        """Lazy per-row views (materialised on call, not stored)."""
+        return [ColumnQueryView(self, position)
+                for position in range(len(self))]
+
+    def take(self, indices):
+        """Row subset by index array (shares the provider)."""
+        indices = np.asarray(indices)
+        return QueryColumns(
+            self.query_id[indices], self.arrival_us[indices],
+            self.deadline_us[indices], self.lookups[indices],
+            self.poolings[indices], self.num_requests[indices],
+            self.rows[indices], self.provider)
+
+    def slice(self, start, stop):
+        """Contiguous row range as zero-copy array views."""
+        return QueryColumns(
+            self.query_id[start:stop], self.arrival_us[start:stop],
+            self.deadline_us[start:stop], self.lookups[start:stop],
+            self.poolings[start:stop], self.num_requests[start:stop],
+            self.rows[start:stop], self.provider)
+
+    def sorted_by_arrival(self):
+        """Rows in ``(arrival_us, query_id)`` order (the serving order)."""
+        order = np.lexsort((self.query_id, self.arrival_us))
+        if np.array_equal(order, np.arange(len(self))):
+            return self
+        return self.take(order)
+
+    def fingerprints(self):
+        """Per-row content digests (provider-memoised)."""
+        return self.provider.fingerprints_for(self.rows)
+
+    @classmethod
+    def concat(cls, parts):
+        """Concatenate column chunks sharing one provider."""
+        parts = [part for part in parts if len(part)]
+        if not parts:
+            raise ValueError("need at least one non-empty chunk")
+        provider = parts[0].provider
+        if any(part.provider is not provider for part in parts):
+            raise ValueError("cannot concatenate columns with different "
+                             "request providers")
+        return cls(
+            np.concatenate([part.query_id for part in parts]),
+            np.concatenate([part.arrival_us for part in parts]),
+            np.concatenate([part.deadline_us for part in parts]),
+            np.concatenate([part.lookups for part in parts]),
+            np.concatenate([part.poolings for part in parts]),
+            np.concatenate([part.num_requests for part in parts]),
+            np.concatenate([part.rows for part in parts]),
+            provider)
+
+
+def query_columns_from_traces(traces, num_queries, arrivals, batch_size=4,
+                              pooling_factor=20, start_id=0):
+    """Array-path equivalent of
+    :func:`repro.serving.arrival.queries_from_traces`.
+
+    Same request recipe -- query ``i`` carries candidate ``i % len``
+    from every table -- but per-query lookup/pooling counts come from a
+    vectorised pass over the candidate statistics and no query objects
+    are built.  Row-for-row identical to the object path (ids, arrivals,
+    request content, fingerprints).
+    """
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    if hasattr(arrivals, "arrival_times_us"):
+        arrival_times = arrivals.arrival_times_us(num_queries)
+    else:
+        arrival_times = np.asarray(arrivals, dtype=np.float64)
+        if arrival_times.size != num_queries:
+            raise ValueError("need one arrival time per query")
+    batch_sizes = _per_table(batch_size, len(traces), "batch size")
+    pooling_factors = _per_table(pooling_factor, len(traces),
+                                 "pooling factor")
+    per_table_requests = []
+    for trace, table_batch, table_pooling in zip(traces, batch_sizes,
+                                                 pooling_factors):
+        requests = batched_requests_from_trace(trace, table_batch,
+                                               table_pooling)
+        if not requests:
+            raise ValueError("trace %r too short for one %dx%d request"
+                             % (trace.name, table_batch, table_pooling))
+        per_table_requests.append(requests)
+    provider = _CycledRequests(per_table_requests)
+    rows = np.arange(num_queries, dtype=np.int64)
+    return _columns_for_rows(provider, rows, arrival_times,
+                             start_id + rows)
+
+
+def _columns_for_rows(provider, rows, arrival_times, query_ids):
+    """Build :class:`QueryColumns` for cycled rows of ``provider``."""
+    size = rows.shape[0]
+    lookups = np.zeros(size, dtype=np.int64)
+    poolings = np.zeros(size, dtype=np.int64)
+    for requests, count in zip(provider.per_table, provider._counts):
+        candidate_lookups = np.asarray(
+            [request.total_lookups for request in requests],
+            dtype=np.int64)
+        candidate_poolings = np.asarray(
+            [len(request.lengths) for request in requests],
+            dtype=np.int64)
+        residues = rows % count
+        lookups += candidate_lookups[residues]
+        poolings += candidate_poolings[residues]
+    num_requests = np.full(size, len(provider.per_table), dtype=np.int64)
+    return QueryColumns(
+        np.asarray(query_ids, dtype=np.int64),
+        np.asarray(arrival_times, dtype=np.float64),
+        np.full(size, np.nan, dtype=np.float64),
+        lookups, poolings, num_requests, rows, provider)
+
+
+class QueryStream:
+    """Resumable chunk generator: traces + arrival process -> columns.
+
+    ``take(n)`` yields the next ``n`` queries as a :class:`QueryColumns`
+    chunk; successive takes continue the same arrival stream and row
+    cycle, so ``take(a); take(b)`` concatenated equals one
+    ``take(a + b)`` (and equals :func:`query_columns_from_traces` over
+    the same total).  ``num_queries`` bounds the stream (``None`` for
+    unbounded).  The chunked path of
+    :meth:`ShardedServingCluster.simulate` drains one of these with
+    O(chunk) memory.
+    """
+
+    def __init__(self, traces, arrivals, num_queries=None, batch_size=4,
+                 pooling_factor=20, start_id=0):
+        if num_queries is not None and num_queries <= 0:
+            raise ValueError("num_queries must be positive (or None)")
+        batch_sizes = _per_table(batch_size, len(traces), "batch size")
+        pooling_factors = _per_table(pooling_factor, len(traces),
+                                     "pooling factor")
+        per_table_requests = []
+        for trace, table_batch, table_pooling in zip(traces, batch_sizes,
+                                                     pooling_factors):
+            requests = batched_requests_from_trace(trace, table_batch,
+                                                   table_pooling)
+            if not requests:
+                raise ValueError(
+                    "trace %r too short for one %dx%d request"
+                    % (trace.name, table_batch, table_pooling))
+            per_table_requests.append(requests)
+        self.provider = _CycledRequests(per_table_requests)
+        if hasattr(arrivals, "stream"):
+            self._arrivals = arrivals.stream()
+        elif hasattr(arrivals, "take"):
+            self._arrivals = arrivals
+        else:
+            raise ValueError("arrivals must be an arrival process with "
+                             ".stream() or an arrival stream with "
+                             ".take(n)")
+        self.num_queries = num_queries
+        self.start_id = int(start_id)
+        self._position = 0
+
+    @property
+    def remaining(self):
+        """Queries left in the stream (None when unbounded)."""
+        if self.num_queries is None:
+            return None
+        return self.num_queries - self._position
+
+    def take(self, count):
+        """The next ``count`` queries as columns (fewer at stream end).
+
+        Returns an empty-length columns object once the stream is
+        exhausted.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if self.num_queries is not None:
+            count = min(count, self.num_queries - self._position)
+        if count <= 0:
+            rows = np.empty(0, dtype=np.int64)
+            return _columns_for_rows(self.provider, rows,
+                                     np.empty(0, dtype=np.float64), rows)
+        arrival_times = self._arrivals.take(count)
+        rows = np.arange(self._position, self._position + count,
+                         dtype=np.int64)
+        self._position += count
+        return _columns_for_rows(self.provider, rows, arrival_times,
+                                 self.start_id + rows)
+
+
+# --------------------------------------------------------------------- #
+# Batches over columns                                                  #
+# --------------------------------------------------------------------- #
+class ColumnBatch:
+    """One dispatched batch as a row range of a :class:`QueryColumns`.
+
+    Interface-compatible with :class:`~repro.serving.batcher.QueryBatch`
+    (``queries``, ``requests()``, the aggregate properties,
+    ``batching_delay_us``), with the aggregates answered from array
+    slices instead of object walks and ``query_fingerprints()`` served
+    straight from the provider's digest memo.
+    """
+
+    __slots__ = ("columns", "start", "stop", "open_us", "formed_us",
+                 "trigger", "_queries")
+
+    def __init__(self, columns, start, stop, open_us, formed_us, trigger):
+        self.columns = columns
+        self.start = start
+        self.stop = stop
+        self.open_us = open_us
+        self.formed_us = formed_us
+        self.trigger = trigger
+        self._queries = None
+
+    @property
+    def queries(self):
+        if self._queries is None:
+            self._queries = [ColumnQueryView(self.columns, position)
+                             for position in range(self.start, self.stop)]
+        return self._queries
+
+    @property
+    def size(self):
+        return self.stop - self.start
+
+    @property
+    def total_lookups(self):
+        return int(self.columns.lookups[self.start:self.stop].sum())
+
+    @property
+    def total_poolings(self):
+        return int(self.columns.poolings[self.start:self.stop].sum())
+
+    @property
+    def num_pooling_ops(self):
+        return self.total_poolings
+
+    @property
+    def num_requests(self):
+        return int(self.columns.num_requests[self.start:self.stop].sum())
+
+    @property
+    def mean_pooling_factor(self):
+        poolings = self.total_poolings
+        return self.total_lookups / poolings if poolings else 0.0
+
+    @property
+    def earliest_deadline_us(self):
+        deadlines = self.columns.deadline_us[self.start:self.stop]
+        earliest = np.fmin.reduce(deadlines)
+        return None if earliest != earliest else float(earliest)
+
+    def requests(self):
+        provider = self.columns.provider
+        rows = self.columns.rows
+        return [request
+                for position in range(self.start, self.stop)
+                for request in provider.row_requests(int(rows[position]))]
+
+    def query_fingerprints(self):
+        """Per-query digests of the batch (the service-cache key body)."""
+        return self.columns.provider.fingerprints_for(
+            self.columns.rows[self.start:self.stop])
+
+    def batching_delay_us(self, query):
+        return self.formed_us - query.arrival_us
+
+
+class BatchColumns:
+    """Formed batches of one (chunk of a) query stream, as arrays.
+
+    ``columns`` holds the *batched* queries in dispatch order (batch
+    after batch, each batch in arrival order), ``starts`` the per-batch
+    offsets into it.  Engines branch on the ``is_columns`` marker to
+    consume the arrays directly; iteration and indexing materialise
+    :class:`ColumnBatch` views for object-path consumers.
+    """
+
+    is_columns = True
+
+    def __init__(self, columns, starts, formed_us, open_us, triggers):
+        self.columns = columns
+        self.starts = np.ascontiguousarray(starts, dtype=np.int64)
+        self.formed_us = np.ascontiguousarray(formed_us, dtype=np.float64)
+        self.open_us = np.ascontiguousarray(open_us, dtype=np.float64)
+        #: 0 = size trigger, 1 = deadline trigger.
+        self.triggers = np.ascontiguousarray(triggers, dtype=np.uint8)
+        count = self.starts.shape[0]
+        if (self.formed_us.shape[0] != count
+                or self.open_us.shape[0] != count
+                or self.triggers.shape[0] != count):
+            raise ValueError("batch columns must have equal length")
+
+    @property
+    def sizes(self):
+        """Queries per batch (int64)."""
+        ends = np.append(self.starts[1:], len(self.columns))
+        return ends - self.starts
+
+    @property
+    def num_queries(self):
+        return len(self.columns)
+
+    def earliest_deadline_us(self):
+        """Per-batch deadline minima (NaN = no deadline in the batch)."""
+        return np.fmin.reduceat(self.columns.deadline_us, self.starts)
+
+    def trigger_counts(self):
+        """``{"size": n, "deadline": m}`` over the batch arrays."""
+        deadline = int(np.count_nonzero(self.triggers))
+        return {"size": len(self) - deadline, "deadline": deadline}
+
+    def __len__(self):
+        return self.starts.shape[0]
+
+    def __getitem__(self, index):
+        count = len(self)
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            raise IndexError("batch index out of range")
+        start = int(self.starts[index])
+        stop = int(self.starts[index + 1]) if index + 1 < count \
+            else len(self.columns)
+        trigger = "deadline" if self.triggers[index] else "size"
+        return ColumnBatch(self.columns, start, stop,
+                           float(self.open_us[index]),
+                           float(self.formed_us[index]), trigger)
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+    def batches(self):
+        """All batches as :class:`ColumnBatch` views, in dispatch order."""
+        return list(self)
+
+    @classmethod
+    def concat(cls, parts):
+        """Concatenate per-chunk batch columns into one run."""
+        parts = [part for part in parts if len(part)]
+        if not parts:
+            raise ValueError("need at least one non-empty chunk")
+        columns = QueryColumns.concat([part.columns for part in parts])
+        starts, offset = [], 0
+        for part in parts:
+            starts.append(part.starts + offset)
+            offset += len(part.columns)
+        return cls(columns, np.concatenate(starts),
+                   np.concatenate([part.formed_us for part in parts]),
+                   np.concatenate([part.open_us for part in parts]),
+                   np.concatenate([part.triggers for part in parts]))
+
+
+def form_batch_columns(columns, max_queries, max_delay_us, final=True):
+    """Two-trigger batch formation over sorted query columns.
+
+    Reproduces :meth:`BatchingFrontend.form_batches` exactly -- same
+    batch boundaries, formation times and trigger labels -- with one
+    ``searchsorted`` per *batch* instead of per-query object work.
+    ``columns`` must already be in ``(arrival_us, query_id)`` order.
+
+    Returns ``(batch_columns, carry)``: with ``final=False`` a trailing
+    open batch whose deadline has not passed within ``columns`` (and
+    that could still grow) is returned as a ``carry`` columns remnant
+    instead of being flushed; prepend it (``QueryColumns.concat``) to
+    the next chunk to continue byte-identically.  ``final=True`` always
+    returns ``carry=None``.
+    """
+    arrivals = columns.arrival_us
+    size = arrivals.shape[0]
+    starts, formed, opens, triggers = [], [], [], []
+    position = 0
+    while position < size:
+        open_us = float(arrivals[position])
+        cutoff = open_us + max_delay_us
+        limit = int(np.searchsorted(arrivals, cutoff, side="left"))
+        # The opening query always belongs to its own batch even when
+        # max_delay_us is 0 (it is appended before any deadline check).
+        count = max(limit - position, 1)
+        if count >= max_queries:
+            starts.append(position)
+            opens.append(open_us)
+            formed.append(float(arrivals[position + max_queries - 1]))
+            triggers.append(0)
+            position += max_queries
+            continue
+        if limit >= size and not final:
+            # Every remaining arrival is inside the open batch's window
+            # and the batch is not full: its fate depends on queries
+            # beyond this chunk, so it carries over.
+            carry = columns.slice(position, size)
+            return _finish_batches(columns, starts, formed, opens,
+                                   triggers, position), carry
+        starts.append(position)
+        opens.append(open_us)
+        formed.append(cutoff)
+        triggers.append(1)
+        position += count
+    return _finish_batches(columns, starts, formed, opens, triggers,
+                           size), None
+
+
+def _finish_batches(columns, starts, formed, opens, triggers, stop):
+    return BatchColumns(columns.slice(0, stop),
+                        np.asarray(starts, dtype=np.int64),
+                        np.asarray(formed, dtype=np.float64),
+                        np.asarray(opens, dtype=np.float64),
+                        np.asarray(triggers, dtype=np.uint8))

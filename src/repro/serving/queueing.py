@@ -259,36 +259,71 @@ def summarize_serving(system_name, batches, service_times_us,
         raise ValueError("need one service time per batch")
     if not len(batches):
         raise ValueError("need at least one batch")
-    queries, delays, offered_qps, batch_rate_per_us = traffic_stats(batches)
+    is_columns = getattr(batches, "is_columns", False)
+    if is_columns:
+        # Array fast path: batch order equals query order inside the
+        # columns, so np.repeat reproduces the flattened per-query loops
+        # below bitwise (the same float64 operations in the same
+        # association order as the scalar path).
+        sizes = batches.sizes
+        arrivals = batches.columns.arrival_us
+        num_queries = batches.num_queries
+        formed = batches.formed_us
+        delays = np.repeat(formed, sizes) - arrivals
+        span_us = arrivals.max() - arrivals.min()
+        offered_qps = ((num_queries - 1) / span_us * 1e6
+                       if num_queries > 1 and span_us > 0.0 else 0.0)
+        if len(batches) > 1:
+            batch_span_us = formed.max() - formed.min()
+            batch_rate_per_us = ((len(batches) - 1) / batch_span_us
+                                 if batch_span_us > 0.0 else 0.0)
+        else:
+            batch_rate_per_us = 0.0
+        base_samples = delays + np.repeat(services, sizes)
+    else:
+        queries, delays, offered_qps, batch_rate_per_us = \
+            traffic_stats(batches)
+        num_queries = len(queries)
+        base_samples = []
+        for batch, service in zip(batches, services):
+            for query in batch.queries:
+                base_samples.append(batch.batching_delay_us(query)
+                                    + float(service))
     rho = mgc_utilization(batch_rate_per_us, services, num_servers)
     mean_wait = mgc_mean_wait_us(batch_rate_per_us, services, num_servers)
-    base_samples = []
-    for batch, service in zip(batches, services):
-        for query in batch.queries:
-            base_samples.append(batch.batching_delay_us(query)
-                                + float(service))
     percentiles = {
         "p%g" % p: percentile(base_samples, p)
         + wait_quantile_us(batch_rate_per_us, services, p,
                            num_servers=num_servers)
         for p in (50.0, 95.0, 99.0)
     }
-    samples = [base + mean_wait for base in base_samples]
+    if is_columns:
+        samples = base_samples + mean_wait
+    else:
+        samples = [base + mean_wait for base in base_samples]
     mean_service = float(services.mean())
-    sustainable_qps = saturation_qps(len(queries), len(batches),
+    sustainable_qps = saturation_qps(num_queries, len(batches),
                                      mean_service, num_servers)
     # Lazy import: repro.serving.slo imports this module.
-    from repro.serving.slo import maybe_summarize_slo
+    from repro.serving.slo import (
+        maybe_summarize_slo,
+        maybe_summarize_slo_arrays,
+    )
 
     extras = dict(extras or {})
-    slo_record = maybe_summarize_slo(queries, samples, slo_info)
+    if is_columns:
+        columns = batches.columns
+        slo_record = maybe_summarize_slo_arrays(
+            arrivals, columns.deadline_us - arrivals, samples, slo_info)
+    else:
+        slo_record = maybe_summarize_slo(queries, samples, slo_info)
     if slo_record is not None:
         extras.setdefault("slo", slo_record)
     return ServingReport(
         system=system_name,
-        num_queries=len(queries),
+        num_queries=num_queries,
         num_batches=len(batches),
-        offered_qps=offered_qps,
+        offered_qps=float(offered_qps),
         utilization=rho,
         mean_service_us=mean_service,
         mean_batch_delay_us=float(np.mean(delays)),

@@ -1,0 +1,159 @@
+"""Vectorised/streamed arrival generation vs the pinned scalar loops.
+
+The arrival processes in :mod:`repro.serving.arrival` were rewritten
+from scalar accumulation loops to draw-order-preserving vectorised
+generators with chunked ``stream()`` counterparts.  Reports all over the
+repo are keyed on exact arrival times, so the rewrite must be *bitwise*
+identical: this module keeps verbatim copies of the retired scalar
+loops as the specification and pins the new one-shot and chunked paths
+against them over seeds, burst shapes and take patterns (including
+empty takes and take sizes that split state sojourns mid-burst).
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving.arrival import (
+    MMPPArrivalProcess,
+    PoissonArrivalProcess,
+    TraceReplayArrivalProcess,
+)
+
+
+def legacy_poisson_times(process, num_queries):
+    """Pre-rewrite Poisson one-shot (kept verbatim as the spec)."""
+    rng = np.random.default_rng(process.seed)
+    mean_gap_us = 1e6 / process.rate_qps
+    gaps = rng.exponential(mean_gap_us, size=num_queries)
+    return np.cumsum(gaps)
+
+
+def legacy_mmpp_times(process, num_queries):
+    """Pre-rewrite MMPP scalar loop (kept verbatim as the spec)."""
+    rng = np.random.default_rng(process.seed)
+    times = []
+    now_us = 0.0
+    high = False                    # start in the (longer) low state
+    while len(times) < num_queries:
+        rate_qps = process.rate_high_qps if high else process.rate_low_qps
+        mean_sojourn = process.mean_high_us if high \
+            else process.mean_low_us
+        sojourn_us = rng.exponential(mean_sojourn)
+        mean_gap_us = 1e6 / rate_qps
+        t = now_us
+        while len(times) < num_queries:
+            t += rng.exponential(mean_gap_us)
+            if t > now_us + sojourn_us:
+                break
+            times.append(t)
+        now_us += sojourn_us
+        high = not high
+    return np.asarray(times[:num_queries], dtype=np.float64)
+
+
+def legacy_replay_times(process, num_queries):
+    """Pre-rewrite trace-replay tiling (kept verbatim as the spec)."""
+    repeats = -(-num_queries // process.gaps_us.size) if num_queries \
+        else 0
+    gaps = np.tile(process.gaps_us, max(repeats, 1))[:num_queries]
+    return np.cumsum(gaps)
+
+
+def chunked_times(process, num_queries, chunks):
+    """Drain ``num_queries`` arrivals via stream().take() pieces."""
+    stream = process.stream()
+    pieces, taken = [], 0
+    for count in chunks:
+        count = min(count, num_queries - taken)
+        pieces.append(stream.take(count))
+        taken += count
+        if taken == num_queries:
+            break
+    while taken < num_queries:
+        pieces.append(stream.take(min(1000, num_queries - taken)))
+        taken += len(pieces[-1])
+    return np.concatenate(pieces) if pieces else np.empty(0)
+
+
+TAKE_PATTERNS = (
+    [10_000],                       # one shot through the stream
+    [1, 1, 5, 0, 64, 997, 10_000],  # ragged, with an empty take
+    [250] * 40,                     # steady chunks
+)
+
+
+class TestPoisson:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("size", [0, 1, 100, 5000])
+    def test_oneshot_matches_legacy(self, seed, size):
+        process = PoissonArrivalProcess(rate_qps=150_000.0, seed=seed)
+        assert np.array_equal(process.arrival_times_us(size),
+                              legacy_poisson_times(process, size))
+
+    @pytest.mark.parametrize("chunks", TAKE_PATTERNS)
+    def test_stream_matches_oneshot(self, chunks):
+        process = PoissonArrivalProcess(rate_qps=150_000.0, seed=3)
+        expected = process.arrival_times_us(4000)
+        assert np.array_equal(chunked_times(process, 4000, chunks),
+                              expected)
+
+
+class TestMMPP:
+    SHAPES = (
+        dict(rate_high_qps=400_000.0, rate_low_qps=40_000.0,
+             mean_high_us=1_000.0, mean_low_us=5_000.0),
+        dict(rate_high_qps=120_000.0, rate_low_qps=120_000.0,
+             mean_high_us=50.0, mean_low_us=50.0),
+        dict(rate_high_qps=1_000_000.0, rate_low_qps=1_000.0,
+             mean_high_us=10_000.0, mean_low_us=100.0),
+    )
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    @pytest.mark.parametrize("size", [0, 1, 7, 100, 3000])
+    def test_oneshot_matches_legacy_loop(self, shape, seed, size):
+        process = MMPPArrivalProcess(seed=seed, **shape)
+        assert np.array_equal(process.arrival_times_us(size),
+                              legacy_mmpp_times(process, size))
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("chunks", TAKE_PATTERNS)
+    def test_stream_matches_oneshot(self, shape, chunks):
+        process = MMPPArrivalProcess(seed=11, **shape)
+        expected = process.arrival_times_us(4000)
+        assert np.array_equal(chunked_times(process, 4000, chunks),
+                              expected)
+
+    def test_from_mean_stream_round_trip(self):
+        process = MMPPArrivalProcess.from_mean(200_000.0, seed=2)
+        expected = legacy_mmpp_times(process, 2500)
+        assert np.array_equal(process.arrival_times_us(2500), expected)
+        assert np.array_equal(chunked_times(process, 2500, [333] * 10),
+                              expected)
+
+
+class TestTraceReplay:
+    def _process(self):
+        rng = np.random.default_rng(9)
+        gaps = rng.integers(1, 40, size=257).astype(np.float64)
+        return TraceReplayArrivalProcess(gaps)
+
+    @pytest.mark.parametrize("size", [0, 1, 256, 257, 258, 5000])
+    def test_oneshot_matches_legacy(self, size):
+        process = self._process()
+        assert np.array_equal(process.arrival_times_us(size),
+                              legacy_replay_times(process, size))
+
+    @pytest.mark.parametrize("chunks", TAKE_PATTERNS)
+    def test_stream_matches_oneshot(self, chunks):
+        process = self._process()
+        expected = process.arrival_times_us(4000)
+        assert np.array_equal(chunked_times(process, 4000, chunks),
+                              expected)
+
+    def test_streams_are_independent(self):
+        # Each stream() starts from the beginning of the gap cycle.
+        process = self._process()
+        first = process.stream().take(100)
+        second = process.stream().take(100)
+        assert np.array_equal(first, second)

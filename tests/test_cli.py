@@ -96,6 +96,23 @@ class TestServe:
                           "2", "--request-overhead", "40"], capsys)
         assert "load-aware" in payload["extras"]["sharder"]
 
+    def test_serve_stream_chunk_identical_to_oneshot(self, capsys):
+        args = SERVE_ARGS + ["--engine", "event", "--queries", "200"]
+        oneshot = run_json(args, capsys)
+        streamed = run_json(args + ["--stream-chunk", "64"], capsys)
+        oneshot.pop("service_stats")
+        streamed.pop("service_stats")
+        assert streamed == oneshot
+
+    def test_serve_stream_chunk_below_max_batch_exits(self):
+        with pytest.raises(SystemExit, match="--max-batch"):
+            main(SERVE_ARGS + ["--stream-chunk", "2"])
+
+    def test_serve_stream_chunk_rejects_load_aware(self):
+        with pytest.raises(SystemExit, match="load-aware"):
+            main(SERVE_ARGS + ["--stream-chunk", "64", "--shard-policy",
+                               "load-aware", "--request-overhead", "40"])
+
     def test_serve_unknown_system_exits(self):
         with pytest.raises(SystemExit):
             main(["serve", "--system", "definitely-not-registered",
@@ -144,7 +161,7 @@ class TestParseErrors:
                       .choices["serve"]._actions]
         flat = {flag for flags in serve_args for flag in flags}
         for flag in ("--slo-us", "--admission", "--arrival",
-                     "--request-overhead"):
+                     "--request-overhead", "--stream-chunk"):
             assert flag in flat
 
 

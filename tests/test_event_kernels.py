@@ -1,0 +1,320 @@
+"""Randomized equivalence tests for the serving event-loop kernels.
+
+The compiled FIFO/EDF/admission kernels in
+:mod:`repro.serving.event_kernels` must be *bit-identical* to the legacy
+loops they replace (the ``heapq`` loops in
+:func:`repro.serving.events.simulate_batch_queue` and the per-query
+controller loop in :func:`repro.serving.admission.apply_admission`).
+These tests drive randomized workloads -- with ties, idle gaps,
+missing deadlines and every server count the engines use -- through
+every interpreted flavor against the legacy paths, pin the flavor
+plumbing, and (mirroring ``tests/test_core_kernels.py``) prove in
+subprocesses that a host without numba, or with
+``REPRO_DISABLE_KERNELS=1``, degrades to the same results.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.serving import event_kernels
+from repro.serving.admission import (
+    DeadlineAwareAdmission,
+    NoAdmission,
+    QueueDepthAdmission,
+    TokenBucketAdmission,
+    admission_kernel_spec,
+    apply_admission,
+)
+from repro.serving.arrival import ServingQuery
+from repro.serving.event_kernels import (
+    admission_mask,
+    edf_queue_times,
+    fifo_queue_times,
+    force_flavor,
+    new_admission_state,
+)
+from repro.serving.events import simulate_batch_queue
+
+#: Interpreted flavors available on every host; the jitted flavor rides
+#: along automatically where numba is installed (``active_flavor()``
+#: resolves to it and the same tests run through it in the numba CI job).
+FLAVORS = ["python", "flat-python"]
+if event_kernels.active_flavor() == "numba":
+    FLAVORS.append("numba")
+
+
+def _random_queue(seed, size):
+    """Ready/service vectors with ties, bursts and idle gaps."""
+    rng = np.random.default_rng(seed)
+    # Integer-valued gaps draw heavy ties (gap 0 = simultaneous ready
+    # times) and occasional long idle stretches that drain the servers.
+    gaps = rng.choice([0.0, 1.0, 2.0, 7.0, 500.0], size=size,
+                      p=[0.3, 0.3, 0.2, 0.15, 0.05])
+    ready = np.cumsum(gaps)
+    services = rng.integers(1, 60, size=size).astype(np.float64)
+    # Shuffle so arrival order != index order (the engines pass batches
+    # in formation order, but the kernels must not rely on it).
+    perm = rng.permutation(size)
+    return ready[perm], services[perm]
+
+
+class TestFifoKernels:
+    @pytest.mark.parametrize("num_servers", [1, 2, 8])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_heapq_reference(self, seed, num_servers):
+        import heapq
+
+        ready, services = _random_queue(seed, 400)
+        arrival_order = np.argsort(ready, kind="stable")
+        starts = np.empty_like(ready)
+        completes = np.empty_like(ready)
+        free_at = [float(ready[arrival_order[0]])] * num_servers
+        heapq.heapify(free_at)
+        for index in arrival_order:
+            start = max(float(ready[index]), heapq.heappop(free_at))
+            complete = start + float(services[index])
+            starts[index] = start
+            completes[index] = complete
+            heapq.heappush(free_at, complete)
+        for flavor in FLAVORS:
+            got_starts, got_completes = fifo_queue_times(
+                ready, services, arrival_order, num_servers, flavor=flavor)
+            assert np.array_equal(got_starts, starts), flavor
+            assert np.array_equal(got_completes, completes), flavor
+
+    @pytest.mark.parametrize("num_servers", [2, 8])
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_simulate_batch_queue_flavors_match_disabled(self, seed,
+                                                         num_servers):
+        ready, services = _random_queue(seed, 300)
+        with force_flavor("disabled"):
+            expected = simulate_batch_queue(ready, services, num_servers)
+        for flavor in FLAVORS:
+            with force_flavor(flavor):
+                got = simulate_batch_queue(ready, services, num_servers)
+            assert np.array_equal(got[0], expected[0]), flavor
+            assert np.array_equal(got[1], expected[1]), flavor
+            assert got[2] == expected[2], flavor
+
+    def test_single_batch(self):
+        ready = np.array([5.0])
+        services = np.array([3.0])
+        order = np.array([0], dtype=np.int64)
+        for flavor in FLAVORS:
+            starts, completes = fifo_queue_times(ready, services, order, 4,
+                                                 flavor=flavor)
+            assert starts[0] == 5.0 and completes[0] == 8.0
+
+
+class TestEdfKernels:
+    def _priorities(self, rng, size):
+        # Deadline-like priorities with heavy ties and +inf (no
+        # deadline) entries -- the engine's exact construction.
+        priorities = rng.choice([10.0, 20.0, 20.0, 50.0, np.inf],
+                                size=size)
+        offsets = rng.integers(0, 3, size=size).astype(np.float64)
+        return priorities + offsets
+
+    @pytest.mark.parametrize("num_servers", [1, 2, 8])
+    @pytest.mark.parametrize("seed", [20, 21, 22, 23])
+    def test_flavors_match_disabled(self, seed, num_servers):
+        rng = np.random.default_rng(seed)
+        ready, services = _random_queue(seed, 300)
+        priorities = self._priorities(rng, ready.size)
+        with force_flavor("disabled"):
+            expected = simulate_batch_queue(ready, services, num_servers,
+                                            order="edf",
+                                            priorities=priorities)
+        for flavor in FLAVORS:
+            with force_flavor(flavor):
+                got = simulate_batch_queue(ready, services, num_servers,
+                                           order="edf",
+                                           priorities=priorities)
+            assert np.array_equal(got[0], expected[0]), flavor
+            assert np.array_equal(got[1], expected[1]), flavor
+            assert got[2] == expected[2], flavor
+
+    def test_urgent_batch_overtakes(self):
+        # Two batches waiting when the server frees: the later-arriving
+        # but tighter-deadline batch must start first under EDF.
+        ready = np.array([0.0, 1.0, 2.0])
+        services = np.array([10.0, 5.0, 5.0])
+        priorities = np.array([np.inf, 100.0, 20.0])
+        order = np.argsort(ready, kind="stable")
+        for flavor in FLAVORS:
+            starts, _ = edf_queue_times(ready, services, priorities, order,
+                                        1, flavor=flavor)
+            assert starts[2] < starts[1]
+
+
+class TestAdmissionKernels:
+    CONTROLLERS = [
+        NoAdmission(),
+        TokenBucketAdmission(burst=8),
+        TokenBucketAdmission(rate_qps=40_000.0, burst=4),
+        QueueDepthAdmission(max_depth=16),
+        DeadlineAwareAdmission(margin=1.2),
+    ]
+
+    def _queries(self, seed, size, with_deadlines):
+        rng = np.random.default_rng(seed)
+        gaps = rng.choice([0.0, 3.0, 9.0, 40.0], size=size)
+        arrivals = np.cumsum(gaps)
+        queries = []
+        for index in range(size):
+            deadline = None
+            if with_deadlines and rng.random() < 0.8:
+                deadline = float(arrivals[index]) \
+                    + float(rng.integers(20, 400))
+            queries.append(ServingQuery(query_id=index,
+                                        arrival_us=float(arrivals[index]),
+                                        deadline_us=deadline))
+        return queries
+
+    @pytest.mark.parametrize("controller", CONTROLLERS)
+    @pytest.mark.parametrize("seed", [30, 31])
+    def test_mask_matches_apply_admission(self, seed, controller):
+        num_servers, est_query_us, est_batch_us = 3, 25.0, 200.0
+        queries = self._queries(seed, 500, with_deadlines=True)
+        admitted, shed = apply_admission(queries, controller, num_servers,
+                                         est_query_us, est_batch_us)
+        admitted_ids = {query.query_id for query in admitted}
+
+        arrivals = np.array([q.arrival_us for q in queries])
+        slacks = np.array([np.nan if q.deadline_us is None
+                           else q.deadline_us - q.arrival_us
+                           for q in queries])
+        capacity_qps = num_servers / est_query_us * 1e6
+        spec = admission_kernel_spec(controller, capacity_qps)
+        assert spec is not None
+        mode, param0, param1, initial_tokens = spec
+        for flavor in FLAVORS:
+            state = new_admission_state(arrivals[0], initial_tokens)
+            mask = admission_mask(arrivals, slacks, state, num_servers,
+                                  est_query_us, est_batch_us, mode, param0,
+                                  param1, flavor=flavor)
+            got_ids = {queries[i].query_id
+                       for i in np.flatnonzero(mask)}
+            assert got_ids == admitted_ids, flavor
+        assert len(admitted) + len(shed) == len(queries)
+
+    @pytest.mark.parametrize("chunk", [1, 7, 100])
+    def test_chunked_state_carry_matches_oneshot(self, chunk):
+        rng = np.random.default_rng(99)
+        size = 400
+        arrivals = np.cumsum(rng.choice([0.0, 5.0, 30.0], size=size))
+        slacks = np.where(rng.random(size) < 0.3, np.nan,
+                          rng.integers(10, 300, size).astype(np.float64))
+        controller = TokenBucketAdmission(burst=6)
+        mode, param0, param1, initial_tokens = admission_kernel_spec(
+            controller, capacity_qps=3 / 25.0 * 1e6)
+        for flavor in FLAVORS:
+            state = new_admission_state(arrivals[0], initial_tokens)
+            oneshot = admission_mask(arrivals, slacks, state, 3, 25.0,
+                                     200.0, mode, param0, param1,
+                                     flavor=flavor)
+            state = new_admission_state(arrivals[0], initial_tokens)
+            pieces = []
+            for start in range(0, size, chunk):
+                pieces.append(admission_mask(
+                    arrivals[start:start + chunk],
+                    slacks[start:start + chunk], state, 3, 25.0, 200.0,
+                    mode, param0, param1, flavor=flavor))
+            assert np.array_equal(np.concatenate(pieces), oneshot), flavor
+
+    def test_custom_subclass_has_no_kernel_spec(self):
+        class Tighter(TokenBucketAdmission):
+            pass
+
+        assert admission_kernel_spec(Tighter(), 1e6) is None
+
+
+class TestFlavorPlumbing:
+    def test_active_flavor_known(self):
+        assert event_kernels.active_flavor() in (
+            "numba", "python", "flat-python", "disabled")
+
+    def test_describe_nonempty(self):
+        assert event_kernels.describe()
+
+    def test_force_numba_without_numba_raises(self):
+        if event_kernels.active_flavor() == "numba":
+            pytest.skip("numba installed: forcing it is legitimate")
+        ready = np.array([0.0, 1.0])
+        services = np.array([1.0, 1.0])
+        order = np.array([0, 1], dtype=np.int64)
+        with pytest.raises(RuntimeError, match="numba"):
+            fifo_queue_times(ready, services, order, 2, flavor="numba")
+
+
+class TestForcedFallback:
+    """Missing numba and REPRO_DISABLE_KERNELS=1 must both degrade to
+    bit-identical event simulations (mirrors the core-kernel test)."""
+
+    SNIPPET = """
+import sys
+{prelude}
+from repro.serving import event_kernels
+assert event_kernels.active_flavor() == {expected!r}, \\
+    event_kernels.active_flavor()
+import numpy as np
+from repro.serving.events import simulate_batch_queue
+
+rng = np.random.default_rng(7)
+ready = np.cumsum(rng.choice([0.0, 1.0, 2.0, 400.0], size=500))
+services = rng.integers(1, 60, size=500).astype(np.float64)
+starts, completes, depth = simulate_batch_queue(ready, services, 4)
+print("CHECK=%r" % ((float(starts.sum()), float(completes.sum()),
+                     depth),))
+"""
+
+    BLOCK_NUMBA = """
+import importlib.abc
+
+class _Block(importlib.abc.MetaPathFinder):
+    def find_spec(self, name, path=None, target=None):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError("numba blocked for fallback test")
+        return None
+
+sys.meta_path.insert(0, _Block())
+"""
+
+    def _run_subprocess(self, prelude, expected, extra_env=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        env.pop("REPRO_DISABLE_KERNELS", None)
+        if extra_env:
+            env.update(extra_env)
+        script = self.SNIPPET.format(prelude=prelude, expected=expected)
+        completed = subprocess.run([sys.executable, "-c", script],
+                                   env=env, capture_output=True, text=True,
+                                   timeout=240)
+        assert completed.returncode == 0, completed.stderr
+        for line in completed.stdout.splitlines():
+            if line.startswith("CHECK="):
+                return eval(line.split("=", 1)[1])  # literal tuple
+        raise AssertionError("no CHECK line in output: %r"
+                             % completed.stdout)
+
+    def _reference(self):
+        rng = np.random.default_rng(7)
+        ready = np.cumsum(rng.choice([0.0, 1.0, 2.0, 400.0], size=500))
+        services = rng.integers(1, 60, size=500).astype(np.float64)
+        starts, completes, depth = simulate_batch_queue(ready, services, 4)
+        return (float(starts.sum()), float(completes.sum()), depth)
+
+    def test_env_var_disables_kernels(self):
+        check = self._run_subprocess(
+            "", "disabled", extra_env={"REPRO_DISABLE_KERNELS": "1"})
+        assert check == self._reference()
+
+    def test_import_without_numba(self):
+        check = self._run_subprocess(self.BLOCK_NUMBA, "python")
+        assert check == self._reference()

@@ -1,0 +1,206 @@
+"""Chunked streaming simulation must be byte-identical to one-shot runs.
+
+``ShardedServingCluster.simulate(stream_chunk=N)`` carries the batcher
+carry, admission state and routing across chunk boundaries; the contract
+is that the resulting ``ServingReport`` is *identical* -- as a dict, so
+every percentile, extra and SLO counter -- to materialising all the
+queries up front, for any chunk size, engine, SLO/admission combination
+and sharder statefulness.  ``QueryStream`` feeds the same path straight
+from an arrival process without ever materialising the full run.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BatchingFrontend,
+    FixedSLOPolicy,
+    MMPPArrivalProcess,
+    PoissonArrivalProcess,
+    QueryStream,
+    ShardedServingCluster,
+    TokenBucketAdmission,
+    query_columns_from_traces,
+)
+from repro.serving.sharding import ReplicatedTableSharder
+from repro.traces import make_production_table_traces
+
+NUM_QUERIES = 700
+RATE_QPS = 120_000.0
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return make_production_table_traces(num_lookups_per_table=640,
+                                        num_rows=4000, num_tables=4,
+                                        seed=0)
+
+
+def _arrivals(seed=1):
+    return PoissonArrivalProcess(rate_qps=RATE_QPS, seed=seed)
+
+
+def _report_dict(report):
+    return dataclasses.asdict(report)
+
+
+class TestChunkedVsOneshot:
+    @pytest.mark.parametrize("stream_chunk", [64, 97, 256, 10_000])
+    def test_chunk_size_invariant(self, traces, stream_chunk):
+        columns = query_columns_from_traces(traces, NUM_QUERIES,
+                                            _arrivals())
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            oneshot = cluster.simulate(columns, engine="event")
+            chunked = cluster.simulate(columns, engine="event",
+                                       stream_chunk=stream_chunk)
+        assert _report_dict(chunked) == _report_dict(oneshot)
+
+    @pytest.mark.parametrize("engine", ["analytic", "event", "event-edf"])
+    def test_engines_with_slo_and_admission(self, traces, engine):
+        columns = query_columns_from_traces(traces, NUM_QUERIES,
+                                            _arrivals())
+        slo = FixedSLOPolicy(600.0)
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            oneshot = cluster.simulate(columns, engine=engine,
+                                       slo_policy=slo,
+                                       admission="token-bucket")
+            chunked = cluster.simulate(columns, engine=engine,
+                                       slo_policy=slo,
+                                       admission="token-bucket",
+                                       stream_chunk=128)
+        assert _report_dict(chunked) == _report_dict(oneshot)
+
+    def test_stateful_sharder_reset_per_run(self, traces):
+        # Load-aware replicated routing is stateful: the chunked run
+        # must reset and re-route exactly like the one-shot run.
+        sharder = ReplicatedTableSharder.from_traces(
+            2, traces, policy="load-aware")
+        columns = query_columns_from_traces(traces, NUM_QUERIES,
+                                            _arrivals())
+        with ShardedServingCluster(num_nodes=2, node_system="recnmp-opt",
+                                   sharder=sharder) as cluster:
+            oneshot = cluster.simulate(columns, engine="event")
+            chunked = cluster.simulate(columns, engine="event",
+                                       stream_chunk=100)
+        assert _report_dict(chunked) == _report_dict(oneshot)
+
+    def test_custom_admission_subclass_object_fallback(self, traces):
+        class Tighter(TokenBucketAdmission):
+            pass
+
+        columns = query_columns_from_traces(traces, NUM_QUERIES,
+                                            _arrivals())
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            oneshot = cluster.simulate(columns, engine="event",
+                                       admission=Tighter(burst=16))
+            chunked = cluster.simulate(columns, engine="event",
+                                       admission=Tighter(burst=16),
+                                       stream_chunk=128)
+        assert _report_dict(chunked) == _report_dict(oneshot)
+
+
+class TestQueryStream:
+    def test_stream_matches_materialized_columns(self, traces):
+        columns = query_columns_from_traces(traces, NUM_QUERIES,
+                                            _arrivals())
+        stream = QueryStream(traces, _arrivals(),
+                             num_queries=NUM_QUERIES)
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            from_columns = cluster.simulate(columns, engine="event",
+                                            stream_chunk=128)
+            from_stream = cluster.simulate(stream, engine="event",
+                                           stream_chunk=128)
+        assert _report_dict(from_stream) == _report_dict(from_columns)
+
+    def test_mmpp_stream_matches_materialized(self, traces):
+        def mmpp():
+            return MMPPArrivalProcess(rate_high_qps=400_000.0,
+                                      rate_low_qps=40_000.0,
+                                      mean_high_us=2_000.0,
+                                      mean_low_us=8_000.0, seed=3)
+
+        columns = query_columns_from_traces(traces, NUM_QUERIES, mmpp())
+        stream = QueryStream(traces, mmpp(), num_queries=NUM_QUERIES)
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            from_columns = cluster.simulate(columns, engine="event")
+            from_stream = cluster.simulate(stream, engine="event",
+                                           stream_chunk=200)
+        assert _report_dict(from_stream) == _report_dict(from_columns)
+
+    def test_take_accounting(self, traces):
+        stream = QueryStream(traces, _arrivals(), num_queries=100)
+        assert stream.remaining == 100
+        first = stream.take(64)
+        assert len(first) == 64 and stream.remaining == 36
+        rest = stream.take(64)
+        assert len(rest) == 36 and stream.remaining == 0
+        assert len(stream.take(10)) == 0
+        ids = [v.query_id for v in first.views()] \
+            + [v.query_id for v in rest.views()]
+        assert ids == list(range(100))
+
+    def test_default_chunk_applies_to_streams(self, traces):
+        # A QueryStream input without stream_chunk must still stream
+        # (and agree with the explicit-chunk run).
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            implicit = cluster.simulate(
+                QueryStream(traces, _arrivals(), num_queries=300),
+                engine="event")
+            explicit = cluster.simulate(
+                QueryStream(traces, _arrivals(), num_queries=300),
+                engine="event", stream_chunk=300)
+        assert _report_dict(implicit) == _report_dict(explicit)
+
+
+class TestValidation:
+    def test_chunk_below_max_queries_rejected(self, traces):
+        columns = query_columns_from_traces(traces, 64, _arrivals())
+        frontend = BatchingFrontend(max_queries=8)
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            with pytest.raises(ValueError, match="max_queries"):
+                cluster.simulate(columns, frontend=frontend,
+                                 stream_chunk=4)
+
+    def test_unbounded_stream_rejected(self, traces):
+        stream = QueryStream(traces, _arrivals())
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            with pytest.raises(ValueError, match="bounded"):
+                cluster.simulate(stream, stream_chunk=64)
+
+    def test_decreasing_arrivals_rejected(self, traces):
+        class Backwards:
+            def __init__(self):
+                self._next = 1000.0
+
+            def take(self, count):
+                times = self._next - np.arange(count, dtype=np.float64)
+                self._next = float(times[-1]) - 1.0
+                return times
+
+        stream = QueryStream(traces, Backwards(), num_queries=128)
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            with pytest.raises(ValueError, match="non-decreasing"):
+                cluster.simulate(stream, stream_chunk=64)
+
+    def test_all_shed_raises(self, traces):
+        class ShedAll(TokenBucketAdmission):
+            def admit(self, query, now_us, wait_us):
+                return False
+
+        columns = query_columns_from_traces(traces, 64, _arrivals())
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            with pytest.raises(ValueError, match="shed every query"):
+                cluster.simulate(columns, admission=ShedAll(),
+                                 stream_chunk=64)
