@@ -15,6 +15,14 @@ materialised run.  Recorded throughput floors live in the
 ``serving_scale`` block of ``perf_reference.json`` next to the exact-sim
 floors and are enforced with the same loose ``REGRESSION_FLOOR``
 mechanism (refresh with ``REPRO_PERF_WRITE_REFERENCE=1``).
+
+The observability section exercises ``repro.obs``: one extra run with
+tracing + metrics enabled must produce a byte-identical report and a
+schema-valid Perfetto trace (written to ``BENCH_serving_trace.json`` for
+the CI artifact), and -- full mode only, where timings are stable --
+the *disabled*-mode throughput must stay within
+``obs_disabled_overhead_floor`` (2%) of the recorded pre-obs floors:
+merging the observability layer must cost nothing when it is off.
 """
 
 import dataclasses
@@ -24,6 +32,7 @@ import time
 from pathlib import Path
 
 from repro.core.kernels import KERNEL_FLAVOR
+from repro.obs import Tracer, chrome_trace, validate_chrome_trace
 from repro.perf.service_model import InterpolatingServiceModel
 from repro.serving import (
     BatchingFrontend,
@@ -71,6 +80,14 @@ ENGINE = "event"
 #: active flavor).
 TWIN_SPEEDUP_TARGET = 1.5
 NUMBA_SPEEDUP_TARGET = 5.0
+
+#: Observability must be free when off: with trace/metrics disabled the
+#: streamed pipeline may lose at most this fraction of the recorded
+#: pre-obs throughput floors (enforced full mode only -- smoke-sized
+#: runs are too short for a 2% timing check).
+OBS_DISABLED_OVERHEAD = 0.02
+#: Perfetto trace emitted by the enabled run, uploaded by CI.
+TRACE_ARTIFACT = "BENCH_serving_trace.json"
 
 
 def _arrivals():
@@ -163,6 +180,40 @@ def compute_serving_scale():
         chunked, _ = stream_run(num_queries, "flat-python")
         assert dataclasses.asdict(oneshot) == dataclasses.asdict(chunked), \
             "one-shot columns run diverged from the chunked stream"
+
+        # Observability: the traced+metered run must not perturb the
+        # report, and its trace must validate against the checked-in
+        # schema.  The enabled/disabled wall-clock pair is reported so
+        # the cost of turning tracing on stays visible in CI logs.
+        plain_report, plain_seconds = stream_run(num_queries,
+                                                 "flat-python")
+        tracer = Tracer(label="bench-serving-scale")
+        with force_flavor("flat-python"):
+            start = time.perf_counter()
+            stream = QueryStream(traces, _arrivals(),
+                                 num_queries=num_queries,
+                                 batch_size=QUERY_BATCH,
+                                 pooling_factor=QUERY_POOLING)
+            traced_report = cluster.simulate(
+                stream, frontend=frontend, engine=ENGINE,
+                service_model=model, stream_chunk=STREAM_CHUNK,
+                trace=tracer, metrics=True)
+            traced_seconds = time.perf_counter() - start
+        assert dataclasses.asdict(traced_report) \
+            == dataclasses.asdict(plain_report), \
+            "enabling trace+metrics changed the serving report"
+        trace = chrome_trace(tracer)
+        validate_chrome_trace(trace)
+        Path(TRACE_ARTIFACT).write_text(json.dumps(trace))
+        report["obs"] = {
+            "num_queries": num_queries,
+            "plain_seconds": round(plain_seconds, 4),
+            "traced_seconds": round(traced_seconds, 4),
+            "enabled_overhead": round(
+                traced_seconds / plain_seconds - 1.0, 4),
+            "trace_events": len(trace["traceEvents"]),
+            "trace_path": TRACE_ARTIFACT,
+        }
     return report
 
 
@@ -179,6 +230,7 @@ def _maybe_write_reference(reference, report):
     recorded = reference.setdefault(MODE, {}).setdefault("recorded", {})
     recorded["serving_scale"] = {
         "stream_chunk": report["stream_chunk"],
+        "obs_disabled_overhead_floor": OBS_DISABLED_OVERHEAD,
         "sizes": {
             size: {name: run["queries_per_sec"]
                    for name, run in entry["runs"].items()}
@@ -221,6 +273,14 @@ def bench_serving_scale(benchmark):
                 "queries is below the %.1fx target" \
                 % (speedup, max(SIZES), NUMBA_SPEEDUP_TARGET)
 
+    obs = report.get("obs")
+    if obs:
+        print("obs: traced run at %d queries %.4fs vs %.4fs plain "
+              "(%+.1f%% enabled overhead), %d trace events -> %s"
+              % (obs["num_queries"], obs["traced_seconds"],
+                 obs["plain_seconds"], 100 * obs["enabled_overhead"],
+                 obs["trace_events"], obs["trace_path"]))
+
     # Loose CI floors vs the recorded throughput, same mechanism as the
     # exact-sim floors in bench_simulator_perf.
     recorded = ((reference or {}).get(MODE, {})
@@ -239,4 +299,24 @@ def bench_serving_scale(benchmark):
                     "REPRO_PERF_WRITE_REFERENCE=1 if this host is " \
                     "legitimately slower)" \
                     % (name, size, REGRESSION_FLOOR, pinned[name])
+        # Disabled-mode obs floor: the timed flavor runs above executed
+        # with trace/metrics off, so shipping repro.obs may not cost
+        # more than the recorded allowance against the pre-obs floors.
+        # Full mode only: smoke runs are far too short to resolve 2%.
+        if not SMOKE_MODE:
+            allowance = recorded.get("obs_disabled_overhead_floor",
+                                     OBS_DISABLED_OVERHEAD)
+            for size, entry in report["sizes"].items():
+                pinned = recorded["sizes"].get(size, {})
+                for name, run in entry["runs"].items():
+                    if name not in pinned:
+                        continue
+                    floor = pinned[name] * (1.0 - allowance)
+                    assert run["queries_per_sec"] >= floor, \
+                        "disabled-mode observability overhead: %s at " \
+                        "%s queries measured %.0f queries/sec, more " \
+                        "than %.0f%% below the recorded pre-obs %.0f " \
+                        "(the obs layer must be free when off)" \
+                        % (name, size, run["queries_per_sec"],
+                           100 * allowance, pinned[name])
     print("SERVING_SCALE_JSON: %s" % json.dumps(report))

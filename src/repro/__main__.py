@@ -38,7 +38,18 @@ Subcommands
     report stays byte-identical to the one-shot run (pair it with
     ``--service-model interp``; streaming is incompatible with
     ``--shard-policy load-aware`` / ``--replicas``, whose placement is
-    fed by the materialised query list).
+    fed by the materialised query list).  Observability:
+    ``--trace out.json`` writes a Perfetto-loadable Chrome trace of the
+    run (per-query lifecycle spans, batch slices per frontend lane,
+    queue-depth and per-node activity counters) and ``--metrics-json
+    m.json`` dumps the cluster's metrics-registry snapshot; for serve
+    the workload locality flag is spelled ``--workload-trace``
+    (``run``/``profile`` keep ``--trace synthetic|production``).
+
+``report``
+    Pretty-print a metrics snapshot written by ``serve
+    --metrics-json`` as an aligned terminal table (counters, gauges,
+    histogram percentiles, collected component stats).
 
 ``profile``
     cProfile a system's workload run and print the hottest functions
@@ -158,7 +169,7 @@ def cmd_list_systems(args):
 
 
 def cmd_run(args):
-    traces = _build_traces(args.trace, args.tables, args.num_rows,
+    traces = _build_traces(args.workload_trace, args.tables, args.num_rows,
                            args.batch * args.pooling, args.seed)
     requests = _build_requests(traces, args.batch, args.pooling)
     # No explicit address map: the adapters build the dense TableLayout
@@ -181,7 +192,8 @@ def cmd_run(args):
         return 0
     print(system.describe())
     print("  workload       : %d requests, %d lookups (%s trace)"
-          % (result.num_requests, result.num_lookups, args.trace))
+          % (result.num_requests, result.num_lookups,
+             args.workload_trace))
     print("  latency        : %d cycles (%.2f us)"
           % (result.total_cycles, result.latency_us))
     if result.baseline_cycles:
@@ -250,7 +262,8 @@ def cmd_serve(args):
                              "replication are fed by the materialised "
                              "query list; drop --stream-chunk or use "
                              "--shard-policy hash")
-    traces = _build_traces(args.trace, args.tables, args.num_rows,
+    traces = _build_traces(args.workload_trace, args.tables,
+                           args.num_rows,
                            max(args.batch * args.pooling * 4, 2_000),
                            args.seed)
     if args.stream_chunk is not None:
@@ -303,6 +316,11 @@ def cmd_serve(args):
         service_model = InterpolatingServiceModel(traces)
     else:
         service_model = None
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer(label="serve")
     # Clusters are context managers: exit releases the node-level
     # backend and every node's own pooled workers.
     with cluster:
@@ -312,13 +330,27 @@ def cmd_serve(args):
                                       max_delay_us=args.max_delay_us),
             engine=args.engine, service_model=service_model,
             slo_policy=args.slo_us, admission=args.admission,
-            stream_chunk=args.stream_chunk)
+            stream_chunk=args.stream_chunk,
+            trace=tracer, metrics=args.metrics_json is not None)
         # Collected inside the context: the store's entry count needs
-        # its connection, which close() releases.
+        # its connection, which close() releases (the metrics snapshot
+        # polls the same store collector).
         service_stats = cluster.service_stats()
+        metrics_snapshot = (cluster.metrics.snapshot()
+                            if args.metrics_json is not None else None)
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace)
+    if metrics_snapshot is not None:
+        from repro.obs import write_metrics_json
+
+        write_metrics_json(metrics_snapshot, args.metrics_json)
     if args.json:
         payload = report.as_dict()
         payload["service_stats"] = service_stats
+        if args.trace is not None:
+            payload["trace_path"] = args.trace
+        if args.metrics_json is not None:
+            payload["metrics_path"] = args.metrics_json
         json.dump(payload, sys.stdout, indent=2)
         print()
         return 0
@@ -358,6 +390,33 @@ def cmd_serve(args):
     print("  exact sims     : %d batch simulations (%d duplicates "
           "collapsed)" % (service_stats["exact_simulations"],
                           service_stats["dedup_hits"]))
+    if tracer is not None:
+        print("  trace          : %s (load in ui.perfetto.dev)"
+              % args.trace)
+    if metrics_snapshot is not None:
+        print("  metrics json   : %s (pretty-print with "
+              "'python -m repro report %s')"
+              % (args.metrics_json, args.metrics_json))
+    return 0
+
+
+def cmd_report(args):
+    """Pretty-print a ``serve --metrics-json`` snapshot as a table."""
+    from repro.obs import format_metrics_table
+
+    try:
+        with open(args.metrics_json) as handle:
+            snapshot = json.load(handle)
+    except OSError as error:
+        raise SystemExit("error: cannot read %s: %s"
+                         % (args.metrics_json, error))
+    except json.JSONDecodeError as error:
+        raise SystemExit("error: %s is not valid JSON: %s"
+                         % (args.metrics_json, error))
+    if not isinstance(snapshot, dict):
+        raise SystemExit("error: %s is not a metrics snapshot (expected "
+                         "a JSON object)" % args.metrics_json)
+    print(format_metrics_table(snapshot))
     return 0
 
 
@@ -373,7 +432,8 @@ def cmd_profile(args):
 
     if args.system_name is not None:
         args.system = args.system_name
-    traces = _build_traces(args.trace, args.tables, args.num_rows,
+    traces = _build_traces(args.workload_trace, args.tables,
+                           args.num_rows,
                            args.batch * args.pooling, args.seed)
     requests = _build_requests(traces, args.batch, args.pooling)
     backend_overrides = _backend_overrides(args)
@@ -413,7 +473,8 @@ def cmd_profile(args):
     print("profiled %s" % header["system"])
     print("  kernels        : %s" % header["kernels"])
     print("  workload       : %d lookups -> %d cycles (%s trace)"
-          % (result.num_lookups, result.total_cycles, args.trace))
+          % (result.num_lookups, result.total_cycles,
+             args.workload_trace))
     print(stream.getvalue())
     return 0
 
@@ -470,10 +531,11 @@ def build_parser():
     sub.add_parser("list-systems",
                    help="list registered embedding systems")
 
-    def add_workload_args(p):
+    def add_workload_args(p, trace_flag="--trace"):
         p.add_argument("--system", default="recnmp-opt",
                        help="registry name (see list-systems)")
-        p.add_argument("--trace", choices=("synthetic", "production"),
+        p.add_argument(trace_flag, dest="workload_trace",
+                       choices=("synthetic", "production"),
                        default="synthetic",
                        help="'synthetic' (random) or 'production' locality")
         p.add_argument("--tables", type=int, default=4)
@@ -529,7 +591,17 @@ def build_parser():
 
     serve = sub.add_parser("serve",
                            help="drive a sharded serving cluster")
-    add_workload_args(serve)
+    # serve spells the workload locality flag --workload-trace so that
+    # --trace can name the Perfetto trace output file.
+    add_workload_args(serve, trace_flag="--workload-trace")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Perfetto-loadable Chrome trace of "
+                            "the run (query lifecycle spans, batch "
+                            "slices, queue-depth counters) to PATH")
+    serve.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="dump the cluster metrics-registry snapshot "
+                            "as JSON to PATH (render with 'python -m "
+                            "repro report PATH')")
     serve.add_argument("--nodes", type=int, default=2)
     serve.add_argument("--qps", type=float, default=50_000.0)
     serve.add_argument("--queries", type=int, default=64)
@@ -594,6 +666,12 @@ def build_parser():
                        help="keep batch service times in memory only; "
                             "repeated runs re-simulate instead of "
                             "warm-starting from the store")
+
+    report = sub.add_parser(
+        "report", help="pretty-print a serve --metrics-json snapshot")
+    report.add_argument("metrics_json", metavar="metrics.json",
+                        help="metrics snapshot written by "
+                             "'serve --metrics-json'")
     return parser
 
 
@@ -607,6 +685,8 @@ def main(argv=None):
         return cmd_profile(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "report":
+        return cmd_report(args)
     return cmd_serve(args)
 
 

@@ -20,6 +20,10 @@ suite otherwise only checks dynamically:
 ``broad-except-audit``
     Every ``except Exception`` documents its degradation contract in a
     pragma.
+``obs-hygiene``
+    Library code publishes through the :mod:`repro.obs` metrics /
+    exporter API instead of bare ``print()`` or direct stream writes
+    (the CLI ``__main__.py`` owns the terminal).
 ``registry-consistency``
     Every registry entry is buildable, documented, and mirrored by the
     CLI choices.
@@ -50,6 +54,7 @@ from repro.analysis import determinism    # noqa: F401  (registers rule)
 from repro.analysis import excepts        # noqa: F401  (registers rule)
 from repro.analysis import fingerprint    # noqa: F401  (registers rule)
 from repro.analysis import kernel_twin    # noqa: F401  (registers rule)
+from repro.analysis import obs_hygiene    # noqa: F401  (registers rule)
 from repro.analysis import pickle_safety  # noqa: F401  (registers rule)
 from repro.analysis import registries     # noqa: F401  (registers rule)
 

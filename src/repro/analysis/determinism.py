@@ -12,9 +12,13 @@ classes of violation:
   assert byte-identity across backends).
 * **Wall-clock reads in simulation paths** -- ``time.time()``,
   ``perf_counter()``, ``datetime.now()`` and friends inside
-  ``repro/core``, ``repro/dram`` or ``repro/serving`` leak host timing
-  into simulated cycles.  Benchmarks measure wall clock legitimately,
-  so the check is scoped to the simulation packages.
+  ``repro/core``, ``repro/dram``, ``repro/serving`` or ``repro/obs``
+  leak host timing into simulated cycles.  Benchmarks measure wall
+  clock legitimately, so the check is scoped to those packages -- with
+  exactly one carve-out: ``repro/obs/profiling.py``, the host-side
+  stage-timer module, whose entire purpose is wall-clock measurement of
+  the simulator itself (its timings are reporting output, never
+  simulation input).
 * **Iteration over bare sets** -- set iteration order is salted per
   process, so a ``for`` loop or comprehension over a set literal,
   ``set(...)`` or ``frozenset(...)`` feeds nondeterministic order into
@@ -45,7 +49,12 @@ _WALLCLOCK_ROOTS = {"time", "datetime", "date"}
 
 #: repro sub-packages whose code computes simulated time and therefore
 #: must never read the host clock.
-_SIM_PACKAGES = {"core", "dram", "serving"}
+_SIM_PACKAGES = {"core", "dram", "serving", "obs"}
+
+#: The one wall-clock-exempt file: host-side stage timers
+#: (:mod:`repro.obs.profiling`) measure the simulator, not the
+#: simulation.
+_WALLCLOCK_EXEMPT = ("obs", "profiling.py")
 
 
 def _call_name(func):
@@ -67,10 +76,14 @@ def _root_name(node):
 
 
 def _in_sim_package(path):
-    """True for files under ``repro/{core,dram,serving}``."""
+    """True for files under ``repro/{core,dram,serving,obs}`` -- except
+    the single exempt profiling module."""
     parts = path.parts
     for index, part in enumerate(parts[:-1]):
         if part == "repro" and parts[index + 1] in _SIM_PACKAGES:
+            if parts[index + 1] == _WALLCLOCK_EXEMPT[0] \
+                    and path.name == _WALLCLOCK_EXEMPT[1]:
+                return False
             return True
     return False
 

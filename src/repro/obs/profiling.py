@@ -1,0 +1,74 @@
+"""Host-side stage timers: wall-clock profiling of the simulator itself.
+
+Everything else in :mod:`repro.obs` measures *simulated* time; this
+module measures how long the *simulator* takes on the host -- sweep
+point runtimes, query-generation cost, benchmark stage breakdowns.  It
+is the **only** file under ``repro/obs`` allowed to read the wall clock
+(the ``determinism`` lint rule enforces that scoping), and nothing in
+it may ever feed a simulated quantity: stage timings are reporting
+output, never simulation input.
+
+Usage::
+
+    profiler = StageProfiler()
+    with profiler.stage("generate"):
+        queries = make_queries(qps)
+    with profiler.stage("simulate"):
+        report = cluster.simulate(queries)
+    print(format_stage_table(profiler.totals()))   # caller prints
+"""
+
+import time
+from contextlib import contextmanager
+
+
+class StageProfiler:
+    """Accumulating named wall-clock stage timers.
+
+    Re-entering a stage accumulates (total seconds, call count), so one
+    profiler spans a whole sweep: per-point ``simulate`` stages fold
+    into one row.  Purely host-side: no simulated quantity may ever be
+    derived from these numbers.
+    """
+
+    def __init__(self):
+        self._stages = {}
+
+    @contextmanager
+    def stage(self, name):
+        """Context manager timing one stage occurrence."""
+        began = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - began)
+
+    def add(self, name, seconds):
+        """Fold an externally measured duration into a stage."""
+        total, count = self._stages.get(name, (0.0, 0))
+        self._stages[name] = (total + float(seconds), count + 1)
+
+    def totals(self):
+        """``{stage: {"seconds": ..., "count": ...}}`` sorted by name."""
+        return {name: {"seconds": total, "count": count}
+                for name, (total, count) in sorted(self._stages.items())}
+
+    def seconds(self, name):
+        """Total seconds of one stage (0.0 when never entered)."""
+        return self._stages.get(name, (0.0, 0))[0]
+
+
+def format_stage_table(totals):
+    """A :meth:`StageProfiler.totals` dict as an aligned table string."""
+    if not totals:
+        return "(no stages timed)"
+    width = max(len(name) for name in totals)
+    lines = ["%-*s %10s %8s %12s"
+             % (width, "stage", "seconds", "count", "sec/call")]
+    for name, stats in sorted(totals.items()):
+        per_call = stats["seconds"] / stats["count"] if stats["count"] \
+            else 0.0
+        lines.append("%-*s %10.3f %8d %12.6f"
+                     % (width, name, stats["seconds"], stats["count"],
+                        per_call))
+    return "\n".join(lines)

@@ -23,6 +23,8 @@ attainment and shed rate in ``extras["slo"]``.
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import observe_finite as _observe_finite
 from repro.perf.service_store import (
     ServiceTimeStore,
     resolve_service_store,
@@ -159,8 +161,25 @@ class ShardedServingCluster:
         self._owns_store = not isinstance(service_store, ServiceTimeStore)
         self.service_store = resolve_service_store(service_store)
         self._config_fp = None
-        self._exact_simulations = 0
-        self._dedup_hits = 0
+        #: The cluster's metrics registry (:mod:`repro.obs.metrics`).
+        #: The simulation counters live here -- ``service_stats`` /
+        #: ``export_service_state`` / ``reset`` are compatibility views
+        #: over it -- and the cache/store tiers publish through
+        #: snapshot-time collectors, so the hot path never copies a
+        #: stat dict.
+        self.metrics = MetricsRegistry()
+        self._exact_sim_counter = self.metrics.counter(
+            "serving.exact_simulations",
+            help="batch compositions actually cycle-simulated")
+        self._dedup_counter = self.metrics.counter(
+            "serving.dedup_hits",
+            help="duplicate in-flight batches collapsed by batched "
+                 "resolution")
+        self.metrics.register_collector("service_cache",
+                                        self._service_cache.stats)
+        if self.service_store is not None:
+            self.metrics.register_collector("service_store",
+                                            self.service_store.stats)
 
     # ------------------------------------------------------------------ #
     def _batch_key(self, batch, requests):
@@ -297,7 +316,7 @@ class ShardedServingCluster:
             flat_jobs.extend(jobs)
         if flat_jobs:
             times = self.backend.run_service_jobs(self, flat_jobs)
-            self._exact_simulations += len(spans)
+            self._exact_sim_counter.inc(len(spans))
             stored_pairs = []
             for key, start, count in spans:
                 # The batch completes with its slowest shard.
@@ -316,7 +335,7 @@ class ShardedServingCluster:
             # Count collapsed duplicates as cache hits: that is what the
             # one-at-a-time path would have recorded for them.
             self._service_cache.merge_entries([], hits=dedup_hits)
-            self._dedup_hits += dedup_hits
+            self._dedup_counter.inc(dedup_hits)
         return results
 
     def service_cache_stats(self):
@@ -333,8 +352,8 @@ class ShardedServingCluster:
         disk tier's hit/miss/put counters.
         """
         stats = {"cache": self._service_cache.stats(),
-                 "exact_simulations": self._exact_simulations,
-                 "dedup_hits": self._dedup_hits}
+                 "exact_simulations": self._exact_sim_counter.value,
+                 "dedup_hits": self._dedup_counter.value}
         if self.service_store is not None:
             stats["store"] = self.service_store.stats()
         return stats
@@ -352,8 +371,8 @@ class ShardedServingCluster:
         state = {"entries": self._service_cache.export_entries(),
                  "hits": cache["hits"],
                  "misses": cache["misses"],
-                 "exact_simulations": self._exact_simulations,
-                 "dedup_hits": self._dedup_hits}
+                 "exact_simulations": self._exact_sim_counter.value,
+                 "dedup_hits": self._dedup_counter.value}
         if self.service_store is not None:
             store = self.service_store.stats()
             state["store_hits"] = store["hits"]
@@ -366,8 +385,8 @@ class ShardedServingCluster:
         self._service_cache.merge_entries(state["entries"],
                                           hits=state["hits"],
                                           misses=state["misses"])
-        self._exact_simulations += state["exact_simulations"]
-        self._dedup_hits += state["dedup_hits"]
+        self._exact_sim_counter.inc(state["exact_simulations"])
+        self._dedup_counter.inc(state["dedup_hits"])
         if self.service_store is not None:
             self.service_store.merge_counters(
                 hits=state.get("store_hits", 0),
@@ -396,17 +415,21 @@ class ShardedServingCluster:
     def reset(self):
         """Reset every node, the memoised service times and the routing.
 
-        The persistent store is deliberately left alone -- surviving
-        resets and process restarts is its purpose; use
-        ``service_store.invalidate()`` to drop stored entries.
+        Every metric in the cluster's registry resets with it -- the
+        simulation counters (``exact_simulations``, ``dedup_hits``) and
+        any per-run histograms/gauges published under ``metrics=True``
+        zero together, while the cache/store *collectors* keep
+        reporting whatever their components say (the cache was just
+        cleared; the persistent store is deliberately left alone --
+        surviving resets and process restarts is its purpose; use
+        ``service_store.invalidate()`` to drop stored entries).
         """
         for node in self.nodes:
             node.reset()
         if self.sharder.stateful:
             self.sharder.reset_routing()
         self._service_cache.clear()
-        self._exact_simulations = 0
-        self._dedup_hits = 0
+        self.metrics.reset()
 
     def close(self):
         """Release the node-level backend and every node's own workers."""
@@ -471,7 +494,7 @@ class ShardedServingCluster:
 
     def simulate(self, queries, frontend=None, engine=None,
                  service_model=None, slo_policy=None, admission=None,
-                 stream_chunk=None):
+                 stream_chunk=None, trace=None, metrics=None):
         """Serve a query stream; returns a
         :class:`~repro.serving.queueing.ServingReport`.
 
@@ -509,6 +532,19 @@ class ShardedServingCluster:
         admission state -- O(chunk) memory for streams of any length,
         byte-identical to the one-shot run.  A ``QueryStream`` without
         an explicit ``stream_chunk`` uses ``DEFAULT_STREAM_CHUNK``.
+
+        ``trace`` / ``metrics`` switch on the observability layer
+        (:mod:`repro.obs`): pass a fresh
+        :class:`~repro.obs.tracing.Tracer` as ``trace=`` to get the
+        run's reconstructed per-query lifecycle spans and sim-time
+        series (exportable as Perfetto-loadable Chrome trace JSON), and
+        ``metrics=True`` (the cluster's own :attr:`metrics` registry)
+        or a ready :class:`~repro.obs.metrics.MetricsRegistry` to
+        publish per-run latency histograms, counters and gauges.  Both
+        default off and are *guaranteed non-perturbing*: the engines
+        deposit arrays they already computed after the queue maths, so
+        the returned report is byte-identical with tracing on or off
+        (the report object itself never carries the tracer).
         """
         from repro.perf.service_model import resolve_service_model
         from repro.serving.admission import (
@@ -523,6 +559,8 @@ class ShardedServingCluster:
         model = resolve_service_model(service_model)
         policy = resolve_slo_policy(slo_policy)
         controller = resolve_admission(admission)
+        tracer, registry, capture = \
+            self._resolve_observability(trace, metrics)
         if stream_chunk is not None:
             stream_chunk = int(stream_chunk)
             if stream_chunk < frontend.max_queries:
@@ -535,7 +573,8 @@ class ShardedServingCluster:
                 stream_chunk = DEFAULT_STREAM_CHUNK
             return self._simulate_columns(queries, frontend, engine,
                                           model, policy, controller,
-                                          stream_chunk)
+                                          stream_chunk, tracer, registry,
+                                          capture)
         queries = list(queries)
         if policy is not None:
             policy.assign_deadlines(queries)
@@ -570,7 +609,7 @@ class ShardedServingCluster:
             self.sharder.reset_routing()
         batches = frontend.form_batches(admitted)
         services = model.service_times_us(self, batches)
-        return engine.summarize(
+        report = engine.summarize(
             self.describe(), batches, services,
             num_servers=self.num_frontends,
             trigger_counts=frontend.trigger_counts(batches),
@@ -579,10 +618,146 @@ class ShardedServingCluster:
                     "shard_policy": self.sharder.policy,
                     "sharder": self.sharder.describe(),
                     "service_model": model.name},
-            slo_info=slo_info)
+            slo_info=slo_info, capture=capture)
+        if capture is not None:
+            shed_ids = np.asarray([query.query_id for query in shed],
+                                  dtype=np.int64)
+            shed_arrivals = np.asarray(
+                [query.arrival_us for query in shed], dtype=np.float64)
+            self._finish_observability(tracer, registry, capture,
+                                       batches, report, engine,
+                                       shed_ids, shed_arrivals)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Observability plumbing (repro.obs)                                 #
+    # ------------------------------------------------------------------ #
+    def _resolve_observability(self, trace, metrics):
+        """Normalise ``trace=``/``metrics=`` into (tracer, registry,
+        capture); all three are ``None`` when observability is off, so
+        the simulation paths pay one ``is not None`` check."""
+        from repro.obs.capture import RunCapture
+        from repro.obs.tracing import Tracer
+
+        tracer = trace
+        if tracer is not None and not isinstance(tracer, Tracer):
+            raise ValueError(
+                "trace= takes a repro.obs.Tracer instance (it holds the "
+                "reconstructed timeline after the run); got %r" % (trace,))
+        if metrics is None or metrics is False:
+            registry = None
+        elif metrics is True:
+            registry = self.metrics
+        elif isinstance(metrics, MetricsRegistry):
+            registry = metrics
+        else:
+            raise ValueError(
+                "metrics= takes True (publish into the cluster's own "
+                "registry) or a ready MetricsRegistry; got %r"
+                % (metrics,))
+        capture = RunCapture() \
+            if tracer is not None or registry is not None else None
+        return tracer, registry, capture
+
+    def _replay_batch_nodes(self, batches):
+        """Post-hoc routing replay: the node fan-out of every batch.
+
+        Every ``simulate`` starts from fresh routing state, so replaying
+        the dispatched batches in order from another fresh reset
+        reproduces the run's per-request node assignments exactly --
+        stateful sharders advance the same load counters through the
+        same committed sequence, stateless ones are pure functions of
+        content.  This runs strictly *after* the report exists, so it
+        cannot perturb the simulation; the next run's own reset
+        restores fresh state regardless of what the replay advanced.
+        """
+        if self.sharder.stateful:
+            self.sharder.reset_routing()
+        batch_nodes = []
+        for batch in batches:
+            assignment = self.sharder.assign_requests(batch.requests())
+            batch_nodes.append(np.unique(np.asarray(assignment)))
+        return batch_nodes
+
+    def _finish_observability(self, tracer, registry, capture, batches,
+                              report, engine, shed_ids, shed_arrivals):
+        """Feed the tracer and publish per-run metrics after a run."""
+        if tracer is not None:
+            tracer.record_run(capture, run_info={
+                "cluster": self.describe(),
+                "engine": engine.name,
+                "num_nodes": self.num_nodes,
+                "node_system": self.node_system,
+                "shard_policy": self.sharder.policy,
+                "num_frontends": self.num_frontends,
+            })
+            if shed_ids.size:
+                tracer.record_shed(shed_ids, shed_arrivals)
+            tracer.record_assignments(self._replay_batch_nodes(batches),
+                                      self.num_nodes)
+        if registry is not None:
+            registry.counter(
+                "serving.runs_total",
+                help="simulate() calls published into this registry").inc()
+            registry.counter(
+                "serving.queries_total",
+                help="admitted queries across published runs").inc(
+                capture.num_queries)
+            registry.counter(
+                "serving.batches_total",
+                help="dispatched batches across published runs").inc(
+                capture.num_batches)
+            registry.counter(
+                "serving.queries_shed_total",
+                help="queries turned away by admission control").inc(
+                int(shed_ids.size))
+            _observe_finite(
+                registry.histogram(
+                    "serving.query_latency_us",
+                    help="per-query latency (arrival to completion)"),
+                capture.query_latency_us)
+            _observe_finite(
+                registry.histogram(
+                    "serving.batching_delay_us",
+                    help="per-query wait in the forming batch"),
+                capture.per_query(capture.batch_ready_us)
+                - capture.query_arrival_us)
+            _observe_finite(
+                registry.histogram(
+                    "serving.batch_queue_wait_us",
+                    help="per-batch wait in the dispatch queue"),
+                capture.batch_start_us - capture.batch_ready_us)
+            _observe_finite(
+                registry.histogram(
+                    "serving.batch_service_us",
+                    help="per-batch execution time on the cluster"),
+                capture.batch_service_us)
+            registry.gauge(
+                "serving.last_offered_qps",
+                help="offered query rate of the last published run").set(
+                report.offered_qps)
+            registry.gauge(
+                "serving.last_utilization",
+                help="offered-load utilisation of the last run").set(
+                report.utilization)
+            registry.gauge(
+                "serving.last_sustainable_qps",
+                help="saturation throughput of the last run").set(
+                report.sustainable_qps)
+            if capture.max_queue_depth is not None:
+                registry.gauge(
+                    "serving.last_max_queue_depth",
+                    help="deepest dispatch queue of the last run").set(
+                    capture.max_queue_depth)
+            if capture.measured_utilization is not None:
+                registry.gauge(
+                    "serving.last_measured_utilization",
+                    help="measured busy fraction of the last run").set(
+                    capture.measured_utilization)
 
     def _simulate_columns(self, queries, frontend, engine, model, policy,
-                          controller, stream_chunk):
+                          controller, stream_chunk, tracer=None,
+                          registry=None, capture=None):
         """Array-path run: columns in, one :class:`ServingReport` out.
 
         Chunks flow through deadline assignment, admission, batching and
@@ -608,6 +783,8 @@ class ShardedServingCluster:
         carry = None
         batch_parts = []
         services = []
+        shed_id_parts = []
+        shed_arrival_parts = []
         routing_reset = False
         for chunk, is_final in _column_chunks(queries, stream_chunk):
             num_offered += len(chunk)
@@ -673,6 +850,11 @@ class ShardedServingCluster:
                 admitted = chunk if mask.all() \
                     else chunk.take(np.flatnonzero(mask))
                 num_admitted += len(admitted)
+                if capture is not None and len(admitted) != len(chunk):
+                    dropped = np.flatnonzero(~mask)
+                    shed_id_parts.append(chunk.query_id[dropped].copy())
+                    shed_arrival_parts.append(
+                        chunk.arrival_us[dropped].copy())
             piece = admitted
             if carry is not None:
                 piece = QueryColumns.concat([carry, piece]) \
@@ -705,7 +887,7 @@ class ShardedServingCluster:
         if not batch_parts:
             raise ValueError("need at least one batch")
         batches = BatchColumns.concat(batch_parts)
-        return engine.summarize(
+        report = engine.summarize(
             self.describe(), batches, services,
             num_servers=self.num_frontends,
             trigger_counts=frontend.trigger_counts(batches),
@@ -714,7 +896,16 @@ class ShardedServingCluster:
                     "shard_policy": self.sharder.policy,
                     "sharder": self.sharder.describe(),
                     "service_model": model.name},
-            slo_info=slo_info)
+            slo_info=slo_info, capture=capture)
+        if capture is not None:
+            shed_ids = np.concatenate(shed_id_parts) if shed_id_parts \
+                else np.empty(0, dtype=np.int64)
+            shed_arrivals = np.concatenate(shed_arrival_parts) \
+                if shed_arrival_parts else np.empty(0, dtype=np.float64)
+            self._finish_observability(tracer, registry, capture,
+                                       batches, report, engine,
+                                       shed_ids, shed_arrivals)
+        return report
 
     def describe(self):
         return "%dx %s" % (self.num_nodes, self.node_system)
@@ -790,7 +981,7 @@ def build_sweep_cluster(spec):
 
 def qps_sweep(cluster, make_queries, qps_points, frontend=None, engine=None,
               service_model=None, slo_policy=None, admission=None,
-              backend=None, jobs=None):
+              backend=None, jobs=None, profiler=None):
     """Latency/throughput curve over offered load.
 
     ``make_queries(qps)`` must return the query stream offered at that rate
@@ -813,11 +1004,23 @@ def qps_sweep(cluster, make_queries, qps_points, frontend=None, engine=None,
     ``cluster``, and the reports are bit-identical to the serial loop.
     A backend passed by name is shut down when the sweep returns; a
     ready instance is left running for the caller to reuse.
+
+    ``profiler`` is an optional host-side
+    :class:`~repro.obs.profiling.StageProfiler`: the sweep times its
+    query generation (``sweep.generate``) and the simulation of all
+    points (``sweep.simulate``) as wall-clock stages.  Purely
+    reporting-side -- the profiler never feeds a simulated quantity, so
+    the reports are identical with or without it.
     """
+    from contextlib import nullcontext
+
     from repro.core.backend import ParallelBackend, resolve_backend
     from repro.perf.service_model import resolve_service_model
     from repro.serving.admission import resolve_admission
     from repro.serving.slo import resolve_slo_policy
+
+    def _stage(name):
+        return nullcontext() if profiler is None else profiler.stage(name)
 
     engine = resolve_engine(engine)
     service_model = resolve_service_model(service_model)
@@ -825,12 +1028,14 @@ def qps_sweep(cluster, make_queries, qps_points, frontend=None, engine=None,
     admission = resolve_admission(admission)
     owns_backend = not isinstance(backend, ParallelBackend)
     sweep_backend = resolve_backend(backend, max_workers=jobs)
-    point_queries = [list(make_queries(qps)) for qps in qps_points]
+    with _stage("sweep.generate"):
+        point_queries = [list(make_queries(qps)) for qps in qps_points]
     try:
-        return sweep_backend.run_sweep_points(
-            cluster, point_queries, frontend=frontend, engine=engine,
-            service_model=service_model, slo_policy=slo_policy,
-            admission=admission)
+        with _stage("sweep.simulate"):
+            return sweep_backend.run_sweep_points(
+                cluster, point_queries, frontend=frontend, engine=engine,
+                service_model=service_model, slo_policy=slo_policy,
+                admission=admission)
     finally:
         if owns_backend:
             sweep_backend.shutdown()

@@ -49,7 +49,7 @@ class ServingEngine(abc.ABC):
     @abc.abstractmethod
     def summarize(self, system_name, batches, service_times_us,
                   num_servers=1, trigger_counts=None, extras=None,
-                  slo_info=None):
+                  slo_info=None, capture=None):
         """Produce a :class:`ServingReport` for one serving run.
 
         ``batches`` are the dispatched
@@ -61,6 +61,14 @@ class ServingEngine(abc.ABC):
         names); when present -- or when any query carries a deadline --
         the engine attaches deadline accounting to ``extras["slo"]``
         (:func:`repro.serving.slo.summarize_slo`).
+
+        ``capture``, when given, is a
+        :class:`~repro.obs.capture.RunCapture` the engine must fill
+        (one :meth:`~repro.obs.capture.RunCapture.record` call) with
+        the per-batch ready/start/complete/service arrays and per-query
+        latencies it already computed -- strictly *after* the queue
+        maths, so the report is byte-identical with or without a
+        capture.  The default ``None`` skips all of it.
         """
 
     def describe(self):
@@ -109,12 +117,13 @@ class AnalyticEngine(ServingEngine):
 
     def summarize(self, system_name, batches, service_times_us,
                   num_servers=1, trigger_counts=None, extras=None,
-                  slo_info=None):
+                  slo_info=None, capture=None):
         return summarize_serving(
             system_name, batches, service_times_us,
             trigger_counts=trigger_counts,
             extras=self._tag_extras(extras),
-            num_servers=num_servers, slo_info=slo_info)
+            num_servers=num_servers, slo_info=slo_info,
+            capture=capture)
 
 
 #: Engine registry: name -> zero-argument factory.

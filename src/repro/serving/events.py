@@ -186,7 +186,7 @@ class EventEngine(ServingEngine):
 
     def summarize(self, system_name, batches, service_times_us,
                   num_servers=1, trigger_counts=None, extras=None,
-                  slo_info=None):
+                  slo_info=None, capture=None):
         services = np.asarray(service_times_us, dtype=np.float64)
         if len(batches) != services.size:
             raise ValueError("need one service time per batch")
@@ -251,6 +251,17 @@ class EventEngine(ServingEngine):
         mean_service = float(services.mean())
         sustainable_qps = saturation_qps(num_queries, len(batches),
                                          mean_service, num_servers)
+
+        if capture is not None:
+            # Observability deposit: arrays the queue maths already
+            # produced, recorded after the fact -- the report below is
+            # byte-identical with or without a capture.
+            capture.record(
+                engine=self.name, batches=batches, ready_us=ready,
+                service_us=services, start_us=starts,
+                complete_us=completes, latency_us=latencies,
+                num_servers=num_servers, max_queue_depth=int(max_depth),
+                measured_utilization=measured_utilization)
 
         run_extras = self._tag_extras(extras)
         run_extras.setdefault("num_frontends", num_servers)

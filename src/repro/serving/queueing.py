@@ -234,7 +234,7 @@ class ServingReport:
 
 def summarize_serving(system_name, batches, service_times_us,
                       trigger_counts=None, extras=None, num_servers=1,
-                      slo_info=None):
+                      slo_info=None, capture=None):
     """Turn per-batch service times into a :class:`ServingReport`.
 
     ``batches`` are the dispatched :class:`~repro.serving.batcher.QueryBatch`
@@ -251,6 +251,13 @@ def summarize_serving(system_name, batches, service_times_us,
     latency approximation (batching delay + service + mean wait) in place
     of measured completions; quote attainment from the event engine where
     the tail matters.
+
+    ``capture`` is an optional :class:`~repro.obs.capture.RunCapture`
+    the observability layer passes through ``simulate(trace=/metrics=)``.
+    The analytic model has no per-batch queue timeline, so the capture's
+    start times are the formation times plus the mean wait -- a
+    model-consistent *approximate* timeline (marked as such), whose
+    per-query span sums still reconcile with the reported latencies.
     """
     if num_servers < 1:
         raise ValueError("num_servers must be >= 1")
@@ -304,6 +311,16 @@ def summarize_serving(system_name, batches, service_times_us,
     mean_service = float(services.mean())
     sustainable_qps = saturation_qps(num_queries, len(batches),
                                      mean_service, num_servers)
+    if capture is not None:
+        formed_times = formed if is_columns \
+            else np.asarray([batch.formed_us for batch in batches],
+                            dtype=np.float64)
+        approx_starts = formed_times + mean_wait
+        capture.record(
+            engine="analytic", batches=batches, ready_us=formed_times,
+            service_us=services, start_us=approx_starts,
+            complete_us=approx_starts + services, latency_us=samples,
+            num_servers=num_servers, approximate=True)
     # Lazy import: repro.serving.slo imports this module.
     from repro.serving.slo import (
         maybe_summarize_slo,

@@ -103,6 +103,32 @@ class TestDeterminismRule:
             """, rules=["determinism"])
         assert [f.line for f in findings] == [3]
 
+    def test_wallclock_flagged_in_obs_package(self, tmp_path):
+        _, findings = lint_snippet(
+            tmp_path, "repro/obs/tracing.py", """\
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """, rules=["determinism"])
+        assert [f.line for f in findings] == [4]
+
+    def test_wallclock_allowed_in_obs_profiling_only(self, tmp_path):
+        src = """\
+            import time
+
+            def tick():
+                return time.perf_counter()
+            """
+        _, exempt = lint_snippet(tmp_path, "repro/obs/profiling.py",
+                                 src, rules=["determinism"])
+        assert exempt == []
+        # The carve-out is the file, not the name: a profiling.py in a
+        # sim package is still flagged.
+        _, sim = lint_snippet(tmp_path, "repro/serving/profiling.py",
+                              src, rules=["determinism"])
+        assert [f.line for f in sim] == [4]
+
     def test_bare_set_iteration(self, tmp_path):
         _, findings = lint_snippet(tmp_path, "mod.py", """\
             for item in {3, 1, 2}:
@@ -118,6 +144,68 @@ class TestDeterminismRule:
             for item in sorted({3, 1, 2}):
                 print(item)
             """, rules=["determinism"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+class TestObsHygieneRule:
+    def test_bare_print_in_library_flagged(self, tmp_path):
+        path, findings = lint_snippet(
+            tmp_path, "repro/serving/mod.py", """\
+            def publish(report):
+                print(report.p99_us)
+            """, rules=["obs-hygiene"])
+        assert len(findings) == 1
+        assert (findings[0].rule, findings[0].path, findings[0].line) \
+            == ("obs-hygiene", str(path), 2)
+        assert "bare print()" in findings[0].message
+
+    def test_stream_write_in_library_flagged(self, tmp_path):
+        _, findings = lint_snippet(
+            tmp_path, "repro/obs/mod.py", """\
+            import sys
+
+            def publish(line):
+                sys.stderr.write(line)
+            """, rules=["obs-hygiene"])
+        assert [f.line for f in findings] == [4]
+        assert "sys.stderr.write" in findings[0].message
+
+    def test_cli_main_module_exempt(self, tmp_path):
+        _, findings = lint_snippet(
+            tmp_path, "repro/__main__.py", """\
+            def cmd(args):
+                print("the CLI owns the terminal")
+                return 0
+            """, rules=["obs-hygiene"])
+        assert findings == []
+
+    def test_code_outside_repro_exempt(self, tmp_path):
+        _, findings = lint_snippet(
+            tmp_path, "benchmarks/mod.py", """\
+            print("benchmark tables go to stdout")
+            """, rules=["obs-hygiene"])
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        _, findings = lint_snippet(
+            tmp_path, "repro/serving/mod.py", """\
+            def debug(line, verbose):
+                if verbose:
+                    print(line)  # repro-lint: allow-obs-hygiene (opt-in debug aid)
+            """, rules=["obs-hygiene"])
+        assert findings == []
+
+    def test_non_print_calls_clean(self, tmp_path):
+        _, findings = lint_snippet(
+            tmp_path, "repro/serving/mod.py", """\
+            import sys
+
+            def publish(registry, handle):
+                registry.counter("runs").inc()
+                handle.write("not a terminal stream\\n")
+                return sys.maxsize
+            """, rules=["obs-hygiene"])
         assert findings == []
 
 

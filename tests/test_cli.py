@@ -118,6 +118,79 @@ class TestServe:
             main(["serve", "--system", "definitely-not-registered",
                   "--queries", "4"])
 
+    def test_serve_workload_trace_flag(self, capsys):
+        # serve spells the workload locality flag --workload-trace
+        # (so --trace can name the Perfetto output file).
+        payload = run_json(
+            SERVE_ARGS + ["--workload-trace", "production"], capsys)
+        assert payload["num_queries"] == 12
+
+    def test_serve_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        payload = run_json(
+            SERVE_ARGS + ["--engine", "event",
+                          "--trace", str(trace_path),
+                          "--metrics-json", str(metrics_path)], capsys)
+        assert payload["trace_path"] == str(trace_path)
+        assert payload["metrics_path"] == str(metrics_path)
+        from repro.obs import validate_chrome_trace
+
+        trace = json.loads(trace_path.read_text())
+        validate_chrome_trace(trace)
+        assert trace["otherData"]["num_queries"] == 12
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["serving.queries_total"] == 12
+
+    def test_serve_trace_without_metrics_unchanged_report(self, tmp_path,
+                                                          capsys):
+        args = SERVE_ARGS + ["--engine", "event"]
+        plain = run_json(args, capsys)
+        traced = run_json(
+            args + ["--trace", str(tmp_path / "t.json")], capsys)
+        traced.pop("trace_path")
+        # Tracing must not perturb the report (caches warm across runs,
+        # so drop the host-side stat block before comparing).
+        plain.pop("service_stats")
+        traced.pop("service_stats")
+        assert traced == plain
+
+    def test_serve_human_readable_mentions_outputs(self, tmp_path,
+                                                   capsys):
+        assert main(SERVE_ARGS
+                    + ["--trace", str(tmp_path / "t.json"),
+                       "--metrics-json", str(tmp_path / "m.json")]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+        assert "repro report" in out
+
+
+class TestReport:
+    def test_report_renders_metrics_snapshot(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        run_json(SERVE_ARGS + ["--metrics-json", str(metrics_path)],
+                 capsys)
+        assert main(["report", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serving.queries_total" in out
+        assert "serving.query_latency_us" in out
+
+    def test_report_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["report", str(tmp_path / "absent.json")])
+
+    def test_report_invalid_json_exits(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["report", str(bad)])
+
+    def test_report_non_object_exits(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(SystemExit, match="not a metrics snapshot"):
+            main(["report", str(bad)])
+
 
 class TestParseErrors:
     def test_deadline_admission_requires_slo(self):
@@ -161,7 +234,8 @@ class TestParseErrors:
                       .choices["serve"]._actions]
         flat = {flag for flags in serve_args for flag in flags}
         for flag in ("--slo-us", "--admission", "--arrival",
-                     "--request-overhead", "--stream-chunk"):
+                     "--request-overhead", "--stream-chunk",
+                     "--workload-trace", "--trace", "--metrics-json"):
             assert flag in flat
 
 

@@ -1,0 +1,95 @@
+"""Tests for host-side wall-clock profiling (:mod:`repro.obs.profiling`).
+
+The one obs module allowed to read the host clock.  Stage timers
+accumulate across entries, nest without interfering, format into a
+table, and hook into ``qps_sweep`` strictly outside the simulated
+paths -- the sweep's reports must be byte-identical with and without a
+profiler attached.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import StageProfiler, format_stage_table
+from repro.serving import (
+    PoissonArrivalProcess,
+    ShardedServingCluster,
+    qps_sweep,
+    queries_from_traces,
+)
+from repro.traces import make_production_table_traces
+
+
+class TestStageProfiler:
+    def test_stage_accumulates_time_and_count(self):
+        profiler = StageProfiler()
+        for _ in range(3):
+            with profiler.stage("work"):
+                pass
+        totals = profiler.totals()
+        assert totals["work"]["count"] == 3
+        assert totals["work"]["seconds"] >= 0.0
+        assert profiler.seconds("work") == totals["work"]["seconds"]
+
+    def test_unknown_stage_reads_zero(self):
+        assert StageProfiler().seconds("absent") == 0.0
+
+    def test_add_records_externally_measured_time(self):
+        profiler = StageProfiler()
+        profiler.add("io", 0.25)
+        profiler.add("io", 0.75)
+        assert profiler.seconds("io") == pytest.approx(1.0)
+        assert profiler.totals()["io"]["count"] == 2
+
+    def test_nested_stages_account_separately(self):
+        profiler = StageProfiler()
+        with profiler.stage("outer"):
+            with profiler.stage("inner"):
+                pass
+        totals = profiler.totals()
+        assert set(totals) == {"outer", "inner"}
+        assert totals["outer"]["seconds"] >= totals["inner"]["seconds"]
+
+    def test_exception_still_records_the_stage(self):
+        profiler = StageProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.stage("doomed"):
+                raise RuntimeError("boom")
+        assert profiler.totals()["doomed"]["count"] == 1
+
+    def test_format_stage_table(self):
+        profiler = StageProfiler()
+        profiler.add("sweep.generate", 0.5)
+        profiler.add("sweep.simulate", 1.5)
+        text = format_stage_table(profiler.totals())
+        assert "sweep.generate" in text and "sweep.simulate" in text
+
+
+class TestQpsSweepProfiling:
+    def test_sweep_reports_unchanged_and_stages_timed(self):
+        traces = make_production_table_traces(
+            num_lookups_per_table=320, num_rows=2000, num_tables=2,
+            seed=0)
+
+        def make_queries(qps):
+            return queries_from_traces(
+                traces, 60, PoissonArrivalProcess(rate_qps=qps, seed=1))
+
+        points = [50_000.0, 100_000.0]
+        profiler = StageProfiler()
+        with ShardedServingCluster(num_nodes=2,
+                                   node_system="recnmp-opt") as cluster:
+            plain = qps_sweep(cluster, make_queries, points,
+                              engine="event")
+            profiled = qps_sweep(cluster, make_queries, points,
+                                 engine="event", profiler=profiler)
+        assert [dataclasses.asdict(r) for r in profiled] \
+            == [dataclasses.asdict(r) for r in plain]
+        totals = profiler.totals()
+        # Both stages wrap the whole sweep once: generation of every
+        # point's queries, then the simulation of all points.
+        assert totals["sweep.generate"]["count"] == 1
+        assert totals["sweep.simulate"]["count"] == 1
+        assert totals["sweep.generate"]["seconds"] >= 0.0
+        assert totals["sweep.simulate"]["seconds"] > 0.0
